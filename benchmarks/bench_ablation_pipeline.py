@@ -1,0 +1,68 @@
+"""ABL1 — ablation: the full optimizer pipeline versus its parts.
+
+Runs the paper's running query and two single-quantifier companions under
+every strategy configuration (plus the naive interpretation) across scale
+factors, producing the "who wins and by how much" series that the paper's
+worked examples argue qualitatively.
+"""
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, build_university_database, execute_naive
+from repro.bench.harness import compare_strategies, format_table, measure
+from repro.bench.report import CONFIGURATIONS, SCALES, print_report
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    NO_1977_PAPERS_TEXT,
+    TEACHES_LOW_LEVEL_TEXT,
+)
+
+QUERIES = {
+    "running query (Ex. 2.1)": EXAMPLE_21_TEXT,
+    "universal branch": NO_1977_PAPERS_TEXT,
+    "existential branch": TEACHES_LOW_LEVEL_TEXT,
+}
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGURATIONS), ids=list(CONFIGURATIONS))
+@pytest.mark.parametrize("scale", SCALES[:2])
+def test_running_query_configurations(benchmark, scale, config_name):
+    """Time the running query under each configuration."""
+    database = build_university_database(scale=scale)
+    engine = QueryEngine(database, CONFIGURATIONS[config_name])
+    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    assert result.relation == execute_naive(database, EXAMPLE_21_TEXT)
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES), ids=list(QUERIES))
+def test_full_optimizer_on_each_query(benchmark, query_name):
+    database = build_university_database(scale=4)
+    engine = QueryEngine(database, StrategyOptions.all_strategies())
+    result = benchmark(engine.execute, QUERIES[query_name])
+    assert len(result.relation) >= 0
+
+
+def test_optimizer_never_loses_to_the_unoptimised_pipeline():
+    """Across queries and scales, the full optimizer reads no more data and
+    builds no more intermediate tuples than the plain three-phase algorithm."""
+    for scale in SCALES[:2]:
+        database = build_university_database(scale=scale)
+        for text in QUERIES.values():
+            optimized = measure(database, text, StrategyOptions.all_strategies(), "opt")
+            unoptimized = measure(database, text, StrategyOptions.none(), "unopt")
+            assert optimized.result_size == unoptimized.result_size
+            assert optimized.elements_read <= unoptimized.elements_read
+            assert optimized.intermediate_tuples <= unoptimized.intermediate_tuples
+
+
+def test_report_ablation_tables():
+    """Print one paper-style table per query and scale factor."""
+    for scale in SCALES[:2]:
+        database = build_university_database(scale=scale)
+        for query_name, text in QUERIES.items():
+            measurements = compare_strategies(
+                database, text, CONFIGURATIONS, include_naive=True
+            )
+            print_report(
+                f"ABL1 — {query_name} at scale {scale}", format_table(measurements)
+            )

@@ -1,0 +1,53 @@
+"""EX21 — Examples 2.1 / 2.2: parsing and the compiler's standard form.
+
+Times the front end (lexing, parsing, type checking) and the transformation
+into prenex normal form with a DNF matrix, and verifies the structure the
+paper prints in Example 2.2 (prefix ``ALL p SOME c SOME t``, three
+conjunctions).
+"""
+
+import pytest
+
+from repro.bench.report import print_report
+from repro.calculus.printer import format_formula, format_selection
+from repro.calculus.typecheck import TypeChecker
+from repro.lang.parser import parse_selection
+from repro.transform.normalform import to_standard_form
+from repro.workloads.queries import EXAMPLE_21_TEXT
+
+
+def test_parse_running_query(benchmark):
+    """Time parsing Example 2.1 from its textual form."""
+    selection = benchmark(parse_selection, EXAMPLE_21_TEXT)
+    assert selection.free_variables == ("e",)
+
+
+def test_resolve_running_query(benchmark, university_small):
+    """Time scope/type resolution of the running query."""
+    checker = TypeChecker.for_database(university_small)
+    selection = parse_selection(EXAMPLE_21_TEXT)
+    resolved = benchmark(checker.resolve, selection)
+    assert resolved.free_variables == ("e",)
+
+
+def test_standard_form_transformation(benchmark, university_small):
+    """Time the prenex + DNF conversion (the Example 2.2 transformation)."""
+    checker = TypeChecker.for_database(university_small)
+    resolved = checker.resolve(parse_selection(EXAMPLE_21_TEXT))
+    form = benchmark(to_standard_form, resolved)
+    assert [(s.kind, s.var) for s in form.prefix] == [("ALL", "p"), ("SOME", "c"), ("SOME", "t")]
+    assert len(form.conjunctions) == 3
+
+
+def test_report_example_22(university_small):
+    """Print the standard form the compiler produces (the paper's Example 2.2)."""
+    checker = TypeChecker.for_database(university_small)
+    resolved = checker.resolve(parse_selection(EXAMPLE_21_TEXT))
+    form = to_standard_form(resolved)
+    lines = ["original query:", "  " + format_selection(resolved), "", "standard form:"]
+    lines.append(
+        "  prefix: " + " ".join(f"{s.kind} {s.var} IN {s.range.relation}" for s in form.prefix)
+    )
+    for index, conjunction in enumerate(form.conjunctions):
+        lines.append(f"  conjunction {index + 1}: {format_formula(conjunction)}")
+    print_report("EX21 — standard form of the running query (Example 2.2)", "\n".join(lines))

@@ -1,0 +1,61 @@
+"""EX41 — Strategy 1: parallel evaluation of subexpressions (Examples 4.1 / 4.3).
+
+The claim: with Strategy 1 each range relation is read no more than once; the
+unoptimised collection phase reads a relation once per join term / range
+expression that mentions it.  The benchmark times the full running query under
+both regimes and reports scans per relation.
+"""
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, build_university_database
+from repro.bench.harness import compare_strategies, format_table
+from repro.bench.report import SCALES, print_report
+from repro.workloads.queries import EXAMPLE_21_TEXT
+
+WITHOUT = StrategyOptions.none()
+WITH_S1 = StrategyOptions.only(parallel_collection=True)
+
+
+@pytest.mark.parametrize(
+    "label,options", [("without-S1", WITHOUT), ("with-S1", WITH_S1)]
+)
+@pytest.mark.parametrize("scale", SCALES[:2])
+def test_running_query(benchmark, scale, label, options):
+    """Time the running query with and without parallel collection."""
+    database = build_university_database(scale=scale)
+    engine = QueryEngine(database, options)
+    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    assert len(result.relation) >= 0
+
+
+def test_scans_per_relation_claim():
+    """With S1, every relation is scanned exactly once (Example 4.3)."""
+    database = build_university_database(scale=2)
+    engine = QueryEngine(database, WITH_S1)
+    result = engine.execute(EXAMPLE_21_TEXT)
+    scans = {name: c["scans"] for name, c in result.statistics["relations"].items()}
+    assert set(scans.values()) == {1}
+
+    unopt = engine.execute(EXAMPLE_21_TEXT, options=WITHOUT)
+    unopt_scans = {name: c["scans"] for name, c in unopt.statistics["relations"].items()}
+    assert sum(unopt_scans.values()) > sum(scans.values())
+
+
+def test_report_strategy1():
+    """Print the scans-per-relation comparison for the running query."""
+    database = build_university_database(scale=2)
+    measurements = compare_strategies(
+        database,
+        EXAMPLE_21_TEXT,
+        {"without S1": WITHOUT, "with S1 (Example 4.3)": WITH_S1},
+        include_naive=True,
+    )
+    table = format_table(measurements)
+    per_relation = []
+    for measurement in measurements:
+        per_relation.append(f"{measurement.label}: {measurement.scans}")
+    print_report(
+        "EX41 — Strategy 1, parallel evaluation of subexpressions",
+        table + "\n\nscans per relation:\n" + "\n".join(per_relation),
+    )

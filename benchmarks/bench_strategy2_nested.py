@@ -1,0 +1,75 @@
+"""EX42 — Strategy 2: one-step evaluation of nested subexpressions (Example 4.2).
+
+The claim: letting monadic join terms restrict the construction of indirect
+joins (while the relation is being read) avoids materialising separate single
+lists and shrinks the indirect joins.  Measured on the Example 3.2 / 4.2
+sub-expression and on the full running query.
+"""
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, build_university_database
+from repro.bench.harness import compare_strategies, format_table
+from repro.bench.report import print_report
+from repro.calculus import builder as q
+from repro.workloads.queries import EXAMPLE_21_TEXT
+
+S1_ONLY = StrategyOptions.only(parallel_collection=True)
+S1_S2 = StrategyOptions.only(parallel_collection=True, one_step_nested=True)
+
+
+def example_42_selection():
+    """Courses at sophomore level or below that appear in the timetable."""
+    return q.selection(
+        columns=[("c", "cnr")],
+        each=[("c", "courses")],
+        where=q.and_(
+            q.le(("c", "clevel"), "sophomore"),
+            q.some("t", "timetable", q.eq(("c", "cnr"), ("t", "tcnr"))),
+        ),
+    )
+
+
+@pytest.mark.parametrize("label,options", [("S1 only", S1_ONLY), ("S1+S2", S1_S2)])
+def test_example_42_subexpression(benchmark, label, options):
+    database = build_university_database(scale=4)
+    engine = QueryEngine(database, options)
+    selection = example_42_selection()
+    result = benchmark(engine.execute, selection)
+    assert len(result.relation) > 0
+
+
+@pytest.mark.parametrize("label,options", [("S1 only", S1_ONLY), ("S1+S2", S1_S2)])
+def test_running_query(benchmark, label, options):
+    database = build_university_database(scale=2)
+    engine = QueryEngine(database, options)
+    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    assert len(result.relation) >= 0
+
+
+def test_strategy2_reduces_intermediate_structures():
+    """Folding the monadic term shrinks the collection-phase output."""
+    database = build_university_database(scale=4)
+    engine = QueryEngine(database)
+    selection = example_42_selection()
+    with_s2 = engine.execute(selection, options=S1_S2)
+    without_s2 = engine.execute(selection, options=S1_ONLY)
+    assert with_s2.relation == without_s2.relation
+    assert (
+        with_s2.statistics["intermediate_tuples"]
+        <= without_s2.statistics["intermediate_tuples"]
+    )
+    assert with_s2.collection.structures_built < without_s2.collection.structures_built
+
+
+def test_report_strategy2():
+    database = build_university_database(scale=4)
+    measurements = compare_strategies(
+        database,
+        example_42_selection(),
+        {"S1 only (separate single lists)": S1_ONLY, "S1+S2 (Example 4.2 one-step)": S1_S2},
+    )
+    print_report(
+        "EX42 — Strategy 2, one-step evaluation of nested subexpressions",
+        format_table(measurements),
+    )

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or worked examples (see
+DESIGN.md, "Per-experiment index").  The pytest-benchmark timings quantify the
+end-to-end cost; each benchmark additionally prints a paper-style comparison
+table (scans / intermediate structure sizes) recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_university_database
+
+
+@pytest.fixture(scope="session")
+def university_small():
+    """The Figure 1 database at scale 1 (the hand-checkable instance)."""
+    return build_university_database(scale=1)
+
+
+@pytest.fixture(scope="session")
+def university_medium():
+    """The Figure 1 database at scale 4."""
+    return build_university_database(scale=4)

@@ -1,0 +1,63 @@
+"""Lemma 1 in action: what happens when a range relation is empty.
+
+Run with::
+
+    python examples/empty_relations.py
+
+Reproduces the discussion after Example 2.2: the standard form assumes
+non-empty ranges, so with ``papers = []`` the query must be adapted at runtime
+— otherwise it would return the names of *all* employees instead of just the
+professors.  Also demonstrates the engine's Strategy 3 fallback when an
+*extended* range turns out to be empty.
+"""
+
+from repro import QueryEngine, StrategyOptions, build_university_database, execute_naive
+from repro.workloads.queries import EXAMPLE_21_TEXT
+
+
+def main() -> None:
+    database = build_university_database(scale=2)
+    engine = QueryEngine(database)
+
+    print("With a populated papers relation:")
+    populated = engine.execute(EXAMPLE_21_TEXT)
+    print(f"  result: {sorted(r.ename.strip() for r in populated.relation)}")
+    print()
+
+    # Empty the papers relation: ALL p IN papers (...) becomes vacuously true.
+    database.relation("papers").clear()
+    print("After papers := [] (the empty relation):")
+    adapted = engine.execute(EXAMPLE_21_TEXT)
+    professors = sorted(
+        e.ename.strip() for e in database.relation("employees") if e.estatus.label == "professor"
+    )
+    print(f"  adapted result:    {sorted(r.ename.strip() for r in adapted.relation)}")
+    print(f"  professors:        {professors}")
+    print("  transformation trace:")
+    for step in adapted.prepared.trace.steps:
+        print(f"    - {step.name}: {step.detail}")
+    assert sorted(r.ename.strip() for r in adapted.relation) == professors
+    assert adapted.relation == execute_naive(database, EXAMPLE_21_TEXT)
+    print()
+
+    # Strategy 3 fallback: extend the range of e to professors, then demote
+    # everyone so the extended range is empty at runtime.
+    print("Strategy 3 fallback when an extended range is empty:")
+    database2 = build_university_database(scale=2)
+    employees = database2.relation("employees")
+    employees.assign(
+        record.replace(estatus="assistant") if record.estatus.label == "professor" else record
+        for record in employees.elements()
+    )
+    engine2 = QueryEngine(database2, StrategyOptions.all_strategies())
+    result = engine2.execute(EXAMPLE_21_TEXT)
+    print(f"  professors in database: 0")
+    print(f"  result size: {len(result.relation)}")
+    print(f"  used Strategy 3 fallback: {result.used_strategy3_fallback}")
+    assert result.relation == execute_naive(database2, EXAMPLE_21_TEXT)
+    print("  (the engine re-planned the query without extended ranges and still")
+    print("   returned the correct — empty — answer)")
+
+
+if __name__ == "__main__":
+    main()

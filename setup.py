@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment lacks the wheel backend needed by PEP 660 editable
+installs; this legacy shim lets `python setup.py develop` / pip's fallback
+path succeed.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — a reproduction of the PASCAL/R query processing system.
+
+Jarke & Schmidt, *Query Processing Strategies in the PASCAL/R Relational
+Database Management System*, ACM SIGMOD 1982.
+
+The most common entry points:
+
+>>> from repro import build_university_database, QueryEngine, StrategyOptions
+>>> db = build_university_database(scale=1)
+>>> engine = QueryEngine(db, StrategyOptions.all_strategies())
+>>> result = engine.execute('''
+...     [<e.ename> OF EACH e IN employees: (e.estatus = professor)]
+... ''')
+>>> len(result) > 0
+True
+"""
+
+from repro.config import StrategyOptions
+from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
+from repro.lang.parser import parse_formula, parse_selection
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.workloads.university import build_university_database, figure1_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "QueryEngine",
+    "QueryResult",
+    "Relation",
+    "StrategyOptions",
+    "__version__",
+    "build_university_database",
+    "execute_naive",
+    "figure1_database",
+    "parse_formula",
+    "parse_selection",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness: measurement and reporting helpers used by ``benchmarks/``."""
+
+from repro.bench.harness import (
+    Measurement,
+    compare_strategies,
+    format_table,
+    measure,
+    measure_naive,
+)
+from repro.bench.report import CONFIGURATIONS, SCALES, print_report
+
+__all__ = [
+    "CONFIGURATIONS",
+    "Measurement",
+    "SCALES",
+    "compare_strategies",
+    "format_table",
+    "measure",
+    "measure_naive",
+    "print_report",
+]

@@ -1,0 +1,145 @@
+"""Measurement harness shared by the benchmark scripts in ``benchmarks/``.
+
+The paper has no numeric result tables — its evaluation artefacts are the
+worked examples showing how each strategy changes *what the system does*
+(how often each relation is read, how large the intermediate reference
+relations become, whether a division step is needed).  The harness therefore
+measures exactly those quantities, per strategy configuration and per scale
+factor, and renders them as small text tables so every benchmark regenerates
+a paper-style comparison alongside its pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.calculus.ast import Selection
+from repro.config import StrategyOptions
+from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
+from repro.relational.database import Database
+
+__all__ = ["Measurement", "measure", "measure_naive", "compare_strategies", "format_table"]
+
+
+@dataclass
+class Measurement:
+    """The access-level profile of one query execution."""
+
+    label: str
+    result_size: int
+    scans: dict[str, int]
+    elements_read: int
+    index_probes: int
+    intermediate_tuples: int
+    peak_combination_tuples: int
+    division_steps: int
+    elapsed_seconds: float
+    used_fallback: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_scans(self) -> int:
+        return sum(self.scans.values())
+
+    def row(self) -> dict:
+        """The reporting row used by :func:`format_table`."""
+        return {
+            "configuration": self.label,
+            "result": self.result_size,
+            "scans": self.total_scans,
+            "elements": self.elements_read,
+            "probes": self.index_probes,
+            "intermediate": self.intermediate_tuples,
+            "peak n-tuples": self.peak_combination_tuples,
+            "divisions": self.division_steps,
+            "time (ms)": round(self.elapsed_seconds * 1000, 2),
+        }
+
+
+def _profile(label: str, result: QueryResult) -> Measurement:
+    relations = result.statistics.get("relations", {})
+    scans = {name: counters["scans"] for name, counters in relations.items()}
+    elements = sum(counters["elements_read"] for counters in relations.values())
+    probes = sum(counters["index_probes"] for counters in relations.values())
+    division_steps = sum(1 for spec in result.prepared.prefix if spec.kind == "ALL")
+    peak = result.combination.peak_tuples if result.combination is not None else 0
+    return Measurement(
+        label=label,
+        result_size=len(result.relation),
+        scans=scans,
+        elements_read=elements,
+        index_probes=probes,
+        intermediate_tuples=result.statistics.get("intermediate_tuples", 0),
+        peak_combination_tuples=peak,
+        division_steps=division_steps,
+        elapsed_seconds=result.elapsed_seconds,
+        used_fallback=result.used_strategy3_fallback,
+    )
+
+
+def measure(
+    database: Database,
+    query: str | Selection,
+    options: StrategyOptions,
+    label: str | None = None,
+) -> Measurement:
+    """Execute ``query`` under ``options`` and profile the access behaviour."""
+    engine = QueryEngine(database, options)
+    result = engine.execute(query)
+    return _profile(label or options.describe(), result)
+
+
+def measure_naive(database: Database, query: str | Selection, label: str = "naive interpretation") -> Measurement:
+    """Profile the direct (pre-Palermo) interpretation of ``query``."""
+    import time
+
+    database.reset_statistics()
+    started = time.perf_counter()
+    relation = execute_naive(database, query, reset_statistics=False)
+    elapsed = time.perf_counter() - started
+    snapshot = database.statistics.as_dict()
+    relations = snapshot.get("relations", {})
+    return Measurement(
+        label=label,
+        result_size=len(relation),
+        scans={name: counters["scans"] for name, counters in relations.items()},
+        elements_read=sum(c["elements_read"] for c in relations.values()),
+        index_probes=sum(c["index_probes"] for c in relations.values()),
+        intermediate_tuples=snapshot.get("intermediate_tuples", 0),
+        peak_combination_tuples=0,
+        division_steps=0,
+        elapsed_seconds=elapsed,
+    )
+
+
+def compare_strategies(
+    database: Database,
+    query: str | Selection,
+    configurations: Mapping[str, StrategyOptions],
+    include_naive: bool = False,
+) -> list[Measurement]:
+    """Profile ``query`` under every named configuration (plus, optionally, naive)."""
+    measurements = []
+    if include_naive:
+        measurements.append(measure_naive(database, query))
+    for label, options in configurations.items():
+        measurements.append(measure(database, query, options, label=label))
+    return measurements
+
+
+def format_table(measurements: Iterable[Measurement], title: str = "") -> str:
+    """Render measurements as an aligned text table (one row per configuration)."""
+    rows = [m.row() for m in measurements]
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    widths = {h: max(len(h), *(len(str(r[h])) for r in rows)) for h in headers}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[h]) for h in headers))
+    lines.append("-+-".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append(" | ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Shared configuration tables and reporting helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+from repro.config import StrategyOptions
+
+__all__ = ["CONFIGURATIONS", "SCALES", "print_report"]
+
+#: The strategy configurations compared throughout the benchmark suite, in the
+#: order the paper introduces them.
+CONFIGURATIONS = {
+    "no strategies (Sec. 3.3)": StrategyOptions.none(),
+    "S1 parallel collection": StrategyOptions.only(parallel_collection=True),
+    "S1+S2 one-step nested": StrategyOptions.only(
+        parallel_collection=True, one_step_nested=True
+    ),
+    "S1+S2+S3 extended ranges": StrategyOptions.only(
+        parallel_collection=True, one_step_nested=True, extended_ranges=True
+    ),
+    "S1-S4 full optimizer": StrategyOptions.all_strategies(),
+}
+
+#: Scale factors for sweep benchmarks (modest, so the unoptimised
+#: configurations stay fast; the optimised ones scale much further).
+SCALES = (1, 2, 4)
+
+
+def print_report(title: str, text: str) -> None:
+    """Print a benchmark report block (captured with ``pytest -s`` and in EXPERIMENTS.md)."""
+    print()
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))
+    print(text)

@@ -1,0 +1,171 @@
+"""A small builder API for constructing selection expressions in Python.
+
+The textual query language of :mod:`repro.lang` is the closest analogue of
+PASCAL/R source code; this module is the embedded alternative, convenient in
+tests and programmatic query generation::
+
+    from repro.calculus import builder as q
+
+    query = q.selection(
+        columns=[("e", "ename")],
+        each=[("e", "employees")],
+        where=q.and_(
+            q.comp(("e", "estatus"), "=", "professor"),
+            q.some("t", "timetable", q.comp(("t", "tenr"), "=", ("e", "enr"))),
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.calculus.ast import (
+    ALL,
+    SOME,
+    And,
+    Comparison,
+    Const,
+    FieldRef,
+    Formula,
+    Not,
+    Or,
+    OutputColumn,
+    Quantified,
+    RangeExpr,
+    Selection,
+    VariableBinding,
+)
+
+__all__ = [
+    "field",
+    "const",
+    "operand",
+    "comp",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "and_",
+    "or_",
+    "not_",
+    "some",
+    "all_",
+    "range_",
+    "each",
+    "column",
+    "selection",
+]
+
+
+def field(var: str, component: str) -> FieldRef:
+    """The operand ``var.component``."""
+    return FieldRef(var, component)
+
+
+def const(value: Any) -> Const:
+    """A literal constant operand."""
+    return Const(value)
+
+
+def operand(value: Any):
+    """Coerce a convenience value into an operand.
+
+    ``("e", "enr")`` tuples become :class:`FieldRef`; existing operands pass
+    through; anything else becomes a :class:`Const`.
+    """
+    if isinstance(value, (FieldRef, Const)):
+        return value
+    if isinstance(value, tuple) and len(value) == 2 and all(isinstance(v, str) for v in value):
+        return FieldRef(value[0], value[1])
+    return Const(value)
+
+
+def comp(left: Any, op: str, right: Any) -> Comparison:
+    """The join term ``left op right``."""
+    return Comparison(operand(left), op, operand(right))
+
+
+def eq(left: Any, right: Any) -> Comparison:
+    return comp(left, "=", right)
+
+
+def ne(left: Any, right: Any) -> Comparison:
+    return comp(left, "<>", right)
+
+
+def lt(left: Any, right: Any) -> Comparison:
+    return comp(left, "<", right)
+
+
+def le(left: Any, right: Any) -> Comparison:
+    return comp(left, "<=", right)
+
+
+def gt(left: Any, right: Any) -> Comparison:
+    return comp(left, ">", right)
+
+
+def ge(left: Any, right: Any) -> Comparison:
+    return comp(left, ">=", right)
+
+
+def and_(*operands: Formula) -> Formula:
+    """Conjunction; a single operand is returned unchanged."""
+    if len(operands) == 1:
+        return operands[0]
+    return And(*operands)
+
+
+def or_(*operands: Formula) -> Formula:
+    """Disjunction; a single operand is returned unchanged."""
+    if len(operands) == 1:
+        return operands[0]
+    return Or(*operands)
+
+
+def not_(formula: Formula) -> Not:
+    """Negation."""
+    return Not(formula)
+
+
+def range_(relation: str, restriction: Formula | None = None) -> RangeExpr:
+    """A range expression, optionally extended with a restriction (Strategy 3)."""
+    return RangeExpr(relation, restriction)
+
+
+def _as_range(range_expr: str | RangeExpr) -> RangeExpr:
+    if isinstance(range_expr, RangeExpr):
+        return range_expr
+    return RangeExpr(range_expr)
+
+
+def some(var: str, range_expr: str | RangeExpr, body: Formula) -> Quantified:
+    """``SOME var IN range (body)``."""
+    return Quantified(SOME, var, _as_range(range_expr), body)
+
+
+def all_(var: str, range_expr: str | RangeExpr, body: Formula) -> Quantified:
+    """``ALL var IN range (body)``."""
+    return Quantified(ALL, var, _as_range(range_expr), body)
+
+
+def each(var: str, range_expr: str | RangeExpr) -> VariableBinding:
+    """A free-variable binding ``EACH var IN range``."""
+    return VariableBinding(var, _as_range(range_expr))
+
+
+def column(var: str, component: str, alias: str | None = None) -> OutputColumn:
+    """An output column of the component selection."""
+    return OutputColumn(var, component, alias)
+
+
+def selection(
+    columns: Sequence[OutputColumn | tuple],
+    each: Iterable[VariableBinding | tuple],
+    where: Formula,
+) -> Selection:
+    """A complete selection ``[<columns> OF EACH ...: where]``."""
+    return Selection(columns, each, where)

@@ -1,0 +1,97 @@
+"""Rendering calculus expressions back into PASCAL/R-style text.
+
+The printer produces text in the surface syntax accepted by
+:mod:`repro.lang.parser`, so printing and re-parsing round-trips (tested in
+``tests/lang/test_roundtrip.py``).  It is also used by EXPLAIN output and by
+the examples to show what each optimization strategy did to the query.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.calculus.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    Const,
+    FieldRef,
+    Formula,
+    Not,
+    Or,
+    Quantified,
+    RangeExpr,
+    Selection,
+)
+from repro.errors import CalculusError
+from repro.types.scalar import EnumValue
+
+__all__ = ["format_formula", "format_selection", "format_range", "format_operand"]
+
+
+def format_operand(operand: Any) -> str:
+    """Render one operand of a join term."""
+    if isinstance(operand, FieldRef):
+        return f"{operand.var}.{operand.field}"
+    if isinstance(operand, Const):
+        value = operand.value
+        if isinstance(value, EnumValue):
+            return value.label
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            return f"'{value.rstrip()}'"
+        return str(value)
+    raise CalculusError(f"cannot format operand {operand!r}")
+
+
+def format_range(range_expr: RangeExpr, var: str = "r") -> str:
+    """Render a range expression (possibly extended)."""
+    if range_expr.restriction is None:
+        return range_expr.relation
+    inner = format_formula(range_expr.restriction)
+    return f"[EACH {var} IN {range_expr.relation}: {inner}]"
+
+
+def format_formula(formula: Formula, parenthesize: bool = False) -> str:
+    """Render a selection-expression formula."""
+    if isinstance(formula, BoolConst):
+        text = "true" if formula.value else "false"
+    elif isinstance(formula, Comparison):
+        text = (
+            f"({format_operand(formula.left)} {formula.op} "
+            f"{format_operand(formula.right)})"
+        )
+        return text
+    elif isinstance(formula, Not):
+        text = f"NOT {format_formula(formula.child, parenthesize=True)}"
+    elif isinstance(formula, And):
+        text = " AND ".join(format_formula(o, parenthesize=True) for o in formula.operands)
+        if parenthesize:
+            text = f"({text})"
+    elif isinstance(formula, Or):
+        text = " OR ".join(format_formula(o, parenthesize=True) for o in formula.operands)
+        if parenthesize:
+            text = f"({text})"
+    elif isinstance(formula, Quantified):
+        range_text = format_range(formula.range, formula.var)
+        body = format_formula(formula.body, parenthesize=True)
+        text = f"{formula.kind} {formula.var} IN {range_text} ({body})"
+        if parenthesize:
+            text = f"({text})"
+    else:
+        raise CalculusError(f"cannot format formula node {formula!r}")
+    return text
+
+
+def format_selection(selection: Selection, indent: str = "") -> str:
+    """Render a complete selection in the paper's bracketed syntax."""
+    columns = ", ".join(
+        f"{c.var}.{c.field}" + (f" AS {c.alias}" if c.alias else "")
+        for c in selection.columns
+    )
+    bindings = ", ".join(
+        f"EACH {b.var} IN {format_range(b.range, b.var)}" for b in selection.bindings
+    )
+    formula = format_formula(selection.formula)
+    return f"{indent}[<{columns}> OF {bindings}: {formula}]"

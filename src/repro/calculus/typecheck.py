@@ -1,0 +1,170 @@
+"""Scope and type checking of selection expressions against a database.
+
+The PASCAL/R compiler performs these checks statically; we perform them when a
+query is admitted to the engine.  Checking produces a *resolved* selection in
+which every constant operand has been coerced to the scalar type of the
+component it is compared with — in particular enumeration labels written as
+plain identifiers in the textual syntax (``professor``, ``sophomore``) become
+proper :class:`~repro.types.scalar.EnumValue` objects so that ordering
+comparisons use declaration ordinals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.calculus.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    Const,
+    FieldRef,
+    Formula,
+    Not,
+    Or,
+    OutputColumn,
+    Quantified,
+    RangeExpr,
+    Selection,
+    VariableBinding,
+)
+from repro.errors import ScopeError, TypeCheckError, ValidationError
+from repro.types.scalar import ScalarType
+from repro.types.schema import RelationSchema
+
+__all__ = ["TypeChecker", "check_selection", "resolve_selection"]
+
+
+class TypeChecker:
+    """Checks and resolves selections against a set of relation schemas."""
+
+    def __init__(self, schemas: Mapping[str, RelationSchema]):
+        self._schemas = dict(schemas)
+
+    @classmethod
+    def for_database(cls, database) -> "TypeChecker":
+        """Build a checker from a :class:`~repro.relational.database.Database`."""
+        return cls({rel.name: rel.schema for rel in database.relations()})
+
+    # -- schema lookups -------------------------------------------------------------
+
+    def _schema(self, relation: str) -> RelationSchema:
+        try:
+            return self._schemas[relation]
+        except KeyError:
+            raise ScopeError(f"unknown relation {relation!r} in range expression") from None
+
+    def _field_type(self, scope: Mapping[str, str], ref: FieldRef) -> ScalarType:
+        if ref.var not in scope:
+            raise ScopeError(f"variable {ref.var!r} is used outside any range expression")
+        schema = self._schema(scope[ref.var])
+        if not schema.has_field(ref.field):
+            raise TypeCheckError(
+                f"relation {scope[ref.var]!r} has no component {ref.field!r} "
+                f"(referenced as {ref.var}.{ref.field})"
+            )
+        return schema.field_type(ref.field)
+
+    # -- resolution -------------------------------------------------------------------
+
+    def resolve(self, selection: Selection) -> Selection:
+        """Check ``selection`` and return it with constants coerced.
+
+        Raises :class:`~repro.errors.ScopeError` on unbound variables or
+        unknown relations, and :class:`~repro.errors.TypeCheckError` on
+        unknown components or incomparable operand types.
+        """
+        scope: dict[str, str] = {}
+        bindings = []
+        for binding in selection.bindings:
+            resolved_range = self._resolve_range(binding.range, binding.var, dict(scope))
+            scope[binding.var] = binding.range.relation
+            bindings.append(VariableBinding(binding.var, resolved_range))
+        for column in selection.columns:
+            self._field_type(scope, FieldRef(column.var, column.field))
+        formula = self._resolve_formula(selection.formula, scope)
+        return Selection(selection.columns, bindings, formula)
+
+    def check(self, selection: Selection) -> None:
+        """Check ``selection``; discard the resolved copy."""
+        self.resolve(selection)
+
+    # -- recursive helpers ----------------------------------------------------------------
+
+    def _resolve_range(
+        self, range_expr: RangeExpr, var: str, outer_scope: dict[str, str]
+    ) -> RangeExpr:
+        self._schema(range_expr.relation)
+        if range_expr.restriction is None:
+            return range_expr
+        scope = dict(outer_scope)
+        scope[var] = range_expr.relation
+        restriction = self._resolve_formula(range_expr.restriction, scope)
+        return RangeExpr(range_expr.relation, restriction)
+
+    def _resolve_formula(self, formula: Formula, scope: dict[str, str]) -> Formula:
+        if isinstance(formula, BoolConst):
+            return formula
+        if isinstance(formula, Comparison):
+            return self._resolve_comparison(formula, scope)
+        if isinstance(formula, Not):
+            return Not(self._resolve_formula(formula.child, scope))
+        if isinstance(formula, And):
+            return And(*(self._resolve_formula(o, scope) for o in formula.operands))
+        if isinstance(formula, Or):
+            return Or(*(self._resolve_formula(o, scope) for o in formula.operands))
+        if isinstance(formula, Quantified):
+            if formula.var in scope:
+                raise ScopeError(
+                    f"quantified variable {formula.var!r} shadows an enclosing variable"
+                )
+            resolved_range = self._resolve_range(formula.range, formula.var, scope)
+            inner_scope = dict(scope)
+            inner_scope[formula.var] = formula.range.relation
+            body = self._resolve_formula(formula.body, inner_scope)
+            return Quantified(formula.kind, formula.var, resolved_range, body)
+        raise TypeCheckError(f"unknown formula node {formula!r}")
+
+    def _resolve_comparison(self, comparison: Comparison, scope: dict[str, str]) -> Comparison:
+        left, right = comparison.left, comparison.right
+        left_is_field = isinstance(left, FieldRef)
+        right_is_field = isinstance(right, FieldRef)
+        if not left_is_field and not right_is_field:
+            raise TypeCheckError(
+                f"join term {comparison!r} compares two constants; "
+                "at least one operand must be a component access"
+            )
+        if left_is_field and right_is_field:
+            left_type = self._field_type(scope, left)
+            right_type = self._field_type(scope, right)
+            if not left_type.is_comparable_with(right_type):
+                raise TypeCheckError(
+                    f"join term {comparison!r} compares incompatible types "
+                    f"{left_type.name!r} and {right_type.name!r}"
+                )
+            return comparison
+        if left_is_field:
+            field_type = self._field_type(scope, left)
+            return Comparison(left, comparison.op, self._coerce(field_type, right, comparison))
+        field_type = self._field_type(scope, right)
+        return Comparison(self._coerce(field_type, left, comparison), comparison.op, right)
+
+    @staticmethod
+    def _coerce(field_type: ScalarType, constant: Const, comparison: Comparison) -> Const:
+        try:
+            return Const(field_type.coerce(constant.value))
+        except ValidationError as exc:
+            raise TypeCheckError(
+                f"constant {constant.value!r} in join term {comparison!r} is not a value "
+                f"of type {field_type.name!r}: {exc}"
+            ) from exc
+
+
+def check_selection(selection: Selection, schemas: Mapping[str, RelationSchema]) -> None:
+    """Convenience wrapper: check ``selection`` against ``schemas``."""
+    TypeChecker(schemas).check(selection)
+
+
+def resolve_selection(selection: Selection, database) -> Selection:
+    """Convenience wrapper: resolve ``selection`` against a database's schemas."""
+    return TypeChecker.for_database(database).resolve(selection)

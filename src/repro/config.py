@@ -1,0 +1,98 @@
+"""Strategy configuration.
+
+The four optimization strategies of Section 4 (plus a few implementation
+choices) can be switched on and off individually, which is what the ablation
+benchmarks and most of the examples do.  :class:`StrategyOptions` is a plain
+immutable value object; the defaults correspond to the full PASCAL/R system
+as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["StrategyOptions"]
+
+
+@dataclass(frozen=True)
+class StrategyOptions:
+    """Which query-processing strategies the engine applies.
+
+    Attributes
+    ----------
+    parallel_collection:
+        Strategy 1 — evaluate all join terms over a relation in a single scan
+        ("parallel evaluation of subexpressions").  When off, every single
+        list, index and indirect join is produced by its own scan.
+    one_step_nested:
+        Strategy 2 — let monadic join terms restrict the construction of
+        indirect joins while the relation is being read, instead of
+        materialising separate single lists.
+    extended_ranges:
+        Strategy 3 — move monadic restrictions into the range expressions of
+        the variables (the most global use of monadic terms).
+    collection_phase_quantifiers:
+        Strategy 4 — evaluate qualifying quantifiers in the collection phase
+        with value lists (the generalised semi-join technique).
+    general_range_extensions:
+        The paper's proposed improvement of Strategy 3: allow conjunctive
+        normal form extensions (negations of multi-term monadic disjuncts),
+        not just conjunctions of join terms.
+    separate_existential_conjunctions:
+        Evaluate each conjunction of a purely existential query as an
+        independent sub-query (end of Section 2).  Off by default because the
+        paper notes that fully independent evaluation is not always
+        desirable (Section 4.3).
+    use_permanent_indexes:
+        Skip the index-construction step of the collection phase when the
+        database holds a matching permanent index (Section 3.2).
+    """
+
+    parallel_collection: bool = True
+    one_step_nested: bool = True
+    extended_ranges: bool = True
+    collection_phase_quantifiers: bool = True
+    general_range_extensions: bool = False
+    separate_existential_conjunctions: bool = False
+    use_permanent_indexes: bool = True
+
+    # -- presets -----------------------------------------------------------------
+
+    @classmethod
+    def all_strategies(cls) -> "StrategyOptions":
+        """The full PASCAL/R optimizer (the default)."""
+        return cls()
+
+    @classmethod
+    def none(cls) -> "StrategyOptions":
+        """The unoptimised three-phase evaluation of Section 3.3."""
+        return cls(
+            parallel_collection=False,
+            one_step_nested=False,
+            extended_ranges=False,
+            collection_phase_quantifiers=False,
+            use_permanent_indexes=False,
+        )
+
+    @classmethod
+    def only(cls, **enabled: bool) -> "StrategyOptions":
+        """Start from :meth:`none` and switch on the named strategies."""
+        return replace(cls.none(), **enabled)
+
+    def with_(self, **changes: bool) -> "StrategyOptions":
+        """A copy with the named flags changed."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human readable description for EXPLAIN output."""
+        names = {
+            "parallel_collection": "S1 parallel collection",
+            "one_step_nested": "S2 one-step nested",
+            "extended_ranges": "S3 extended ranges",
+            "collection_phase_quantifiers": "S4 collection-phase quantifiers",
+            "general_range_extensions": "S3+ general extensions",
+            "separate_existential_conjunctions": "separate conjunctions",
+            "use_permanent_indexes": "permanent indexes",
+        }
+        enabled = [label for attr, label in names.items() if getattr(self, attr)]
+        return ", ".join(enabled) if enabled else "no strategies"

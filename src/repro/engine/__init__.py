@@ -1,0 +1,42 @@
+"""The evaluation engine: naive evaluator, three-phase evaluator, EXPLAIN."""
+
+from repro.engine.collection import (
+    CollectionPhase,
+    CollectionResult,
+    ConjunctStructure,
+    DerivedEvaluator,
+    ExtendedRangeEmptyError,
+)
+from repro.engine.combination import CombinationPhase, CombinationResult
+from repro.engine.construction import ConstructionPhase
+from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
+from repro.engine.explain import explain_prepared
+from repro.engine.naive import (
+    evaluate_formula,
+    evaluate_selection_naive,
+    operand_value,
+    range_elements,
+)
+from repro.engine.result import project_environment, result_relation_for, result_schema_for
+
+__all__ = [
+    "CollectionPhase",
+    "CollectionResult",
+    "CombinationPhase",
+    "CombinationResult",
+    "ConjunctStructure",
+    "ConstructionPhase",
+    "DerivedEvaluator",
+    "ExtendedRangeEmptyError",
+    "QueryEngine",
+    "QueryResult",
+    "evaluate_formula",
+    "evaluate_selection_naive",
+    "execute_naive",
+    "explain_prepared",
+    "operand_value",
+    "project_environment",
+    "range_elements",
+    "result_relation_for",
+    "result_schema_for",
+]

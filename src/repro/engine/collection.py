@@ -1,0 +1,666 @@
+"""The collection phase (Section 3.3, step 1 — plus Strategies 1, 2 and 4).
+
+The collection phase "evaluates range expressions and single join terms.  The
+results are single lists and indirect joins for all monadic and dyadic join
+terms in the selection expression.  This phase performs data compression
+(records to references) and data reduction (testing join terms)."
+
+This implementation additionally hosts the three strategies that operate at
+collection time:
+
+* **Strategy 1 (parallel evaluation of subexpressions)** — when enabled, all
+  work concerning one database relation (range evaluation, monadic terms,
+  index entries, indirect-join probes, derived-predicate tests) is performed
+  during a single scan of that relation; when disabled every structure is
+  produced by its own scan, reproducing the unoptimised behaviour the paper
+  contrasts against.
+* **Strategy 2 (one-step evaluation of nested subexpressions)** — monadic
+  join terms (and collection-phase quantifier results) over the probing
+  variable restrict the construction of the indirect join for a dyadic term
+  of the same conjunction, so no separate single list is materialised for
+  them.
+* **Strategy 4 (collection-phase quantifiers)** — the
+  :class:`~repro.transform.quantifier_pushdown.DerivedPredicate` objects
+  planned by the transformation pipeline are executed here: the inner
+  relation is read once into a value list, and the predicate is then decided
+  per element of the outer relation like a monadic join term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.calculus.analysis import QuantifierSpec
+from repro.calculus.ast import BoolConst, Comparison, FieldRef, RangeExpr
+from repro.config import StrategyOptions
+from repro.engine.naive import evaluate_formula
+from repro.errors import EvaluationError, PascalRError
+from repro.relational.index import HashIndex, SortedIndex, ValueList
+from repro.relational.record import Record
+from repro.relational.reference import Ref
+from repro.relational.relation import Relation
+from repro.relational.statistics import COLLECTION
+from repro.transform.pipeline import PreparedQuery
+from repro.transform.quantifier_pushdown import DerivedPredicate
+from repro.types.scalar import compare_values, swap_operator
+
+__all__ = [
+    "ExtendedRangeEmptyError",
+    "ConjunctStructure",
+    "CollectionResult",
+    "DerivedEvaluator",
+    "CollectionPhase",
+]
+
+
+class ExtendedRangeEmptyError(PascalRError):
+    """An extended range expression (Strategy 3) turned out empty at runtime.
+
+    The standard form is only equivalent to the original query under the
+    assumption that (extended) range relations are non-empty; when the
+    assumption fails the engine catches this signal and re-plans the query
+    without Strategy 3 — the "information to adapt the standard form at
+    runtime" the paper alludes to.
+    """
+
+    def __init__(self, variable: str, relation: str):
+        self.variable = variable
+        self.relation = relation
+        super().__init__(
+            f"extended range of variable {variable!r} over relation {relation!r} is empty"
+        )
+
+
+@dataclass
+class ConjunctStructure:
+    """One intermediate structure contributing to a conjunction.
+
+    ``variables`` holds one name for a single list (or derived single list)
+    and two names for an indirect join; ``rows`` holds reference tuples of the
+    corresponding arity.
+    """
+
+    variables: tuple[str, ...]
+    rows: set[tuple[Ref, ...]]
+    description: str
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class CollectionResult:
+    """Everything the combination phase needs."""
+
+    range_refs: dict[str, list[Ref]]
+    conjunctions: list[list[ConjunctStructure] | None]
+    """Per conjunction: the structures to combine, or ``None`` when the
+    conjunction contained a FALSE literal and was dropped."""
+    scans_performed: int = 0
+    structures_built: int = 0
+
+
+# --------------------------------------------------------------------- derived predicates
+
+
+@dataclass
+class _ConnectingSpec:
+    """A connecting dyadic term, oriented from the outer variable's side."""
+
+    outer_field: str
+    operator: str
+    inner_field: str
+
+
+class DerivedEvaluator:
+    """Executes one Strategy 4 pushdown: value list + per-element decision."""
+
+    def __init__(
+        self,
+        predicate: DerivedPredicate,
+        database,
+        evaluators: dict[DerivedPredicate, "DerivedEvaluator"],
+        options: StrategyOptions,
+    ) -> None:
+        self.predicate = predicate
+        self._database = database
+        self._specs = [self._orient(term) for term in predicate.connecting]
+        self._single = len(self._specs) == 1
+        self._value_list = ValueList() if self._single else None
+        self._tuples: list[tuple] = []
+        self._all_constraints_hold = True
+        self._restricted_count = 0
+
+        relation = database.relation(predicate.inner_range.relation)
+        base_count = len(relation)
+        restriction = predicate.inner_range.restriction
+        for record in relation.scan():
+            if restriction is not None and not evaluate_formula(
+                restriction, {predicate.inner_var: record}, database
+            ):
+                continue
+            self._restricted_count += 1
+            passes = all(
+                evaluate_formula(term, {predicate.inner_var: record}, database)
+                for term in predicate.inner_monadic
+            ) and all(
+                evaluators[inner].matches(record) for inner in predicate.inner_derived
+            )
+            if predicate.quantifier == "SOME":
+                if not passes:
+                    continue
+                self._collect(record)
+            else:
+                if not passes:
+                    self._all_constraints_hold = False
+                self._collect(record)
+
+        if (
+            self._restricted_count == 0
+            and restriction is not None
+            and base_count > 0
+        ):
+            raise ExtendedRangeEmptyError(predicate.inner_var, relation.name)
+
+        tracker = database.statistics
+        tracker.record_intermediate(self.stored_size())
+
+    def _orient(self, term: Comparison) -> _ConnectingSpec:
+        left, right = term.left, term.right
+        if isinstance(left, FieldRef) and left.var == self.predicate.outer_var:
+            assert isinstance(right, FieldRef)
+            return _ConnectingSpec(left.field, term.op, right.field)
+        assert isinstance(left, FieldRef) and isinstance(right, FieldRef)
+        return _ConnectingSpec(right.field, swap_operator(term.op), left.field)
+
+    def _collect(self, record: Record) -> None:
+        if self._single:
+            self._value_list.add(record[self._specs[0].inner_field])
+        else:
+            self._tuples.append(tuple(record[spec.inner_field] for spec in self._specs))
+
+    # -- inspection -----------------------------------------------------------------
+
+    def stored_size(self) -> int:
+        """How many values the paper's technique would actually retain.
+
+        The min/max and at-most-one-value shortcuts of Section 4.4 reduce the
+        stored value list to a single value.
+        """
+        if self.predicate.shortcut() in ("minmax", "single-value"):
+            return min(1, self._collected_size())
+        return self._collected_size()
+
+    def _collected_size(self) -> int:
+        if self._single:
+            return len(self._value_list)
+        return len(self._tuples)
+
+    @property
+    def restricted_count(self) -> int:
+        """Number of inner elements in the (restricted) range."""
+        return self._restricted_count
+
+    # -- per-element decision -----------------------------------------------------------
+
+    def matches(self, outer_record: Record) -> bool:
+        """Whether the quantified sub-formula holds for ``outer_record``."""
+        if self.predicate.quantifier == "SOME":
+            return self._matches_some(outer_record)
+        return self._matches_all(outer_record)
+
+    def _matches_some(self, outer_record: Record) -> bool:
+        if self._single:
+            spec = self._specs[0]
+            return self._value_list.satisfies_some(spec.operator, outer_record[spec.outer_field])
+        outer_values = [outer_record[spec.outer_field] for spec in self._specs]
+        for inner_values in self._tuples:
+            if all(
+                compare_values(spec.operator, outer_value, inner_value)
+                for spec, outer_value, inner_value in zip(self._specs, outer_values, inner_values)
+            ):
+                return True
+        return False
+
+    def _matches_all(self, outer_record: Record) -> bool:
+        if self._restricted_count == 0:
+            return True
+        if not self._all_constraints_hold:
+            return False
+        if self._single:
+            spec = self._specs[0]
+            return self._value_list.satisfies_all(spec.operator, outer_record[spec.outer_field])
+        outer_values = [outer_record[spec.outer_field] for spec in self._specs]
+        for inner_values in self._tuples:
+            if not all(
+                compare_values(spec.operator, outer_value, inner_value)
+                for spec, outer_value, inner_value in zip(self._specs, outer_values, inner_values)
+            ):
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------- structure specs
+
+
+@dataclass(frozen=True)
+class _IndirectJoinSpec:
+    """Plan for one indirect join: a dyadic term with an orientation and folds."""
+
+    term: Comparison
+    build_var: str
+    probe_var: str
+    folds: tuple[object, ...]  # monadic comparisons and derived predicates over probe_var
+
+    @property
+    def build_field(self) -> str:
+        return self.term.operand_for(self.build_var).field
+
+    @property
+    def probe_field(self) -> str:
+        return self.term.operand_for(self.probe_var).field
+
+    def probe_operator(self) -> str:
+        """Operator for probing the index: ``index component <op> probe value``."""
+        left = self.term.left
+        if isinstance(left, FieldRef) and left.var == self.build_var:
+            return self.term.op
+        return swap_operator(self.term.op)
+
+
+@dataclass
+class _ConjunctionNeeds:
+    """What one conjunction requires from the collection phase."""
+
+    dropped: bool = False
+    indirect_joins: list[_IndirectJoinSpec] = field(default_factory=list)
+    single_terms: list[Comparison] = field(default_factory=list)
+    derived_literals: list[DerivedPredicate] = field(default_factory=list)
+
+
+class CollectionPhase:
+    """Executes the collection phase for a prepared query."""
+
+    def __init__(self, prepared: PreparedQuery, database, options: StrategyOptions) -> None:
+        self.prepared = prepared
+        self.database = database
+        self.options = options
+        self.statistics = database.statistics
+        self._var_range: dict[str, RangeExpr] = {
+            var: prepared.range_of(var) for var in prepared.variables
+        }
+        self._var_relation: dict[str, str] = {
+            var: range_expr.relation for var, range_expr in self._var_range.items()
+        }
+        # Innermost quantified variables first, free variables last — the scan
+        # order of Example 4.3 (timetable, courses, papers, employees).
+        ordered_vars = list(reversed(prepared.variables))
+        self._scan_order: list[str] = []
+        for var in ordered_vars:
+            relation = self._var_relation[var]
+            if relation not in self._scan_order:
+                self._scan_order.append(relation)
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self) -> CollectionResult:
+        """Execute the collection phase and return its intermediate structures."""
+        with self.statistics.phase(COLLECTION):
+            scans_before = self.statistics.total_scans()
+            evaluators = self._build_derived_evaluators()
+            needs = self._analyze_conjunctions()
+            result = self._execute(needs, evaluators)
+            result.scans_performed = self.statistics.total_scans() - scans_before
+            return result
+
+    # -- derived predicates (Strategy 4 execution) ------------------------------------------
+
+    def _build_derived_evaluators(self) -> dict[DerivedPredicate, DerivedEvaluator]:
+        evaluators: dict[DerivedPredicate, DerivedEvaluator] = {}
+        for predicate in self.prepared.derived_predicates():
+            if predicate not in evaluators:
+                evaluators[predicate] = DerivedEvaluator(
+                    predicate, self.database, evaluators, self.options
+                )
+        return evaluators
+
+    # -- conjunction analysis ----------------------------------------------------------------
+
+    def _analyze_conjunctions(self) -> list[_ConjunctionNeeds]:
+        needs = []
+        for conjunction in self.prepared.conjunctions:
+            needs.append(self._analyze_conjunction(conjunction))
+        return needs
+
+    def _analyze_conjunction(self, conjunction: tuple) -> _ConjunctionNeeds:
+        needs = _ConjunctionNeeds()
+        monadic: list[Comparison] = []
+        dyadic: list[Comparison] = []
+        derived: list[DerivedPredicate] = []
+        for literal in conjunction:
+            if isinstance(literal, BoolConst):
+                if not literal.value:
+                    needs.dropped = True
+                    return needs
+                continue
+            if isinstance(literal, Comparison):
+                if literal.is_dyadic():
+                    dyadic.append(literal)
+                else:
+                    monadic.append(literal)
+                continue
+            if isinstance(literal, DerivedPredicate):
+                derived.append(literal)
+                continue
+            raise EvaluationError(f"unknown literal {literal!r} in prepared conjunction")
+
+        covered: set[object] = set()
+        for term in dyadic:
+            build_var, probe_var = self._orient_term(term)
+            folds: list[object] = []
+            if self.options.one_step_nested:
+                folds = [m for m in monadic if m.mentions(probe_var)] + [
+                    d for d in derived if d.outer_var == probe_var
+                ]
+                covered.update(folds)
+            needs.indirect_joins.append(
+                _IndirectJoinSpec(term, build_var, probe_var, tuple(folds))
+            )
+        needs.single_terms = [m for m in monadic if m not in covered]
+        needs.derived_literals = [d for d in derived if d not in covered]
+        return needs
+
+    def _orient_term(self, term: Comparison) -> tuple[str, str]:
+        """Return ``(build_var, probe_var)``: the earlier-scanned relation builds the index."""
+        first, second = term.variables()
+        first_position = self._scan_order.index(self._var_relation[first])
+        second_position = self._scan_order.index(self._var_relation[second])
+        if first_position <= second_position:
+            return first, second
+        return second, first
+
+    # -- execution ------------------------------------------------------------------------------
+
+    def _execute(
+        self,
+        needs: list[_ConjunctionNeeds],
+        evaluators: dict[DerivedPredicate, DerivedEvaluator],
+    ) -> CollectionResult:
+        # Deduplicated work catalogues.
+        single_terms: dict[Comparison, set[tuple[Ref, ...]]] = {}
+        derived_singles: dict[DerivedPredicate, set[tuple[Ref, ...]]] = {}
+        indirect_joins: dict[tuple, set[tuple[Ref, ...]]] = {}
+        ij_specs: dict[tuple, _IndirectJoinSpec] = {}
+        for conjunction_needs in needs:
+            if conjunction_needs.dropped:
+                continue
+            for term in conjunction_needs.single_terms:
+                single_terms.setdefault(term, set())
+            for predicate in conjunction_needs.derived_literals:
+                derived_singles.setdefault(predicate, set())
+            for spec in conjunction_needs.indirect_joins:
+                key = (spec.term, spec.build_var, spec.probe_var, spec.folds)
+                indirect_joins.setdefault(key, set())
+                ij_specs[key] = spec
+
+        range_refs: dict[str, list[Ref]] = {var: [] for var in self.prepared.variables}
+
+        if self.options.parallel_collection:
+            self._execute_parallel(
+                range_refs, single_terms, derived_singles, indirect_joins, ij_specs, evaluators
+            )
+        else:
+            self._execute_sequential(
+                range_refs, single_terms, derived_singles, indirect_joins, ij_specs, evaluators
+            )
+
+        self._check_extended_ranges(range_refs)
+        structures_built = self._record_structures(single_terms, derived_singles, indirect_joins)
+
+        conjunction_structures: list[list[ConjunctStructure] | None] = []
+        for conjunction_needs in needs:
+            if conjunction_needs.dropped:
+                conjunction_structures.append(None)
+                continue
+            structures: list[ConjunctStructure] = []
+            for term in conjunction_needs.single_terms:
+                var = term.variables()[0]
+                structures.append(
+                    ConjunctStructure((var,), single_terms[term], f"single list {term!r}")
+                )
+            for predicate in conjunction_needs.derived_literals:
+                structures.append(
+                    ConjunctStructure(
+                        (predicate.outer_var,),
+                        derived_singles[predicate],
+                        f"derived single list {predicate.describe()}",
+                    )
+                )
+            for spec in conjunction_needs.indirect_joins:
+                key = (spec.term, spec.build_var, spec.probe_var, spec.folds)
+                structures.append(
+                    ConjunctStructure(
+                        (spec.build_var, spec.probe_var),
+                        indirect_joins[key],
+                        f"indirect join {spec.term!r}",
+                    )
+                )
+            conjunction_structures.append(structures)
+
+        return CollectionResult(
+            range_refs=range_refs,
+            conjunctions=conjunction_structures,
+            structures_built=structures_built,
+        )
+
+    # -- strategy 1: one scan per relation --------------------------------------------------------
+
+    def _execute_parallel(
+        self,
+        range_refs: dict[str, list[Ref]],
+        single_terms: dict[Comparison, set],
+        derived_singles: dict[DerivedPredicate, set],
+        indirect_joins: dict[tuple, set],
+        ij_specs: dict[tuple, _IndirectJoinSpec],
+        evaluators: dict[DerivedPredicate, DerivedEvaluator],
+    ) -> None:
+        indexes: dict[tuple, HashIndex | SortedIndex] = {}
+        prebuilt: set[tuple] = set()
+        # Work assignment per variable.
+        builds_for_var: dict[str, list[tuple]] = {var: [] for var in range_refs}
+        probes_for_var: dict[str, list[tuple]] = {var: [] for var in range_refs}
+        for key, spec in ij_specs.items():
+            permanent = self._permanent_index(spec)
+            if permanent is not None:
+                indexes[key] = permanent
+                prebuilt.add(key)
+            else:
+                builds_for_var[spec.build_var].append(key)
+            probes_for_var[spec.probe_var].append(key)
+
+        for relation_name in self._scan_order:
+            relation = self.database.relation(relation_name)
+            variables_here = [
+                var for var in self.prepared.variables
+                if self._var_relation[var] == relation_name
+            ]
+            # Create the indexes this relation must fill.
+            for var in variables_here:
+                for key in builds_for_var[var]:
+                    if key not in indexes:
+                        indexes[key] = self._make_index(ij_specs[key])
+            deferred_probes: list[tuple[tuple, Ref, Record]] = []
+
+            for record in relation.scan():
+                ref = relation.ref_of(record)
+                for var in variables_here:
+                    if not self._in_range(var, record):
+                        continue
+                    range_refs[var].append(ref)
+                    for term, rows in single_terms.items():
+                        if term.variables()[0] == var and self._term_holds(term, var, record):
+                            rows.add((ref,))
+                    for predicate, rows in derived_singles.items():
+                        if predicate.outer_var == var and evaluators[predicate].matches(record):
+                            rows.add((ref,))
+                    for key in builds_for_var[var]:
+                        spec = ij_specs[key]
+                        indexes[key].add_ref(record[spec.build_field], ref)
+                    for key in probes_for_var[var]:
+                        spec = ij_specs[key]
+                        if not self._passes_folds(spec, record, evaluators):
+                            continue
+                        if self._var_relation[spec.build_var] == relation_name:
+                            deferred_probes.append((key, ref, record))
+                        else:
+                            self._probe(key, spec, ref, record, indexes, indirect_joins)
+
+            # Self-join probes wait until the shared scan has filled the index.
+            for key, ref, record in deferred_probes:
+                self._probe(key, ij_specs[key], ref, record, indexes, indirect_joins)
+
+    # -- no strategy 1: one scan per structure ---------------------------------------------------------
+
+    def _execute_sequential(
+        self,
+        range_refs: dict[str, list[Ref]],
+        single_terms: dict[Comparison, set],
+        derived_singles: dict[DerivedPredicate, set],
+        indirect_joins: dict[tuple, set],
+        ij_specs: dict[tuple, _IndirectJoinSpec],
+        evaluators: dict[DerivedPredicate, DerivedEvaluator],
+    ) -> None:
+        # Range expressions: one scan per variable.
+        for var in range_refs:
+            relation = self.database.relation(self._var_relation[var])
+            for record in relation.scan():
+                if self._in_range(var, record):
+                    range_refs[var].append(relation.ref_of(record))
+
+        # Single lists: one scan per monadic term.
+        for term, rows in single_terms.items():
+            var = term.variables()[0]
+            relation = self.database.relation(self._var_relation[var])
+            for record in relation.scan():
+                if self._in_range(var, record) and self._term_holds(term, var, record):
+                    rows.add((relation.ref_of(record),))
+
+        # Derived single lists: one scan per literal predicate.
+        for predicate, rows in derived_singles.items():
+            var = predicate.outer_var
+            relation = self.database.relation(self._var_relation[var])
+            for record in relation.scan():
+                if self._in_range(var, record) and evaluators[predicate].matches(record):
+                    rows.add((relation.ref_of(record),))
+
+        # Indirect joins: one scan to build the index, one scan to probe it.
+        # The index-building scan is skipped when a permanent index applies
+        # ("The first step can be omitted, if permanent indexes exist").
+        for key, spec in ij_specs.items():
+            index = self._permanent_index(spec)
+            if index is None:
+                index = self._make_index(spec)
+                build_relation = self.database.relation(self._var_relation[spec.build_var])
+                for record in build_relation.scan():
+                    if self._in_range(spec.build_var, record):
+                        index.add_ref(record[spec.build_field], build_relation.ref_of(record))
+            probe_relation = self.database.relation(self._var_relation[spec.probe_var])
+            for record in probe_relation.scan():
+                if not self._in_range(spec.probe_var, record):
+                    continue
+                if not self._passes_folds(spec, record, evaluators):
+                    continue
+                self._probe(
+                    key, spec, probe_relation.ref_of(record), record, {key: index}, indirect_joins
+                )
+
+    # -- shared helpers --------------------------------------------------------------------------------
+
+    def _permanent_index(self, spec: _IndirectJoinSpec) -> HashIndex | SortedIndex | None:
+        """A usable permanent index for the build side of ``spec``, if any.
+
+        A permanent index covers the whole relation, so it can only replace
+        the collection-phase index build when the build variable's range is
+        not restricted and the probe operator suits the index organisation.
+        """
+        if not self.options.use_permanent_indexes:
+            return None
+        if self._var_range[spec.build_var].restriction is not None:
+            return None
+        relation_name = self._var_relation[spec.build_var]
+        permanent = self.database.index_for(relation_name, spec.build_field)
+        if permanent is None:
+            return None
+        if spec.probe_operator() not in ("=", "<>") and isinstance(permanent, HashIndex):
+            return permanent  # hash index still answers range probes, linearly
+        return permanent
+
+    def _make_index(self, spec: _IndirectJoinSpec) -> HashIndex | SortedIndex:
+        relation = self.database.relation(self._var_relation[spec.build_var])
+        if spec.probe_operator() in ("=", "<>"):
+            return HashIndex(relation, spec.build_field, tracker=self.statistics)
+        return SortedIndex(relation, spec.build_field, tracker=self.statistics)
+
+    def _in_range(self, var: str, record: Record) -> bool:
+        restriction = self._var_range[var].restriction
+        if restriction is None:
+            return True
+        return evaluate_formula(restriction, {var: record}, self.database)
+
+    def _term_holds(self, term: Comparison, var: str, record: Record) -> bool:
+        return evaluate_formula(term, {var: record}, self.database)
+
+    def _passes_folds(
+        self,
+        spec: _IndirectJoinSpec,
+        record: Record,
+        evaluators: dict[DerivedPredicate, DerivedEvaluator],
+    ) -> bool:
+        for fold in spec.folds:
+            if isinstance(fold, Comparison):
+                if not self._term_holds(fold, spec.probe_var, record):
+                    return False
+            else:
+                if not evaluators[fold].matches(record):
+                    return False
+        return True
+
+    def _probe(
+        self,
+        key: tuple,
+        spec: _IndirectJoinSpec,
+        probe_ref: Ref,
+        record: Record,
+        indexes: dict[tuple, HashIndex | SortedIndex],
+        indirect_joins: dict[tuple, set],
+    ) -> None:
+        index = indexes[key]
+        partners = index.probe_operator(spec.probe_operator(), record[spec.probe_field])
+        rows = indirect_joins[key]
+        for partner_ref in partners:
+            rows.add((partner_ref, probe_ref))
+
+    def _check_extended_ranges(self, range_refs: dict[str, list[Ref]]) -> None:
+        for var, refs in range_refs.items():
+            range_expr = self._var_range[var]
+            if refs or range_expr.restriction is None:
+                continue
+            relation = self.database.relation(range_expr.relation)
+            if len(relation) > 0:
+                raise ExtendedRangeEmptyError(var, relation.name)
+
+    def _record_structures(
+        self,
+        single_terms: dict[Comparison, set],
+        derived_singles: dict[DerivedPredicate, set],
+        indirect_joins: dict[tuple, set],
+    ) -> int:
+        built = 0
+        for rows in list(single_terms.values()) + list(derived_singles.values()) + list(
+            indirect_joins.values()
+        ):
+            self.statistics.record_intermediate(len(rows))
+            built += 1
+        return built

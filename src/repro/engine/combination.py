@@ -1,0 +1,222 @@
+"""The combination phase (Section 3.3, step 2).
+
+"The COMBINATION PHASE manipulates only reference relations; it evaluates
+logical operators and quantifiers in three steps:
+
+* each conjunction is evaluated by combining the single lists and indirect
+  joins obtained in the collection phase into n-tuples of references where n
+  is the number of variables in the selection expression (join or Cartesian
+  product of reference relations);
+* the full disjunctive form is evaluated by a union operation on all these
+  sets of n-tuples;
+* quantifiers are evaluated from right to left, using projection for
+  existential quantification and division for universal quantification."
+
+The implementation below follows that description literally, using the
+relational algebra of :mod:`repro.relational.algebra` over reference
+relations.  Its cost — the size of the n-tuple relations it builds — is the
+quantity Strategies 3 and 4 attack, and it is reported through the shared
+:class:`~repro.relational.statistics.AccessStatistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calculus.analysis import QuantifierSpec
+from repro.calculus.ast import ALL, SOME
+from repro.engine.collection import CollectionResult, ConjunctStructure
+from repro.errors import EvaluationError
+from repro.relational.algebra import divide, natural_join, project, union
+from repro.relational.record import Record
+from repro.relational.refrelation import ReferenceType, ref_field_name
+from repro.relational.relation import Relation
+from repro.relational.statistics import COMBINATION
+from repro.transform.pipeline import PreparedQuery
+from repro.types.schema import Field, RelationSchema
+
+__all__ = ["CombinationResult", "CombinationPhase"]
+
+
+@dataclass
+class CombinationResult:
+    """The outcome of the combination phase."""
+
+    tuples: Relation
+    """Reference tuples over the free variables that satisfy the query."""
+
+    conjunction_sizes: list[int] = field(default_factory=list)
+    union_size: int = 0
+    after_quantifiers_size: int = 0
+    peak_tuples: int = 0
+
+
+class CombinationPhase:
+    """Combines collection-phase structures into free-variable reference tuples."""
+
+    def __init__(self, prepared: PreparedQuery, database, collection: CollectionResult) -> None:
+        self.prepared = prepared
+        self.database = database
+        self.collection = collection
+        self.statistics = database.statistics
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self) -> CombinationResult:
+        with self.statistics.phase(COMBINATION):
+            return self._run()
+
+    def _run(self) -> CombinationResult:
+        variables = list(self.prepared.variables)
+        result = CombinationResult(tuples=self._empty_tuple_relation(variables))
+        peak = 0
+
+        combined: Relation | None = None
+        for index, structures in enumerate(self.collection.conjunctions):
+            if structures is None:
+                continue
+            conjunction_relation = self._combine_conjunction(index, structures, variables)
+            size = len(conjunction_relation)
+            result.conjunction_sizes.append(size)
+            self.statistics.record_intermediate(size)
+            peak = max(peak, size)
+            if combined is None:
+                combined = conjunction_relation
+            else:
+                combined = union(combined, conjunction_relation, name="matrix_union")
+        if combined is None:
+            # Every conjunction was dropped: the matrix is unsatisfiable.
+            result.union_size = 0
+            result.after_quantifiers_size = 0
+            result.peak_tuples = peak
+            return result
+
+        result.union_size = len(combined)
+        peak = max(peak, len(combined))
+
+        # Quantifier elimination, right to left.
+        current = combined
+        for spec in reversed(self.prepared.prefix):
+            current = self._eliminate_quantifier(current, spec)
+            self.statistics.record_intermediate(len(current))
+            peak = max(peak, len(current))
+
+        result.tuples = self._project_to_free_variables(current)
+        result.after_quantifiers_size = len(result.tuples)
+        result.peak_tuples = peak
+        return result
+
+    # -- conjunction combination ---------------------------------------------------------
+
+    def _combine_conjunction(
+        self, index: int, structures: list[ConjunctStructure], variables: list[str]
+    ) -> Relation:
+        """Build the n-tuple reference relation for one conjunction."""
+        pending = list(structures)
+        current: Relation | None = None
+        covered: set[str] = set()
+
+        # Join connected structures first (shared variables), then bring in the
+        # disconnected ones via Cartesian products.
+        while pending:
+            if current is None:
+                structure = pending.pop(0)
+                current = self._structure_relation(index, structure)
+                covered.update(structure.variables)
+                continue
+            pick = None
+            for position, structure in enumerate(pending):
+                if covered & set(structure.variables):
+                    pick = position
+                    break
+            if pick is None:
+                pick = 0
+            structure = pending.pop(pick)
+            current = natural_join(
+                current, self._structure_relation(index, structure), name=f"conj{index}"
+            )
+            covered.update(structure.variables)
+
+        if current is None:
+            # No structures: the conjunction is TRUE — every combination of
+            # variable bindings qualifies; start from the first variable's range.
+            current = self._range_relation(variables[0])
+
+        # Extend with the full ranges of the variables the conjunction does not
+        # mention (Section 3.3 builds n-tuples over *all* n variables).
+        for var in variables:
+            if ref_field_name(var) not in current.schema.field_names:
+                current = natural_join(
+                    current, self._range_relation(var), name=f"conj{index}_x_{var}"
+                )
+        return project(
+            current,
+            [ref_field_name(var) for var in variables],
+            name=f"conjunction_{index}",
+        )
+
+    def _structure_relation(self, index: int, structure: ConjunctStructure) -> Relation:
+        schema = RelationSchema(
+            f"structure_{index}",
+            [
+                Field(ref_field_name(var), ReferenceType(self._relation_of(var)))
+                for var in structure.variables
+            ],
+            key=None,
+        )
+        relation = Relation(schema.name, schema)
+        for row in structure.rows:
+            relation.insert(Record.raw(schema, tuple(row)))
+        return relation
+
+    def _range_relation(self, var: str) -> Relation:
+        schema = RelationSchema(
+            f"range_{var}",
+            [Field(ref_field_name(var), ReferenceType(self._relation_of(var)))],
+            key=None,
+        )
+        relation = Relation(schema.name, schema)
+        for ref in self.collection.range_refs[var]:
+            relation.insert(Record.raw(schema, (ref,)))
+        return relation
+
+    def _relation_of(self, var: str) -> str:
+        return self.prepared.range_of(var).relation
+
+    # -- quantifier elimination -----------------------------------------------------------
+
+    def _eliminate_quantifier(self, current: Relation, spec: QuantifierSpec) -> Relation:
+        column = ref_field_name(spec.var)
+        if column not in current.schema.field_names:
+            raise EvaluationError(
+                f"combination tuples lack a column for quantified variable {spec.var!r}"
+            )
+        if spec.kind == SOME:
+            remaining = [f for f in current.schema.field_names if f != column]
+            return project(current, remaining, name=f"exists_{spec.var}")
+        if spec.kind == ALL:
+            divisor = self._range_relation(spec.var)
+            return divide(current, divisor, by=[(column, column)], name=f"forall_{spec.var}")
+        raise EvaluationError(f"unknown quantifier kind {spec.kind!r}")
+
+    # -- output shaping ----------------------------------------------------------------------
+
+    def _free_columns(self) -> list[str]:
+        return [ref_field_name(binding.var) for binding in self.prepared.bindings]
+
+    def _empty_tuple_relation(self, variables: list[str]) -> Relation:
+        schema = RelationSchema(
+            "free_tuples",
+            [
+                Field(ref_field_name(binding.var), ReferenceType(self._relation_of(binding.var)))
+                for binding in self.prepared.bindings
+            ],
+            key=None,
+        )
+        return Relation(schema.name, schema)
+
+    def _project_to_free_variables(self, current: Relation) -> Relation:
+        free_columns = self._free_columns()
+        if list(current.schema.field_names) == free_columns:
+            return current
+        return project(current, free_columns, name="free_tuples")

@@ -1,0 +1,42 @@
+"""The construction phase (Section 3.3, step 3).
+
+"The CONSTRUCTION PHASE dereferences the results obtained by the combination
+phase and projects on the components specified in the component selection."
+"""
+
+from __future__ import annotations
+
+from repro.calculus.ast import Selection
+from repro.engine.combination import CombinationResult
+from repro.engine.result import project_environment, result_relation_for
+from repro.relational.record import Record
+from repro.relational.refrelation import ref_field_name
+from repro.relational.relation import Relation
+from repro.relational.statistics import CONSTRUCTION
+
+__all__ = ["ConstructionPhase"]
+
+
+class ConstructionPhase:
+    """Turns free-variable reference tuples into the final result relation."""
+
+    def __init__(self, selection: Selection, database) -> None:
+        self.selection = selection
+        self.database = database
+        self.statistics = database.statistics
+
+    def run(self, combination: CombinationResult) -> Relation:
+        """Dereference and project the combination-phase tuples."""
+        with self.statistics.phase(CONSTRUCTION):
+            result = result_relation_for(self.selection, self.database)
+            columns = {
+                binding.var: ref_field_name(binding.var) for binding in self.selection.bindings
+            }
+            for row in combination.tuples:
+                environment: dict[str, Record] = {}
+                for var, column in columns.items():
+                    environment[var] = row[column].deref()
+                record = project_environment(self.selection, environment, result.schema)
+                if result.find(result.schema.key_of(record.values)) is None:
+                    result.insert(record)
+            return result

@@ -1,0 +1,277 @@
+"""The query engine: the public entry point of the reproduction.
+
+:class:`QueryEngine` ties the whole system together:
+
+* it accepts queries either as textual PASCAL/R-style selections or as
+  calculus :class:`~repro.calculus.ast.Selection` objects,
+* it runs the transformation pipeline (standard form, Lemma 1 adaptation,
+  Strategies 3 and 4) according to the configured
+  :class:`~repro.config.StrategyOptions`,
+* it executes the three-phase evaluation procedure (collection, combination,
+  construction) with Strategies 1 and 2 applied inside the collection phase,
+* it falls back gracefully when the non-empty-range assumption behind
+  Strategy 3 fails at runtime, and
+* it returns a :class:`QueryResult` bundling the result relation with the
+  access statistics, phase sizes, and the transformation trace — the raw
+  material of every figure and example reproduced in ``benchmarks/``.
+
+A :func:`execute_naive` companion runs the direct, transformation-free
+interpretation used as ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.calculus.analysis import has_universal_quantifier
+from repro.calculus.ast import Selection
+from repro.calculus.typecheck import TypeChecker
+from repro.config import StrategyOptions
+from repro.engine.collection import CollectionPhase, CollectionResult, ExtendedRangeEmptyError
+from repro.engine.combination import CombinationPhase, CombinationResult
+from repro.engine.construction import ConstructionPhase
+from repro.engine.naive import evaluate_selection_naive, range_elements
+from repro.engine.result import project_environment, result_relation_for
+from repro.lang.parser import parse_selection
+from repro.relational.record import Record
+from repro.relational.relation import Relation
+from repro.transform.pipeline import PreparedQuery, prepare_query
+from repro.transform.separation import can_separate
+from repro.transform.normalform import to_standard_form
+
+__all__ = ["QueryResult", "QueryEngine", "execute_naive"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one query."""
+
+    relation: Relation
+    prepared: PreparedQuery
+    statistics: dict
+    collection: CollectionResult | None = None
+    combination: CombinationResult | None = None
+    elapsed_seconds: float = 0.0
+    used_strategy3_fallback: bool = False
+    subqueries: int = 1
+
+    @property
+    def rows(self) -> list:
+        """The result records as a list."""
+        return self.relation.elements()
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def describe(self) -> str:
+        """A compact report: trace, phase sizes and access counters."""
+        lines = [f"result: {len(self.relation)} element(s)"]
+        lines.append("transformations:")
+        lines.append(self.prepared.trace.describe())
+        if self.combination is not None:
+            lines.append(
+                "combination: conjunction sizes "
+                f"{self.combination.conjunction_sizes}, union {self.combination.union_size}, "
+                f"after quantifiers {self.combination.after_quantifiers_size}"
+            )
+        relations = self.statistics.get("relations", {})
+        for name, counters in relations.items():
+            lines.append(
+                f"  {name}: scans={counters['scans']} elements={counters['elements_read']} "
+                f"probes={counters['index_probes']}"
+            )
+        lines.append(
+            f"  intermediate tuples={self.statistics.get('intermediate_tuples', 0)}"
+        )
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Phase-structured evaluation of PASCAL/R selections over a database."""
+
+    def __init__(self, database, options: StrategyOptions | None = None) -> None:
+        self.database = database
+        self.options = options or StrategyOptions()
+
+    # -- query admission ------------------------------------------------------------
+
+    def parse(self, text: str) -> Selection:
+        """Parse and resolve a textual selection."""
+        return TypeChecker.for_database(self.database).resolve(parse_selection(text))
+
+    def _admit(self, query: str | Selection) -> Selection:
+        if isinstance(query, str):
+            return self.parse(query)
+        return TypeChecker.for_database(self.database).resolve(query)
+
+    def prepare(self, query: str | Selection, options: StrategyOptions | None = None) -> PreparedQuery:
+        """Run only the transformation pipeline (used by EXPLAIN and tests)."""
+        selection = self._admit(query)
+        return prepare_query(selection, self.database, options or self.options, resolve=False)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str | Selection,
+        options: StrategyOptions | None = None,
+        reset_statistics: bool = True,
+    ) -> QueryResult:
+        """Evaluate ``query`` and return the result with full accounting."""
+        options = options or self.options
+        if reset_statistics:
+            self.database.reset_statistics()
+        selection = self._admit(query)
+        started = time.perf_counter()
+        result = self._execute_resolved(selection, options)
+        result.elapsed_seconds = time.perf_counter() - started
+        result.statistics = self.database.statistics.as_dict()
+        return result
+
+    def _execute_resolved(self, selection: Selection, options: StrategyOptions) -> QueryResult:
+        prepared = prepare_query(selection, self.database, options, resolve=False)
+        try:
+            if options.separate_existential_conjunctions and self._separable(prepared):
+                return self._execute_separated(selection, prepared, options)
+            return self._execute_prepared(selection, prepared, options)
+        except ExtendedRangeEmptyError:
+            fallback_options = options.with_(extended_ranges=False)
+            prepared = prepare_query(selection, self.database, fallback_options, resolve=False)
+            prepared.trace.add(
+                "runtime adaptation",
+                "an extended range was empty; re-planned without Strategy 3",
+            )
+            result = self._execute_prepared(selection, prepared, fallback_options)
+            result.used_strategy3_fallback = True
+            return result
+
+    def _execute_prepared(
+        self, selection: Selection, prepared: PreparedQuery, options: StrategyOptions
+    ) -> QueryResult:
+        if prepared.constant is not None:
+            # The constant-matrix shortcut still relies on the non-empty-range
+            # assumption behind Strategy 3: verify it before skipping the
+            # phases, and fall back like the collection phase would.
+            self._check_extended_prefix_ranges(prepared)
+            relation = self._evaluate_constant_matrix(selection, prepared)
+            return QueryResult(relation=relation, prepared=prepared, statistics={})
+        collection = CollectionPhase(prepared, self.database, options).run()
+        combination = CombinationPhase(prepared, self.database, collection).run()
+        relation = ConstructionPhase(selection, self.database).run(combination)
+        return QueryResult(
+            relation=relation,
+            prepared=prepared,
+            statistics={},
+            collection=collection,
+            combination=combination,
+        )
+
+    def _check_extended_prefix_ranges(self, prepared: PreparedQuery) -> None:
+        """Raise :class:`ExtendedRangeEmptyError` when an extended quantifier range is empty."""
+        for spec in prepared.prefix:
+            if spec.range.restriction is None:
+                continue
+            relation = self.database.relation(spec.range.relation)
+            if len(relation) == 0:
+                continue
+            if not any(True for _ in range_elements(self.database, spec.range, spec.var)):
+                raise ExtendedRangeEmptyError(spec.var, spec.range.relation)
+
+    def _evaluate_constant_matrix(self, selection: Selection, prepared: PreparedQuery) -> Relation:
+        """Evaluate a query whose matrix collapsed to TRUE or FALSE."""
+        result = result_relation_for(selection, self.database)
+        if not prepared.constant:
+            return result
+
+        def recurse(index: int, environment: dict[str, Record]) -> None:
+            if index == len(prepared.bindings):
+                record = project_environment(selection, environment, result.schema)
+                if result.find(result.schema.key_of(record.values)) is None:
+                    result.insert(record)
+                return
+            binding = prepared.bindings[index]
+            for record in range_elements(self.database, binding.range, binding.var):
+                environment[binding.var] = record
+                recurse(index + 1, environment)
+            environment.pop(binding.var, None)
+
+        recurse(0, {})
+        return result
+
+    # -- separate evaluation of existential conjunctions -----------------------------------------
+
+    def _separable(self, prepared: PreparedQuery) -> bool:
+        if prepared.constant is not None:
+            return False
+        if any(spec.kind == "ALL" for spec in prepared.prefix):
+            return False
+        return len(prepared.conjunctions) > 1
+
+    def _execute_separated(
+        self, selection: Selection, prepared: PreparedQuery, options: StrategyOptions
+    ) -> QueryResult:
+        """Evaluate each conjunction as an independent sub-query and union the results."""
+        total: Relation | None = None
+        last: QueryResult | None = None
+        for conjunction in prepared.conjunctions:
+            used_vars = set()
+            for literal in conjunction:
+                variables = getattr(literal, "variables", None)
+                if callable(variables):
+                    used_vars.update(variables())
+            # Quantifiers over unused variables are redundant for a non-empty
+            # base range; extended ranges stay so the collection phase can
+            # verify the non-empty assumption (Strategy 3 fallback).
+            sub_prefix = tuple(
+                s
+                for s in prepared.prefix
+                if s.var in used_vars or s.range.restriction is not None
+            )
+            sub = PreparedQuery(
+                selection=prepared.selection,
+                bindings=prepared.bindings,
+                prefix=sub_prefix,
+                conjunctions=(conjunction,),
+                options=options,
+                trace=prepared.trace,
+            )
+            partial = self._execute_prepared(selection, sub, options)
+            last = partial
+            if total is None:
+                total = partial.relation
+            else:
+                for record in partial.relation:
+                    if total.find(total.schema.key_of(record.values)) is None:
+                        total.insert(record)
+        assert total is not None and last is not None
+        return QueryResult(
+            relation=total,
+            prepared=prepared,
+            statistics={},
+            collection=last.collection,
+            combination=last.combination,
+            subqueries=len(prepared.conjunctions),
+        )
+
+    # -- explain ----------------------------------------------------------------------------------
+
+    def explain(self, query: str | Selection, options: StrategyOptions | None = None) -> str:
+        """A textual account of how the engine would evaluate ``query``."""
+        from repro.engine.explain import explain_prepared
+
+        options = options or self.options
+        prepared = self.prepare(query, options)
+        return explain_prepared(prepared, self.database, options)
+
+
+def execute_naive(database, query: str | Selection, reset_statistics: bool = True) -> Relation:
+    """Evaluate ``query`` with the direct (ground truth) interpreter."""
+    if reset_statistics:
+        database.reset_statistics()
+    if isinstance(query, str):
+        selection = parse_selection(query)
+    else:
+        selection = query
+    resolved = TypeChecker.for_database(database).resolve(selection)
+    return evaluate_selection_naive(resolved, database)

@@ -1,0 +1,71 @@
+"""EXPLAIN: a textual account of a prepared query.
+
+Shows what the examples and the paper's worked derivations show: the
+transformation trace, the (possibly extended) ranges, the quantifier prefix,
+the matrix conjunctions with their join terms and derived predicates, and the
+collection-phase scan order.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.ast import BoolConst, Comparison
+from repro.calculus.printer import format_formula, format_range, format_selection
+from repro.config import StrategyOptions
+from repro.transform.pipeline import PreparedQuery
+from repro.transform.quantifier_pushdown import DerivedPredicate
+
+__all__ = ["explain_prepared"]
+
+
+def explain_prepared(prepared: PreparedQuery, database, options: StrategyOptions) -> str:
+    """Render a multi-line EXPLAIN report for ``prepared``."""
+    lines: list[str] = []
+    lines.append("query:")
+    lines.append("  " + format_selection(prepared.selection))
+    lines.append(f"strategies: {options.describe()}")
+    lines.append("transformations:")
+    for step in prepared.trace.steps:
+        lines.append(f"  - {step.name}: {step.detail}")
+
+    lines.append("free variables:")
+    for binding in prepared.bindings:
+        lines.append(f"  EACH {binding.var} IN {format_range(binding.range, binding.var)}")
+    if prepared.prefix:
+        lines.append("quantifier prefix:")
+        for spec in prepared.prefix:
+            lines.append(f"  {spec.kind} {spec.var} IN {format_range(spec.range, spec.var)}")
+    else:
+        lines.append("quantifier prefix: (empty)")
+
+    lines.append("matrix:")
+    for index, conjunction in enumerate(prepared.conjunctions):
+        lines.append(f"  conjunction {index + 1}:")
+        for literal in conjunction:
+            if isinstance(literal, Comparison):
+                lines.append(f"    join term {format_formula(literal)}")
+            elif isinstance(literal, DerivedPredicate):
+                lines.append(f"    derived    {literal.describe()}")
+            elif isinstance(literal, BoolConst):
+                lines.append(f"    constant   {'TRUE' if literal.value else 'FALSE'}")
+            else:  # pragma: no cover - defensive
+                lines.append(f"    literal    {literal!r}")
+
+    if prepared.constant is None:
+        order = []
+        for var in reversed(prepared.variables):
+            relation = prepared.range_of(var).relation
+            if relation not in order:
+                order.append(relation)
+        lines.append("collection-phase scan order: " + ", ".join(order))
+        cardinalities = database.cardinalities()
+        lines.append(
+            "relation cardinalities: "
+            + ", ".join(f"{name}={count}" for name, count in cardinalities.items())
+        )
+    else:
+        lines.append(
+            "matrix is constant "
+            + ("TRUE — the result is the projection of the free ranges" if prepared.constant
+               else "FALSE — the result is empty")
+        )
+    return "\n".join(lines)

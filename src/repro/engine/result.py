@@ -1,0 +1,67 @@
+"""Result-relation construction shared by the naive and phase evaluators.
+
+The construction phase of the paper (Section 3.3, step 3) "dereferences the
+results obtained by the combination phase and projects on the components
+specified in the component selection"; both evaluators funnel their output
+through the helpers here so their results are structurally identical and can
+be compared record-for-record in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.calculus.ast import Selection
+from repro.errors import EvaluationError
+from repro.relational.record import Record
+from repro.relational.relation import Relation
+from repro.types.schema import Field, RelationSchema
+
+__all__ = ["result_schema_for", "result_relation_for", "project_environment"]
+
+
+def result_schema_for(selection: Selection, database, name: str = "result") -> RelationSchema:
+    """The schema of the selection's result relation.
+
+    Component names follow the component selection (honouring ``AS`` aliases);
+    component types are looked up in the schemas of the ranged-over relations.
+    Duplicate output names get a positional suffix, mirroring how PASCAL/R
+    would force the programmer to disambiguate.
+    """
+    fields: list[Field] = []
+    used_names: dict[str, int] = {}
+    for column in selection.columns:
+        binding = selection.binding_for(column.var)
+        relation = database.relation(binding.range.relation)
+        if not relation.schema.has_field(column.field):
+            raise EvaluationError(
+                f"relation {relation.name!r} has no component {column.field!r} "
+                f"(projected as {column!r})"
+            )
+        base_name = column.name
+        count = used_names.get(base_name, 0)
+        used_names[base_name] = count + 1
+        output_name = base_name if count == 0 else f"{base_name}_{count + 1}"
+        fields.append(Field(output_name, relation.schema.field_type(column.field)))
+    return RelationSchema(name, fields, key=None)
+
+
+def result_relation_for(selection: Selection, database, name: str = "result") -> Relation:
+    """An empty result relation for ``selection``."""
+    return Relation(name, result_schema_for(selection, database, name))
+
+
+def project_environment(
+    selection: Selection, environment: Mapping[str, Record], schema: RelationSchema
+) -> Record:
+    """Build one result record from a binding of the free variables."""
+    values = []
+    for column in selection.columns:
+        try:
+            record = environment[column.var]
+        except KeyError:
+            raise EvaluationError(
+                f"free variable {column.var!r} is not bound when constructing the result"
+            ) from None
+        values.append(record[column.field])
+    return Record.raw(schema, tuple(values))

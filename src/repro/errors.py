@@ -1,0 +1,132 @@
+"""Exception hierarchy for the PASCAL/R reproduction library.
+
+All library errors derive from :class:`PascalRError` so callers can catch a
+single base class.  The hierarchy mirrors the major subsystems: type/schema
+problems, relation manipulation problems, query-language parse problems,
+calculus well-formedness problems, and engine/evaluation problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PascalRError",
+    "TypeSystemError",
+    "SchemaError",
+    "ValidationError",
+    "RelationError",
+    "DuplicateKeyError",
+    "MissingElementError",
+    "DanglingReferenceError",
+    "AlgebraError",
+    "CatalogError",
+    "StorageError",
+    "ParseError",
+    "LexError",
+    "CalculusError",
+    "ScopeError",
+    "TypeCheckError",
+    "TransformError",
+    "PlanError",
+    "EvaluationError",
+]
+
+
+class PascalRError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# --------------------------------------------------------------------------- types
+
+
+class TypeSystemError(PascalRError):
+    """A problem with a scalar type definition or type usage."""
+
+
+class SchemaError(TypeSystemError):
+    """A relation or record schema is ill-formed (bad key, duplicate field...)."""
+
+
+class ValidationError(TypeSystemError):
+    """A value does not belong to the declared type of its field."""
+
+
+# ---------------------------------------------------------------------- relational
+
+
+class RelationError(PascalRError):
+    """Base class for errors raised while manipulating relations."""
+
+
+class DuplicateKeyError(RelationError):
+    """Inserting an element whose key already identifies a different element."""
+
+
+class MissingElementError(RelationError, KeyError):
+    """A selected variable ``rel[keyval]`` does not denote any element."""
+
+
+class DanglingReferenceError(RelationError):
+    """Dereferencing a ``@rel[keyval]`` reference whose element has vanished."""
+
+
+class AlgebraError(RelationError):
+    """A relational-algebra operation was applied to incompatible operands."""
+
+
+class CatalogError(RelationError):
+    """A database catalog lookup or definition failed."""
+
+
+class StorageError(RelationError):
+    """A problem in the simulated paged storage layer."""
+
+
+# -------------------------------------------------------------------------- parser
+
+
+class ParseError(PascalRError):
+    """The textual selection expression could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(ParseError):
+    """The textual selection expression could not be tokenised."""
+
+
+# ------------------------------------------------------------------------ calculus
+
+
+class CalculusError(PascalRError):
+    """A calculus expression is ill-formed."""
+
+
+class ScopeError(CalculusError):
+    """A variable is used outside the scope of its range expression."""
+
+
+class TypeCheckError(CalculusError):
+    """A join term compares incompatible component types."""
+
+
+# ----------------------------------------------------------------------- transform
+
+
+class TransformError(PascalRError):
+    """A query transformation could not be applied."""
+
+
+# -------------------------------------------------------------------------- engine
+
+
+class PlanError(PascalRError):
+    """An evaluation plan is ill-formed or cannot be constructed."""
+
+
+class EvaluationError(PascalRError):
+    """A runtime failure while evaluating a query."""

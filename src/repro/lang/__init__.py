@@ -1,0 +1,19 @@
+"""Textual PASCAL/R-style query language: lexer, parser, unparser."""
+
+from repro.calculus.printer import format_formula, format_selection
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_formula, parse_selection
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+__all__ = [
+    "KEYWORDS",
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenType",
+    "format_formula",
+    "format_selection",
+    "parse_formula",
+    "parse_selection",
+    "tokenize",
+]

@@ -1,0 +1,159 @@
+"""Lexer for the PASCAL/R-style selection syntax.
+
+Turns query text such as::
+
+    [<e.ename> OF EACH e IN employees:
+        (e.estatus = professor)
+        AND SOME t IN timetable ((t.tenr = e.enr))]
+
+into a token stream for :mod:`repro.lang.parser`.  Keywords are
+case-insensitive; ``(* ... *)`` and ``{ ... }`` PASCAL comments are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize", "Lexer"]
+
+_OPERATOR_CHARS = {"=", "<", ">"}
+
+
+class Lexer:
+    """A single-pass character scanner producing :class:`Token` objects."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers --------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self.text[self.position : self.position + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return consumed
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    # -- whitespace and comments -----------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch.isspace():
+                self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._skip_until("*)")
+            elif ch == "{":
+                self._skip_until("}")
+            else:
+                return
+
+    def _skip_until(self, closer: str) -> None:
+        start_line, start_column = self.line, self.column
+        self._advance(len(closer) if closer == "}" else 2)
+        while self.position < len(self.text):
+            if self.text.startswith(closer, self.position):
+                self._advance(len(closer))
+                return
+            self._advance()
+        raise LexError("unterminated comment", start_line, start_column)
+
+    # -- token scanners -------------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token followed by a final EOF token."""
+        while True:
+            self._skip_trivia()
+            if self.position >= len(self.text):
+                yield Token(TokenType.EOF, None, self.line, self.column)
+                return
+            yield self._next_token()
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._scan_word(line, column)
+        if ch.isdigit():
+            return self._scan_number(line, column)
+        if ch == "'":
+            return self._scan_string(line, column)
+        if ch in _OPERATOR_CHARS:
+            return self._scan_operator(line, column)
+        single = {
+            "[": TokenType.LBRACKET,
+            "]": TokenType.RBRACKET,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ":": TokenType.COLON,
+            ".": TokenType.DOT,
+        }
+        if ch in single:
+            self._advance()
+            return Token(single[ch], ch, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _scan_word(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.text[start : self.position]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.IDENT, word, line, column)
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        # Support the PASCAL subrange-looking literal only as plain integers;
+        # a dot after digits belongs to the next token unless followed by digits
+        # (there are no real literals in the paper's queries).
+        return Token(TokenType.NUMBER, int(self.text[start : self.position]), line, column)
+
+    def _scan_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexError("unterminated string literal", line, column)
+            if ch == "'":
+                self._advance()
+                if self._peek() == "'":
+                    chars.append("'")
+                    self._advance()
+                    continue
+                return Token(TokenType.STRING, "".join(chars), line, column)
+            chars.append(self._advance())
+
+    def _scan_operator(self, line: int, column: int) -> Token:
+        two = self._peek() + self._peek(1)
+        if two in ("<>", "<=", ">="):
+            self._advance(2)
+            return Token(TokenType.OPERATOR, two, line, column)
+        return Token(TokenType.OPERATOR, self._advance(), line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text`` into a list ending with an EOF token."""
+    return list(Lexer(text).tokens())

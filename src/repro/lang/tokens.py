@@ -1,0 +1,63 @@
+"""Token definitions for the PASCAL/R-style selection syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Token", "TokenType", "KEYWORDS"]
+
+
+class TokenType:
+    """Token categories produced by the lexer."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    KEYWORD = "KEYWORD"
+    OPERATOR = "OPERATOR"      # = <> < <= > >=
+    LBRACKET = "LBRACKET"      # [
+    RBRACKET = "RBRACKET"      # ]
+    LPAREN = "LPAREN"          # (
+    RPAREN = "RPAREN"          # )
+    LANGLE = "LANGLE"          # < when opening a component selection
+    RANGLE = "RANGLE"          # > when closing a component selection
+    COMMA = "COMMA"            # ,
+    COLON = "COLON"            # :
+    DOT = "DOT"                # .
+    EOF = "EOF"
+
+
+#: Reserved words of the selection syntax (case-insensitive).
+KEYWORDS = frozenset(
+    {
+        "OF",
+        "EACH",
+        "IN",
+        "SOME",
+        "ALL",
+        "AND",
+        "OR",
+        "NOT",
+        "AS",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line and column)."""
+
+    type: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.type == TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"

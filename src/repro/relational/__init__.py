@@ -1,0 +1,82 @@
+"""Relational substrate: records, relations, references, indexes, algebra."""
+
+from repro.relational.algebra import (
+    antijoin,
+    difference,
+    distinct_values,
+    divide,
+    extend_product,
+    intersection,
+    join,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    semijoin,
+    theta_join,
+    theta_semijoin,
+    union,
+)
+from repro.relational.database import Database
+from repro.relational.index import HashIndex, SortedIndex, ValueList, build_index
+from repro.relational.record import Record
+from repro.relational.reference import Ref
+from repro.relational.refrelation import (
+    ReferenceType,
+    make_index_schema,
+    make_indirect_join,
+    make_indirect_join_schema,
+    make_ref_tuple_relation,
+    make_ref_tuple_schema,
+    make_single_list,
+    make_single_list_schema,
+    ref_field_name,
+)
+from repro.relational.relation import Relation
+from repro.relational.statistics import (
+    COLLECTION,
+    COMBINATION,
+    CONSTRUCTION,
+    AccessStatistics,
+)
+
+__all__ = [
+    "AccessStatistics",
+    "COLLECTION",
+    "COMBINATION",
+    "CONSTRUCTION",
+    "Database",
+    "HashIndex",
+    "Record",
+    "Ref",
+    "ReferenceType",
+    "Relation",
+    "SortedIndex",
+    "ValueList",
+    "antijoin",
+    "build_index",
+    "difference",
+    "distinct_values",
+    "divide",
+    "extend_product",
+    "intersection",
+    "join",
+    "make_index_schema",
+    "make_indirect_join",
+    "make_indirect_join_schema",
+    "make_ref_tuple_relation",
+    "make_ref_tuple_schema",
+    "make_single_list",
+    "make_single_list_schema",
+    "natural_join",
+    "product",
+    "project",
+    "ref_field_name",
+    "rename",
+    "select",
+    "semijoin",
+    "theta_join",
+    "theta_semijoin",
+    "union",
+]

@@ -1,0 +1,343 @@
+"""Relational algebra on :class:`~repro.relational.relation.Relation` values.
+
+Section 3.3 of the paper evaluates the combination phase with "operations
+like join or Cartesian product of reference relations", a union over the
+conjunctions of the disjunctive normal form, *projection* for existential
+quantifiers and *division* for universal quantifiers (after Codd).  This
+module implements those operators — plus the semijoin/antijoin pair the paper
+relates to Bernstein & Chiu's semi-join technique — for arbitrary relations,
+whether their components are ordinary values or references.
+
+All operators are pure functions: they never modify their operands and return
+fresh relations.  Schema compatibility problems raise
+:class:`~repro.errors.AlgebraError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import AlgebraError
+from repro.relational.record import Record
+from repro.relational.relation import Relation
+from repro.types.scalar import compare_values
+from repro.types.schema import Field, RelationSchema
+
+__all__ = [
+    "select",
+    "project",
+    "rename",
+    "product",
+    "join",
+    "natural_join",
+    "theta_join",
+    "union",
+    "difference",
+    "intersection",
+    "divide",
+    "semijoin",
+    "antijoin",
+    "extend_product",
+    "distinct_values",
+]
+
+
+def _require_same_schema(left: Relation, right: Relation, operation: str) -> None:
+    if left.schema.field_names != right.schema.field_names:
+        raise AlgebraError(
+            f"{operation} requires identical schemas; got {left.schema.field_names} "
+            f"and {right.schema.field_names}"
+        )
+
+
+def select(relation: Relation, predicate: Callable[[Record], bool], name: str | None = None) -> Relation:
+    """Restriction: the elements of ``relation`` satisfying ``predicate``."""
+    result = Relation(name or f"select_{relation.name}", relation.schema)
+    for record in relation:
+        if predicate(record):
+            result.insert(record)
+    return result
+
+
+def project(
+    relation: Relation,
+    field_names: Sequence[str],
+    name: str | None = None,
+) -> Relation:
+    """Projection on ``field_names`` with duplicate elimination.
+
+    This is the operator used for *existential* quantifier elimination in the
+    combination phase: projecting an n-tuple reference relation on the columns
+    of the remaining variables.
+    """
+    schema = relation.schema.project(field_names, name or f"project_{relation.name}")
+    result = Relation(schema.name, schema)
+    for record in relation:
+        values = record.project_values(tuple(field_names))
+        key = schema.key_of(values)
+        if result.find(key) is None:
+            result.insert(Record.raw(schema, values))
+    return result
+
+
+def rename(relation: Relation, mapping: Mapping[str, str], name: str | None = None) -> Relation:
+    """Rename components according to ``mapping``."""
+    schema = relation.schema.rename(mapping, name or relation.name)
+    result = Relation(schema.name, schema)
+    for record in relation:
+        result.insert(Record.raw(schema, record.values))
+    return result
+
+
+def product(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Cartesian product.  Component names must not clash."""
+    schema = left.schema.concat(right.schema, name or f"{left.name}_x_{right.name}")
+    result = Relation(schema.name, schema)
+    right_records = right.elements()
+    for left_record in left:
+        for right_record in right_records:
+            result.insert(Record.raw(schema, left_record.values + right_record.values))
+    return result
+
+
+def theta_join(
+    left: Relation,
+    right: Relation,
+    predicate: Callable[[Record, Record], bool],
+    name: str | None = None,
+) -> Relation:
+    """General theta-join: product restricted by ``predicate``."""
+    schema = left.schema.concat(right.schema, name or f"{left.name}_join_{right.name}")
+    result = Relation(schema.name, schema)
+    right_records = right.elements()
+    for left_record in left:
+        for right_record in right_records:
+            if predicate(left_record, right_record):
+                result.insert(Record.raw(schema, left_record.values + right_record.values))
+    return result
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Equi-join on pairs of component names ``(left_field, right_field)``.
+
+    The joined-on right components are *kept* (both operands appear in full),
+    matching the paper's combination step where shared reference columns are
+    compared (``cl.cref = c2.cref`` in Example 3.2).  Uses a hash join so
+    the cost is linear in the operand sizes plus the output size.
+    """
+    if not on:
+        return product(left, right, name)
+    left_fields = [pair[0] for pair in on]
+    right_fields = [pair[1] for pair in on]
+    schema = left.schema.concat(right.schema, name or f"{left.name}_join_{right.name}")
+    result = Relation(schema.name, schema)
+    buckets: dict[tuple, list[Record]] = {}
+    for right_record in right:
+        key = right_record.project_values(tuple(right_fields))
+        buckets.setdefault(key, []).append(right_record)
+    for left_record in left:
+        key = left_record.project_values(tuple(left_fields))
+        for right_record in buckets.get(key, ()):
+            result.insert(Record.raw(schema, left_record.values + right_record.values))
+    return result
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Natural join on the components the operands have in common.
+
+    The common components appear once in the result (left operand's copy).
+    This is the join used when combining single lists and indirect joins that
+    share a variable's reference column.
+    """
+    common = [f for f in left.schema.field_names if f in right.schema.field_names]
+    right_only = [f for f in right.schema.field_names if f not in common]
+    fields = list(left.schema.fields) + [
+        Field(f, right.schema.field_type(f)) for f in right_only
+    ]
+    schema = RelationSchema(name or f"{left.name}_nj_{right.name}", fields, key=None)
+    result = Relation(schema.name, schema)
+    buckets: dict[tuple, list[Record]] = {}
+    for right_record in right:
+        key = right_record.project_values(tuple(common))
+        buckets.setdefault(key, []).append(right_record)
+    for left_record in left:
+        key = left_record.project_values(tuple(common))
+        for right_record in buckets.get(key, ()):
+            values = left_record.values + right_record.project_values(tuple(right_only))
+            result.insert(Record.raw(schema, values))
+    return result
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set union of two relations over the same components."""
+    _require_same_schema(left, right, "union")
+    result = Relation(name or f"{left.name}_union_{right.name}", left.schema)
+    for record in left:
+        result.insert(Record.raw(left.schema, record.values))
+    for record in right:
+        key = left.schema.key_of(record.values)
+        if result.find(key) is None:
+            result.insert(Record.raw(left.schema, record.values))
+    return result
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set difference ``left - right``."""
+    _require_same_schema(left, right, "difference")
+    right_set = right.to_set()
+    result = Relation(name or f"{left.name}_minus_{right.name}", left.schema)
+    for record in left:
+        if Record.raw(right.schema, record.values) not in right_set:
+            result.insert(record)
+    return result
+
+
+def intersection(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set intersection."""
+    _require_same_schema(left, right, "intersection")
+    right_set = right.to_set()
+    result = Relation(name or f"{left.name}_and_{right.name}", left.schema)
+    for record in left:
+        if Record.raw(right.schema, record.values) in right_set:
+            result.insert(record)
+    return result
+
+
+def divide(
+    dividend: Relation,
+    divisor: Relation,
+    by: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Relational division — the operator for *universal* quantification.
+
+    ``by`` pairs each divisor component with the dividend component it must
+    match, e.g. ``[("p_ref", "p_ref")]``.  The result keeps the remaining
+    dividend components and contains a combination exactly when it appears in
+    the dividend together with *every* element of the divisor.
+
+    An empty divisor yields the projection of the dividend on the remaining
+    components (the vacuous-truth convention); the engine normally removes
+    empty ranges beforehand via the Lemma 1 runtime adaptation, so this case
+    only arises in direct algebra use.
+    """
+    divisor_fields = [pair[0] for pair in by]
+    dividend_match_fields = [pair[1] for pair in by]
+    for f in divisor_fields:
+        if not divisor.schema.has_field(f):
+            raise AlgebraError(f"divisor has no component {f!r}")
+    for f in dividend_match_fields:
+        if not dividend.schema.has_field(f):
+            raise AlgebraError(f"dividend has no component {f!r}")
+    remaining = [f for f in dividend.schema.field_names if f not in dividend_match_fields]
+    if not remaining:
+        raise AlgebraError("division would eliminate every dividend component")
+    result_schema = dividend.schema.project(remaining, name or f"{dividend.name}_div_{divisor.name}")
+    result = Relation(result_schema.name, result_schema)
+
+    required = {rec.project_values(tuple(divisor_fields)) for rec in divisor}
+    if not required:
+        for record in dividend:
+            values = record.project_values(tuple(remaining))
+            if result.find(result_schema.key_of(values)) is None:
+                result.insert(Record.raw(result_schema, values))
+        return result
+
+    seen: dict[tuple, set] = {}
+    for record in dividend:
+        group = record.project_values(tuple(remaining))
+        match = record.project_values(tuple(dividend_match_fields))
+        seen.setdefault(group, set()).add(match)
+    for group, matches in seen.items():
+        if required <= matches:
+            result.insert(Record.raw(result_schema, group))
+    return result
+
+
+def semijoin(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Semi-join: elements of ``left`` that join with at least one element of ``right``.
+
+    This is the operation Bernstein & Chiu's technique is built on; Section 4.4
+    interprets it as existential-quantifier evaluation in the collection phase.
+    """
+    left_fields = tuple(pair[0] for pair in on)
+    right_fields = tuple(pair[1] for pair in on)
+    right_keys = {rec.project_values(right_fields) for rec in right}
+    result = Relation(name or f"{left.name}_semijoin_{right.name}", left.schema)
+    for record in left:
+        if record.project_values(left_fields) in right_keys:
+            result.insert(record)
+    return result
+
+
+def antijoin(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Anti-join: elements of ``left`` that join with *no* element of ``right``."""
+    left_fields = tuple(pair[0] for pair in on)
+    right_fields = tuple(pair[1] for pair in on)
+    right_keys = {rec.project_values(right_fields) for rec in right}
+    result = Relation(name or f"{left.name}_antijoin_{right.name}", left.schema)
+    for record in left:
+        if record.project_values(left_fields) not in right_keys:
+            result.insert(record)
+    return result
+
+
+def theta_semijoin(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Semi-join under arbitrary comparison operators.
+
+    ``on`` holds ``(left_field, operator, right_field)`` triples; an element of
+    ``left`` qualifies when some element of ``right`` satisfies every triple.
+    Used by the general collection-phase quantifier evaluation of Strategy 4
+    when the connecting join term is not an equality.
+    """
+    result = Relation(name or f"{left.name}_tsemijoin_{right.name}", left.schema)
+    right_records = right.elements()
+    for left_record in left:
+        for right_record in right_records:
+            if all(
+                compare_values(op, left_record[lf], right_record[rf])
+                for lf, op, rf in on
+            ):
+                result.insert(left_record)
+                break
+    return result
+
+
+def extend_product(relation: Relation, extra: Relation, name: str | None = None) -> Relation:
+    """Cartesian-product extension used by the combination phase.
+
+    When a conjunction of the disjunctive normal form does not mention some
+    variable at all, its n-tuple reference relation must still carry a column
+    for that variable ranging over *all* elements of the variable's range
+    (Section 3.3 builds n-tuples for *all* n variables).  This helper is a
+    named, intention-revealing wrapper around :func:`product`.
+    """
+    return product(relation, extra, name)
+
+
+def distinct_values(relation: Relation, field_name: str) -> set:
+    """The set of distinct values of one component (used for value lists)."""
+    return {record[field_name] for record in relation}
+
+
+__all__.append("theta_semijoin")

@@ -1,0 +1,155 @@
+"""The database catalog.
+
+A :class:`Database` plays the role of the PASCAL/R database module: it owns
+the named base relations declared in Figure 1, the permanent indexes of
+Example 3.1, and the shared :class:`AccessStatistics` that every scan, probe
+and insert is charged to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import CatalogError
+from repro.relational.index import HashIndex, SortedIndex, build_index
+from repro.relational.relation import Relation
+from repro.relational.statistics import AccessStatistics
+from repro.types.schema import Field, RelationSchema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of relations, indexes, and access statistics."""
+
+    def __init__(self, name: str = "database", paged: bool = True) -> None:
+        self.name = name
+        self.paged = paged
+        self.statistics = AccessStatistics()
+        self._relations: dict[str, Relation] = {}
+        self._indexes: dict[tuple[str, str], HashIndex | SortedIndex] = {}
+
+    # -- relation management ---------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        fields: Sequence[Field] | Sequence[tuple] | Mapping,
+        key: Sequence[str] | None = None,
+        elements: Iterable | None = None,
+        page_capacity: int | None = None,
+    ) -> Relation:
+        """Declare a new base relation (the ``VAR rel : RELATION ... END`` of Figure 1)."""
+        if name in self._relations:
+            raise CatalogError(f"relation {name!r} already declared")
+        schema = RelationSchema(name, fields, key=key)
+        if self.paged:
+            from repro.storage.storedrelation import StoredRelation
+
+            kwargs = {}
+            if page_capacity is not None:
+                kwargs["page_capacity"] = page_capacity
+            relation: Relation = StoredRelation(
+                name, schema, elements=elements, tracker=self.statistics, **kwargs
+            )
+        else:
+            relation = Relation(name, schema, elements=elements, tracker=self.statistics)
+        self._relations[name] = relation
+        return relation
+
+    def add_relation(self, relation: Relation) -> Relation:
+        """Register an externally constructed relation under its own name."""
+        if relation.name in self._relations:
+            raise CatalogError(f"relation {relation.name!r} already declared")
+        relation.tracker = self.statistics
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """The base relation called ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"no relation {name!r} in database {self.name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation and any indexes built over it."""
+        if name not in self._relations:
+            raise CatalogError(f"no relation {name!r} in database {self.name!r}")
+        del self._relations[name]
+        for index_key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[index_key]
+
+    def relations(self) -> Iterator[Relation]:
+        """All base relations in declaration order."""
+        return iter(self._relations.values())
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def cardinalities(self) -> dict[str, int]:
+        """Element counts of every base relation (the optimizer's statistics)."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    # -- permanent indexes --------------------------------------------------------------
+
+    def create_index(
+        self, relation_name: str, field_name: str, operator: str = "="
+    ) -> HashIndex | SortedIndex:
+        """Build (or rebuild) a permanent index like ``enrindex`` of Example 3.1.
+
+        The collection phase consults :meth:`index_for` and skips the index
+        construction step when a permanent index already exists — "The first
+        step can be omitted, if permanent indexes exist" (Section 3.2).
+        """
+        relation = self.relation(relation_name)
+        index = build_index(relation, field_name, operator, tracker=self.statistics)
+        self._indexes[(relation_name, field_name)] = index
+        return index
+
+    def index_for(self, relation_name: str, field_name: str) -> HashIndex | SortedIndex | None:
+        """The permanent index on ``relation_name.field_name``, if one exists."""
+        return self._indexes.get((relation_name, field_name))
+
+    def drop_index(self, relation_name: str, field_name: str) -> None:
+        self._indexes.pop((relation_name, field_name), None)
+
+    def indexes(self) -> Iterator[tuple[str, str]]:
+        """The ``(relation, component)`` pairs that have a permanent index."""
+        return iter(self._indexes.keys())
+
+    def refresh_indexes(self) -> None:
+        """Rebuild every permanent index from the current relation contents."""
+        for (relation_name, field_name) in list(self._indexes):
+            self.create_index(relation_name, field_name)
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def reset_statistics(self) -> None:
+        """Forget all access counters (used between benchmark runs)."""
+        self.statistics.reset()
+
+    def describe(self) -> str:
+        """Human readable catalog listing."""
+        lines = [f"DATABASE {self.name}"]
+        for relation in self._relations.values():
+            lines.append(f"  {relation.name} ({len(relation)} elements)")
+            for schema_line in relation.schema.describe().splitlines():
+                lines.append(f"    {schema_line}")
+        if self._indexes:
+            lines.append("  permanent indexes:")
+            for relation_name, field_name in self._indexes:
+                lines.append(f"    {relation_name}.{field_name}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Database({self.name!r}, relations={list(self._relations)})"

@@ -1,0 +1,399 @@
+"""Indexes and value lists.
+
+Figure 2 of the paper declares indexes as ordinary relations whose elements
+pair a component value with a reference, e.g.::
+
+    ind_t_cnr : RELATION <tcnr,tref> OF
+                RECORD tcnr : cnumbertype; tref : @timetable END;
+
+built by ``ind_t_cnr := [<t.tcnr, @t> OF EACH t IN timetable: true]``.
+
+This module provides two indexed representations of that association used by
+the collection phase:
+
+:class:`HashIndex`
+    supports equality (and inequality) probes; the workhorse for building
+    indirect joins over ``=`` join terms.
+:class:`SortedIndex`
+    keeps entries sorted by component value and supports range probes for
+    ``<``, ``<=``, ``>``, ``>=`` join terms.
+
+and the :class:`ValueList` of Section 4.4 (Strategy 4): the set of component
+values of a quantified variable's range, optionally reduced to a single
+minimum/maximum value when the connecting operator is an inequality.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.errors import RelationError
+from repro.relational.record import Record
+from repro.relational.reference import Ref
+from repro.relational.relation import Relation
+from repro.relational.statistics import AccessStatistics
+from repro.types.scalar import compare_values
+
+__all__ = ["HashIndex", "SortedIndex", "ValueList", "build_index"]
+
+
+class HashIndex:
+    """A hash index associating component values with references.
+
+    Equivalent to the paper's index relations (Figure 2) but organised for
+    constant-time equality probes.  The index can be *partial*: when built
+    during the collection phase only for the elements satisfying the monadic
+    terms of a conjunction (Strategy 2), or *permanent*: maintained by the
+    database alongside the base relation (Example 3.1).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        field_name: str,
+        tracker: AccessStatistics | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not relation.schema.has_field(field_name):
+            raise RelationError(
+                f"cannot index {relation.name!r} on unknown component {field_name!r}"
+            )
+        self.relation = relation
+        self.field_name = field_name
+        self.tracker = tracker if tracker is not None else relation.tracker
+        self.name = name or f"ind_{relation.name}_{field_name}"
+        self._entries: dict[Any, list[Ref]] = {}
+        self._size = 0
+
+    # -- maintenance ------------------------------------------------------------
+
+    def add(self, record: Record) -> None:
+        """Add one element of the indexed relation to the index."""
+        value = record[self.field_name]
+        self._entries.setdefault(value, []).append(self.relation.ref_of(record))
+        self._size += 1
+
+    def add_ref(self, value: Any, ref: Ref) -> None:
+        """Add a pre-built ``(value, reference)`` entry."""
+        self._entries.setdefault(value, []).append(ref)
+        self._size += 1
+
+    def build(self) -> "HashIndex":
+        """Populate the index by scanning the indexed relation once."""
+        for record in self.relation.scan():
+            self.add(record)
+        return self
+
+    def remove(self, record: Record) -> None:
+        """Remove one element's entry (used by permanent index maintenance)."""
+        value = record[self.field_name]
+        refs = self._entries.get(value, [])
+        target = self.relation.ref_of(record)
+        for position, ref in enumerate(refs):
+            if ref == target:
+                del refs[position]
+                self._size -= 1
+                break
+        if not refs and value in self._entries:
+            del self._entries[value]
+
+    # -- probing -----------------------------------------------------------------
+
+    def probe(self, value: Any) -> list[Ref]:
+        """References of elements whose indexed component equals ``value``."""
+        entries = self._entries.get(value, [])
+        if self.tracker is not None:
+            self.tracker.record_index_probe(self.relation.name, len(entries))
+        return list(entries)
+
+    def probe_not_equal(self, value: Any) -> list[Ref]:
+        """References of elements whose indexed component differs from ``value``."""
+        result: list[Ref] = []
+        for entry_value, refs in self._entries.items():
+            if entry_value != value:
+                result.extend(refs)
+        if self.tracker is not None:
+            self.tracker.record_index_probe(self.relation.name, len(result))
+        return result
+
+    def probe_operator(self, op: str, value: Any) -> list[Ref]:
+        """References of elements whose indexed component satisfies ``component op value``."""
+        if op == "=":
+            return self.probe(value)
+        if op == "<>":
+            return self.probe_not_equal(value)
+        result: list[Ref] = []
+        for entry_value, refs in self._entries.items():
+            if compare_values(op, entry_value, value):
+                result.extend(refs)
+        if self.tracker is not None:
+            self.tracker.record_index_probe(self.relation.name, len(result))
+        return result
+
+    # -- inspection ----------------------------------------------------------------
+
+    def values(self) -> Iterator[Any]:
+        """Distinct indexed component values."""
+        return iter(self._entries.keys())
+
+    def entries(self) -> Iterator[tuple[Any, Ref]]:
+        """All ``(value, reference)`` pairs."""
+        for value, refs in self._entries.items():
+            for ref in refs:
+                yield value, ref
+
+    def __len__(self) -> int:
+        return self._size
+
+    def distinct_values(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._entries)
+
+    def as_relation(self, tracker: AccessStatistics | None = None) -> Relation:
+        """Materialise the index as the Figure 2 index relation ``<value, ref>``."""
+        from repro.relational.refrelation import make_index_schema  # local import, cycle-free
+
+        schema = make_index_schema(self.name, self.field_name, self.relation)
+        relation = Relation(self.name, schema, tracker=tracker)
+        for value, ref in self.entries():
+            relation.insert({self.field_name: value, f"{self.relation.name}_ref": ref})
+        return relation
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"HashIndex({self.name!r}, {self._size} entries, "
+            f"{len(self._entries)} distinct values)"
+        )
+
+
+class SortedIndex:
+    """An order-preserving index for range probes.
+
+    The collection phase prefers a :class:`SortedIndex` when the dyadic join
+    term uses one of ``<``, ``<=``, ``>``, ``>=`` because a range probe then
+    touches only the qualifying entries.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        field_name: str,
+        tracker: AccessStatistics | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not relation.schema.has_field(field_name):
+            raise RelationError(
+                f"cannot index {relation.name!r} on unknown component {field_name!r}"
+            )
+        self.relation = relation
+        self.field_name = field_name
+        self.tracker = tracker if tracker is not None else relation.tracker
+        self.name = name or f"sorted_{relation.name}_{field_name}"
+        self._pairs: list[tuple[Any, Ref]] = []
+        self._sorted = True
+
+    def add(self, record: Record) -> None:
+        """Add one element of the indexed relation."""
+        self._pairs.append((record[self.field_name], self.relation.ref_of(record)))
+        self._sorted = False
+
+    def add_ref(self, value: Any, ref: Ref) -> None:
+        """Add a pre-built ``(value, reference)`` entry."""
+        self._pairs.append((value, ref))
+        self._sorted = False
+
+    def build(self) -> "SortedIndex":
+        """Populate by scanning the indexed relation once, then sort."""
+        for record in self.relation.scan():
+            self.add(record)
+        self._ensure_sorted()
+        return self
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._pairs.sort(key=lambda pair: _sort_key(pair[0]))
+            self._sorted = True
+
+    def _values(self) -> list[Any]:
+        return [value for value, _ in self._pairs]
+
+    def probe_operator(self, op: str, value: Any) -> list[Ref]:
+        """References of elements whose indexed component satisfies ``component op value``."""
+        self._ensure_sorted()
+        keys = [_sort_key(v) for v, _ in self._pairs]
+        target = _sort_key(value)
+        if op == "<":
+            selected = self._pairs[: bisect.bisect_left(keys, target)]
+        elif op == "<=":
+            selected = self._pairs[: bisect.bisect_right(keys, target)]
+        elif op == ">":
+            selected = self._pairs[bisect.bisect_right(keys, target):]
+        elif op == ">=":
+            selected = self._pairs[bisect.bisect_left(keys, target):]
+        elif op == "=":
+            low = bisect.bisect_left(keys, target)
+            high = bisect.bisect_right(keys, target)
+            selected = self._pairs[low:high]
+        elif op == "<>":
+            low = bisect.bisect_left(keys, target)
+            high = bisect.bisect_right(keys, target)
+            selected = self._pairs[:low] + self._pairs[high:]
+        else:
+            raise RelationError(f"unknown comparison operator {op!r}")
+        refs = [ref for _, ref in selected]
+        if self.tracker is not None:
+            self.tracker.record_index_probe(self.relation.name, len(refs))
+        return refs
+
+    def minimum(self) -> Any:
+        """Smallest indexed value (``None`` when empty)."""
+        self._ensure_sorted()
+        return self._pairs[0][0] if self._pairs else None
+
+    def maximum(self) -> Any:
+        """Largest indexed value (``None`` when empty)."""
+        self._ensure_sorted()
+        return self._pairs[-1][0] if self._pairs else None
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"SortedIndex({self.name!r}, {len(self._pairs)} entries)"
+
+
+class ValueList:
+    """The value list of Strategy 4 (Section 4.4).
+
+    When a quantifier is evaluated in the collection phase, the inner
+    relation is read once and only the *component values* referenced by the
+    connecting dyadic join term are retained.  The paper's two shortcuts are
+    implemented here:
+
+    * for ``<``/``<=``/``>``/``>=`` join terms only one value needs to be
+      stored — the maximum for ``SOME`` and the minimum for ``ALL`` (and
+      symmetrically for the reversed operators);
+    * for ``ALL`` combined with ``=`` (and ``SOME`` combined with ``<>``) at
+      most one distinct value matters: with two or more distinct values the
+      outcome of the quantified subformula is already known.
+    """
+
+    def __init__(self, values: Iterable[Any] | None = None) -> None:
+        self._values: set[Any] = set()
+        self._count = 0
+        if values is not None:
+            for value in values:
+                self.add(value)
+
+    def add(self, value: Any) -> None:
+        """Record one component value of the quantified variable's range."""
+        self._values.add(value)
+        self._count += 1
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def values(self) -> frozenset:
+        """The distinct values collected."""
+        return frozenset(self._values)
+
+    def is_empty(self) -> bool:
+        """Whether the quantified range contributed no values at all."""
+        return not self._values
+
+    def distinct_count(self) -> int:
+        return len(self._values)
+
+    def minimum(self) -> Any:
+        if not self._values:
+            raise RelationError("minimum of an empty value list")
+        return min(self._values)
+
+    def maximum(self) -> Any:
+        if not self._values:
+            raise RelationError("maximum of an empty value list")
+        return max(self._values)
+
+    def single_value(self) -> Any | None:
+        """The unique value when exactly one distinct value was collected."""
+        if len(self._values) == 1:
+            return next(iter(self._values))
+        return None
+
+    # -- quantified evaluation -------------------------------------------------------
+
+    def satisfies_some(self, op: str, outer_value: Any) -> bool:
+        """Whether ``SOME v IN range (outer_value op v.component)`` holds."""
+        if not self._values:
+            return False
+        if op in ("<", "<="):
+            return compare_values(op, outer_value, self.maximum())
+        if op in (">", ">="):
+            return compare_values(op, outer_value, self.minimum())
+        if op == "=":
+            return outer_value in self._values
+        if op == "<>":
+            single = self.single_value()
+            if single is None:
+                return True
+            return outer_value != single
+        raise RelationError(f"unknown comparison operator {op!r}")
+
+    def satisfies_all(self, op: str, outer_value: Any) -> bool:
+        """Whether ``ALL v IN range (outer_value op v.component)`` holds.
+
+        An empty value list means the range is empty, so the universal
+        quantifier holds vacuously (Lemma 1 rule 3 treats that case before
+        evaluation; this method mirrors the logic for safety).
+        """
+        if not self._values:
+            return True
+        if op in ("<", "<="):
+            return compare_values(op, outer_value, self.minimum())
+        if op in (">", ">="):
+            return compare_values(op, outer_value, self.maximum())
+        if op == "=":
+            single = self.single_value()
+            if single is None:
+                return False
+            return outer_value == single
+        if op == "<>":
+            return outer_value not in self._values
+        raise RelationError(f"unknown comparison operator {op!r}")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._values
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ValueList({sorted(self._values, key=_sort_key)!r})"
+
+
+def _sort_key(value: Any):
+    """A total order over heterogeneous-but-comparable index values."""
+    ordinal = getattr(value, "ordinal", None)
+    if ordinal is not None:
+        return ordinal
+    if isinstance(value, str):
+        return value.rstrip()
+    return value
+
+
+def build_index(
+    relation: Relation,
+    field_name: str,
+    operator: str = "=",
+    tracker: AccessStatistics | None = None,
+) -> HashIndex | SortedIndex:
+    """Build the index best suited to probing with ``operator``.
+
+    Equality and inequality operators get a :class:`HashIndex`; ordering
+    operators get a :class:`SortedIndex`.  In both cases the relation is
+    scanned exactly once, which is what Strategy 1 requires.
+    """
+    if operator in ("=", "<>"):
+        return HashIndex(relation, field_name, tracker=tracker).build()
+    return SortedIndex(relation, field_name, tracker=tracker).build()

@@ -1,0 +1,129 @@
+"""Relation elements (records).
+
+A :class:`Record` is an immutable, hashable element of a relation: the
+``RECORD ... END`` of the paper's declarations.  Component values are stored
+in declaration order and are accessible both as attributes (``rec.ename``,
+matching the paper's ``e.ename`` notation) and by subscription
+(``rec["ename"]``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.types.schema import RelationSchema
+
+__all__ = ["Record"]
+
+
+class Record:
+    """An immutable element of a relation.
+
+    Records are value objects: two records with the same schema field names
+    and the same component values are equal and hash alike, which is what
+    set-oriented relation semantics require.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: RelationSchema, values: Mapping[str, Any] | tuple):
+        if isinstance(values, tuple):
+            if len(values) != len(schema.fields):
+                raise SchemaError(
+                    f"record for schema {schema.name!r} expects {len(schema.fields)} "
+                    f"values, got {len(values)}"
+                )
+            stored = tuple(
+                f.type.coerce(value) for f, value in zip(schema.fields, values)
+            )
+        else:
+            stored = schema.coerce_values(values)
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_values", stored)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def raw(cls, schema: RelationSchema, values: tuple) -> "Record":
+        """Build a record from already-coerced values (internal fast path)."""
+        record = object.__new__(cls)
+        object.__setattr__(record, "_schema", schema)
+        object.__setattr__(record, "_values", values)
+        return record
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The schema this record conforms to."""
+        return self._schema
+
+    @property
+    def values(self) -> tuple:
+        """Component values in declaration order."""
+        return self._values
+
+    @property
+    def key(self) -> tuple:
+        """The key value of this record (the paper's ``keyval``)."""
+        return self._schema.key_of(self._values)
+
+    def __getitem__(self, field_name: str) -> Any:
+        return self._values[self._schema.field_position(field_name)]
+
+    def __getattr__(self, field_name: str) -> Any:
+        if field_name.startswith("_"):
+            raise AttributeError(field_name)
+        try:
+            return self._values[self._schema.field_position(field_name)]
+        except SchemaError:
+            raise AttributeError(field_name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("records are immutable")
+
+    def get(self, field_name: str, default: Any = None) -> Any:
+        """Component value or ``default`` when the component does not exist."""
+        if self._schema.has_field(field_name):
+            return self[field_name]
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """A ``{component: value}`` dictionary copy of this record."""
+        return dict(zip(self._schema.field_names, self._values))
+
+    def replace(self, **changes: Any) -> "Record":
+        """A copy of this record with some components changed."""
+        data = self.as_dict()
+        data.update(changes)
+        return Record(self._schema, data)
+
+    def project_values(self, field_names: tuple[str, ...]) -> tuple:
+        """Values of the named components, in the order given."""
+        return tuple(self[name] for name in field_names)
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (
+            self._schema.field_names == other._schema.field_names
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema.field_names, self._values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self._schema.field_names, self._values)
+        )
+        return f"<{pairs}>"

@@ -1,0 +1,85 @@
+"""References to selected variables.
+
+Section 3.1 of the paper introduces two language tools:
+
+* the *selected variable* ``rel[keyval]`` — an element of relation ``rel``
+  addressed by its key value, and
+* the *reference* ``@rel[keyval]`` — a storable value denoting that selected
+  variable, from which the element can be regained by dereferencing
+  (postfix ``@`` in PASCAL/R, :meth:`Ref.deref` here).
+
+References generalise the tuple identifiers (TIDs) of other systems; the
+whole collection/combination machinery of the paper manipulates relations
+whose components are references.  A :class:`Ref` is therefore small,
+immutable and hashable — it is just ``(relation, keyval)`` — and
+dereferencing goes back through the relation so that a reference observes
+updates and detects deleted elements (a *dangling* reference).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DanglingReferenceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.relational.record import Record
+    from repro.relational.relation import Relation
+
+__all__ = ["Ref"]
+
+
+class Ref:
+    """A reference ``@rel[keyval]`` to an element of a relation."""
+
+    __slots__ = ("_relation", "_key")
+
+    def __init__(self, relation: "Relation", key: tuple):
+        self._relation = relation
+        self._key = key if isinstance(key, tuple) else (key,)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def relation(self) -> "Relation":
+        """The relation the referenced element belongs to."""
+        return self._relation
+
+    @property
+    def key(self) -> tuple:
+        """The key value identifying the referenced element."""
+        return self._key
+
+    def deref(self) -> "Record":
+        """Return the referenced element (the paper's postfix ``@``).
+
+        Raises :class:`~repro.errors.DanglingReferenceError` when the element
+        has been deleted since the reference was created.
+        """
+        record = self._relation.find(self._key)
+        if record is None:
+            raise DanglingReferenceError(
+                f"@{self._relation.name}[{self._key}] no longer denotes an element"
+            )
+        return record
+
+    def exists(self) -> bool:
+        """Whether the referenced element is still present in the relation."""
+        return self._relation.find(self._key) is not None
+
+    def component(self, field_name: str) -> Any:
+        """Shorthand for ``self.deref()[field_name]``."""
+        return self.deref()[field_name]
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ref):
+            return NotImplemented
+        return self._relation is other._relation and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash((id(self._relation), self._key))
+
+    def __repr__(self) -> str:
+        return f"@{self._relation.name}{list(self._key)!r}"

@@ -1,0 +1,283 @@
+"""The PASCAL/R ``RELATION`` data type.
+
+A :class:`Relation` is a variable-sized set of identically structured elements
+(:class:`~repro.relational.record.Record`) with key-based identity, exactly as
+declared in Figure 1 of the paper.  It supports the PASCAL/R operators used in
+the paper's examples:
+
+=====================  ======================================
+paper                  this library
+=====================  ======================================
+``rel := [...]``       :meth:`Relation.assign`
+``rel :+ [...]``       :meth:`Relation.insert` / :meth:`Relation.insert_all`
+``rel :- [...]``       :meth:`Relation.delete`
+``rel[keyval]``        ``rel[keyval]`` (a *selected variable*)
+``@rel[keyval]``       :meth:`Relation.ref`
+``FOR EACH r IN rel``  :meth:`Relation.scan` (access-counted iteration)
+=====================  ======================================
+
+Relations are also used for the intermediate structures of Figure 2 (single
+lists, indirect joins, indexes), in which case the component types are
+reference types; nothing in this class distinguishes the two uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import DuplicateKeyError, MissingElementError, SchemaError
+from repro.relational.record import Record
+from repro.relational.reference import Ref
+from repro.relational.statistics import AccessStatistics
+from repro.types.schema import RelationSchema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A keyed set of records.
+
+    Parameters
+    ----------
+    name:
+        Relation variable name (used in statistics and diagnostics).
+    schema:
+        The element schema, including the key component list.
+    elements:
+        Optional initial contents; any iterable of records or mappings.
+    tracker:
+        Optional :class:`AccessStatistics` receiving scan / element-read
+        counters.  Base database relations get a tracker from their
+        :class:`~repro.relational.database.Database`; intermediate relations
+        usually go untracked.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: RelationSchema,
+        elements: Iterable[Record | Mapping[str, Any] | tuple] | None = None,
+        tracker: AccessStatistics | None = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.tracker = tracker
+        self._elements: dict[tuple, Record] = {}
+        if elements is not None:
+            self.insert_all(elements)
+
+    # -- construction helpers --------------------------------------------------
+
+    def _as_record(self, element: Record | Mapping[str, Any] | tuple) -> Record:
+        if isinstance(element, Record):
+            if element.schema.field_names != self.schema.field_names:
+                raise SchemaError(
+                    f"record with components {element.schema.field_names} cannot be "
+                    f"stored in relation {self.name!r} with components "
+                    f"{self.schema.field_names}"
+                )
+            return element
+        return Record(self.schema, element)
+
+    def empty_copy(self, name: str | None = None) -> "Relation":
+        """A new, empty relation with the same schema."""
+        return Relation(name or self.name, self.schema, tracker=self.tracker)
+
+    def copy(self, name: str | None = None) -> "Relation":
+        """A shallow copy containing the same elements."""
+        clone = self.empty_copy(name)
+        clone._elements = dict(self._elements)
+        return clone
+
+    # -- update operators --------------------------------------------------------
+
+    def assign(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> "Relation":
+        """The PASCAL/R assignment ``rel := [...]`` — replace all elements."""
+        self._elements = {}
+        self.insert_all(elements)
+        return self
+
+    def insert(self, element: Record | Mapping[str, Any] | tuple) -> Record:
+        """The PASCAL/R insert operator ``:+`` for a single element.
+
+        Inserting an element that is already present is a no-op (set
+        semantics); inserting a *different* element under an existing key is
+        a key violation and raises :class:`DuplicateKeyError`.
+        """
+        record = self._as_record(element)
+        key = self.schema.key_of(record.values)
+        existing = self._elements.get(key)
+        if existing is not None:
+            if existing == record:
+                return existing
+            raise DuplicateKeyError(
+                f"relation {self.name!r} already holds a different element with key {key}"
+            )
+        self._elements[key] = record
+        if self.tracker is not None:
+            self.tracker.record_insert(self.name)
+        return record
+
+    def insert_all(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> None:
+        """Insert every element of ``elements`` (the ``:+`` of a set literal)."""
+        for element in elements:
+            self.insert(element)
+
+    def delete(self, element: Record | Mapping[str, Any] | tuple) -> bool:
+        """The PASCAL/R delete operator ``:-`` for a single element.
+
+        Returns ``True`` when an element was removed.
+        """
+        if isinstance(element, Record) or isinstance(element, Mapping):
+            record = self._as_record(element)
+            key = self.schema.key_of(record.values)
+        else:
+            key = tuple(element)
+        removed = self._elements.pop(key, None) is not None
+        if removed and self.tracker is not None:
+            self.tracker.record_delete(self.name)
+        return removed
+
+    def delete_key(self, key: tuple | Any) -> bool:
+        """Remove the element identified by ``key``; return ``True`` if present."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        removed = self._elements.pop(key, None) is not None
+        if removed and self.tracker is not None:
+            self.tracker.record_delete(self.name)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._elements.clear()
+
+    # -- selected variables and references -----------------------------------------
+
+    def find(self, key: tuple | Any) -> Record | None:
+        """The element with key ``key`` or ``None``."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        return self._elements.get(key)
+
+    def __getitem__(self, key: tuple | Any) -> Record:
+        """The *selected variable* ``rel[keyval]`` of Section 3.1."""
+        record = self.find(key)
+        if record is None:
+            raise MissingElementError(
+                f"{self.name}[{key}] does not denote an element"
+            )
+        return record
+
+    def ref(self, key: tuple | Any) -> Ref:
+        """The *reference* ``@rel[keyval]`` of Section 3.1."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        if key not in self._elements:
+            raise MissingElementError(
+                f"cannot form @{self.name}[{key}]: no such element"
+            )
+        return Ref(self, key)
+
+    def ref_of(self, record: Record) -> Ref:
+        """The reference ``@r`` for an element variable ``r`` (shorthand ``@rel[r.key]``)."""
+        return Ref(self, self.schema.key_of(record.values))
+
+    def refs(self) -> Iterator[Ref]:
+        """References to every element (in insertion order)."""
+        for key in self._elements:
+            yield Ref(self, key)
+
+    # -- iteration ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Record]:
+        """Untracked iteration over the elements (insertion order)."""
+        return iter(self._elements.values())
+
+    def scan(self) -> Iterator[Record]:
+        """The paper's ``FOR EACH r IN rel`` — iteration with access accounting.
+
+        Every call counts as one sequential scan of the relation; every
+        element yielded counts as one element read.
+        """
+        if self.tracker is not None:
+            self.tracker.record_scan(self.name)
+            for record in list(self._elements.values()):
+                self.tracker.record_element_read(self.name)
+                yield record
+        else:
+            yield from list(self._elements.values())
+
+    def elements(self) -> list[Record]:
+        """All elements as a list (untracked)."""
+        return list(self._elements.values())
+
+    def keys(self) -> list[tuple]:
+        """All key values (insertion order)."""
+        return list(self._elements.keys())
+
+    # -- predicates ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of elements (the paper's main cost driver)."""
+        return len(self._elements)
+
+    def is_empty(self) -> bool:
+        """Whether the relation is the empty relation ``[]`` of Lemma 1."""
+        return not self._elements
+
+    def __contains__(self, element: object) -> bool:
+        if isinstance(element, Record):
+            key = self.schema.key_of(element.values)
+            stored = self._elements.get(key)
+            return stored == element
+        if isinstance(element, tuple):
+            return element in self._elements
+        return (element,) in self._elements
+
+    def contains_key(self, key: tuple | Any) -> bool:
+        """Whether an element with key ``key`` exists."""
+        return self.find(key) is not None
+
+    # -- value semantics --------------------------------------------------------------
+
+    def to_set(self) -> frozenset[Record]:
+        """The set of elements; the canonical value of the relation."""
+        return frozenset(self._elements.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema.field_names == other.schema.field_names
+            and self.to_set() == other.to_set()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mostly unhashed
+        return hash((self.schema.field_names, self.to_set()))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(r) for r in list(self._elements.values())[:3])
+        suffix = ", ..." if len(self._elements) > 3 else ""
+        return f"Relation({self.name!r}, {len(self._elements)} elements: [{preview}{suffix}])"
+
+    def show(self, limit: int | None = None) -> str:
+        """A small textual table of the relation contents, for examples and docs."""
+        names = self.schema.field_names
+        rows = [tuple(str(v).rstrip() if isinstance(v, str) else str(v) for v in rec.values)
+                for rec in self._elements.values()]
+        if limit is not None:
+            rows = rows[:limit]
+        widths = [len(n) for n in names]
+        for row in rows:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        separator = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows]
+        lines = [header, separator] + body
+        if limit is not None and len(self._elements) > limit:
+            lines.append(f"... ({len(self._elements) - limit} more)")
+        return "\n".join(lines)

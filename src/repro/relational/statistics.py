@@ -1,0 +1,205 @@
+"""Access statistics.
+
+The paper argues about efficiency in terms of *how often each database
+relation is read*, *how many elements are touched*, and *how large the
+intermediate reference relations become* (Sections 3.3 and 4).  The
+benchmark harness reproduces those arguments, so the substrate keeps explicit
+counters rather than relying on wall-clock time alone.
+
+A single :class:`AccessStatistics` object is shared by a database, its stored
+relations, its indexes and the evaluation engine.  Counters can be attributed
+to the evaluation phase that caused them (collection / combination /
+construction) so the phase-shifting effect of the optimization strategies is
+directly visible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["AccessStatistics", "PhaseScope", "COLLECTION", "COMBINATION", "CONSTRUCTION"]
+
+#: Phase labels used by the evaluation engine.
+COLLECTION = "collection"
+COMBINATION = "combination"
+CONSTRUCTION = "construction"
+
+
+@dataclass
+class _RelationCounters:
+    """Counters attributed to one named relation."""
+
+    scans: int = 0
+    elements_read: int = 0
+    index_probes: int = 0
+    index_entries_read: int = 0
+    inserts: int = 0
+    deletes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "scans": self.scans,
+            "elements_read": self.elements_read,
+            "index_probes": self.index_probes,
+            "index_entries_read": self.index_entries_read,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+        }
+
+
+class AccessStatistics:
+    """Mutable collection of access counters.
+
+    The object is deliberately permissive: every method accepts any relation
+    name, and unknown names simply create new counters.  This keeps the hot
+    paths (element reads) cheap and free of error handling.
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, _RelationCounters] = defaultdict(_RelationCounters)
+        self._phase_elements: dict[str, int] = defaultdict(int)
+        self._phase: str | None = None
+        self.intermediate_tuples = 0
+        self.intermediate_relations = 0
+        self.pages_read = 0
+        self.page_hits = 0
+        self.page_misses = 0
+        self.comparisons = 0
+
+    # -- phase management -----------------------------------------------------
+
+    @property
+    def current_phase(self) -> str | None:
+        """Phase label attributed to subsequent element reads, if any."""
+        return self._phase
+
+    def phase(self, name: str) -> "PhaseScope":
+        """Context manager attributing subsequent reads to phase ``name``."""
+        return PhaseScope(self, name)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_scan(self, relation_name: str) -> None:
+        """A full sequential read of ``relation_name`` started."""
+        self._relations[relation_name].scans += 1
+
+    def record_element_read(self, relation_name: str, count: int = 1) -> None:
+        """``count`` elements of ``relation_name`` were read."""
+        self._relations[relation_name].elements_read += count
+        if self._phase is not None:
+            self._phase_elements[self._phase] += count
+
+    def record_index_probe(self, relation_name: str, entries: int = 0) -> None:
+        """An index over ``relation_name`` was probed, yielding ``entries`` entries."""
+        counters = self._relations[relation_name]
+        counters.index_probes += 1
+        counters.index_entries_read += entries
+
+    def record_insert(self, relation_name: str, count: int = 1) -> None:
+        self._relations[relation_name].inserts += count
+
+    def record_delete(self, relation_name: str, count: int = 1) -> None:
+        self._relations[relation_name].deletes += count
+
+    def record_intermediate(self, tuples: int, relations: int = 1) -> None:
+        """An intermediate reference relation of ``tuples`` elements was built."""
+        self.intermediate_tuples += tuples
+        self.intermediate_relations += relations
+
+    def record_page_read(self, hit: bool) -> None:
+        """A page was requested from the buffer pool."""
+        self.pages_read += 1
+        if hit:
+            self.page_hits += 1
+        else:
+            self.page_misses += 1
+
+    def record_comparison(self, count: int = 1) -> None:
+        """``count`` join-term comparisons were evaluated."""
+        self.comparisons += count
+
+    # -- reporting -------------------------------------------------------------
+
+    def scans(self, relation_name: str) -> int:
+        """Number of sequential scans of ``relation_name``."""
+        return self._relations[relation_name].scans
+
+    def elements_read(self, relation_name: str | None = None) -> int:
+        """Elements read from one relation, or from all relations."""
+        if relation_name is not None:
+            return self._relations[relation_name].elements_read
+        return sum(c.elements_read for c in self._relations.values())
+
+    def total_scans(self) -> int:
+        """Total sequential scans across all relations."""
+        return sum(c.scans for c in self._relations.values())
+
+    def phase_elements(self, phase: str) -> int:
+        """Elements read while ``phase`` was active."""
+        return self._phase_elements[phase]
+
+    def relation_names(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def as_dict(self) -> dict:
+        """A plain-dictionary snapshot suitable for reporting and assertions."""
+        return {
+            "relations": {
+                name: counters.as_dict() for name, counters in sorted(self._relations.items())
+            },
+            "phase_elements": dict(self._phase_elements),
+            "intermediate_tuples": self.intermediate_tuples,
+            "intermediate_relations": self.intermediate_relations,
+            "pages_read": self.pages_read,
+            "page_hits": self.page_hits,
+            "page_misses": self.page_misses,
+            "comparisons": self.comparisons,
+        }
+
+    def reset(self) -> None:
+        """Forget all recorded counters."""
+        self._relations.clear()
+        self._phase_elements.clear()
+        self.intermediate_tuples = 0
+        self.intermediate_relations = 0
+        self.pages_read = 0
+        self.page_hits = 0
+        self.page_misses = 0
+        self.comparisons = 0
+
+    def summary(self) -> str:
+        """A compact multi-line human readable summary."""
+        lines = []
+        for name in self.relation_names():
+            counters = self._relations[name]
+            lines.append(
+                f"{name}: scans={counters.scans} elements={counters.elements_read} "
+                f"probes={counters.index_probes}"
+            )
+        lines.append(
+            f"intermediate: relations={self.intermediate_relations} "
+            f"tuples={self.intermediate_tuples}"
+        )
+        lines.append(
+            f"pages: read={self.pages_read} hits={self.page_hits} misses={self.page_misses}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class PhaseScope:
+    """Context manager produced by :meth:`AccessStatistics.phase`."""
+
+    statistics: AccessStatistics
+    name: str
+    _previous: str | None = field(default=None, init=False)
+
+    def __enter__(self) -> AccessStatistics:
+        self._previous = self.statistics._phase
+        self.statistics._phase = self.name
+        return self.statistics
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.statistics._phase = self._previous

@@ -1,0 +1,16 @@
+"""Simulated paged storage: pages, heap files, buffer pool, stored relations."""
+
+from repro.storage.buffer import DEFAULT_POOL_SIZE, BufferPool
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.page import DEFAULT_PAGE_CAPACITY, Page
+from repro.storage.storedrelation import StoredRelation
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_CAPACITY",
+    "DEFAULT_POOL_SIZE",
+    "HeapFile",
+    "Page",
+    "RecordId",
+    "StoredRelation",
+]

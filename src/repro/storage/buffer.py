@@ -1,0 +1,86 @@
+"""A small LRU buffer pool over heap-file pages.
+
+The pool exists so the benchmark harness can report buffer hit rates when a
+relation is scanned repeatedly — which is exactly the behaviour Strategy 1
+(parallel evaluation of subexpressions) is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.relational.statistics import AccessStatistics
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import Page
+
+__all__ = ["BufferPool", "DEFAULT_POOL_SIZE"]
+
+#: Default number of page frames.
+DEFAULT_POOL_SIZE = 16
+
+
+class BufferPool:
+    """An LRU cache of ``(file name, page number)`` frames.
+
+    The pool never copies page contents (everything already lives in memory);
+    it only tracks which pages would have been resident, so hits and misses
+    reflect the access pattern of the evaluation strategies.
+    """
+
+    def __init__(
+        self,
+        size: int = DEFAULT_POOL_SIZE,
+        tracker: AccessStatistics | None = None,
+    ) -> None:
+        if size < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        self.size = size
+        self.tracker = tracker
+        self._frames: OrderedDict[tuple[str, int], Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_page(self, heap_file: HeapFile, page_number: int) -> Page:
+        """Fetch a page through the pool, recording a hit or a miss."""
+        frame_key = (heap_file.name, page_number)
+        page = self._frames.get(frame_key)
+        if page is not None:
+            self._frames.move_to_end(frame_key)
+            self.hits += 1
+            if self.tracker is not None:
+                self.tracker.record_page_read(hit=True)
+            return page
+        page = heap_file.page(page_number)
+        self.misses += 1
+        if self.tracker is not None:
+            self.tracker.record_page_read(hit=False)
+        self._frames[frame_key] = page
+        if len(self._frames) > self.size:
+            self._frames.popitem(last=False)
+        return page
+
+    def invalidate(self, heap_file_name: str) -> None:
+        """Drop every frame belonging to ``heap_file_name``."""
+        stale = [key for key in self._frames if key[0] == heap_file_name]
+        for key in stale:
+            del self._frames[key]
+
+    def resident_pages(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._frames)
+
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"BufferPool(size={self.size}, resident={len(self._frames)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

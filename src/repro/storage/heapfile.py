@@ -1,0 +1,102 @@
+"""Heap files: an append-only sequence of pages holding one relation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.relational.record import Record
+from repro.storage.page import DEFAULT_PAGE_CAPACITY, Page
+
+__all__ = ["HeapFile", "RecordId"]
+
+
+class RecordId(tuple):
+    """The physical address ``(page_number, slot)`` of a stored record."""
+
+    __slots__ = ()
+
+    def __new__(cls, page_number: int, slot: int) -> "RecordId":
+        return super().__new__(cls, (page_number, slot))
+
+    @property
+    def page_number(self) -> int:
+        return self[0]
+
+    @property
+    def slot(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"RecordId(page={self[0]}, slot={self[1]})"
+
+
+class HeapFile:
+    """An unordered file of pages, one per relation.
+
+    Records are appended to the last page; a new page is allocated whenever
+    the last one fills up.  Deletion tombstones the slot in place.
+    """
+
+    def __init__(self, name: str, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self.name = name
+        self.page_capacity = page_capacity
+        self._pages: list[Page] = []
+
+    # -- writing ------------------------------------------------------------------
+
+    def append(self, record: Record) -> RecordId:
+        """Store ``record`` and return its physical address."""
+        if not self._pages or self._pages[-1].is_full():
+            self._pages.append(Page(len(self._pages), self.page_capacity))
+        page = self._pages[-1]
+        slot = page.append(record)
+        return RecordId(page.page_number, slot)
+
+    def delete(self, rid: RecordId) -> None:
+        """Tombstone the record at ``rid``."""
+        self.page(rid.page_number).tombstone(rid.slot)
+
+    def truncate(self) -> None:
+        """Drop every page."""
+        self._pages = []
+
+    # -- reading -------------------------------------------------------------------
+
+    def page(self, page_number: int) -> Page:
+        """The page with the given number."""
+        try:
+            return self._pages[page_number]
+        except IndexError:
+            raise StorageError(
+                f"heap file {self.name!r} has no page {page_number}"
+            ) from None
+
+    def read(self, rid: RecordId) -> Record | None:
+        """The record at ``rid`` (``None`` when tombstoned)."""
+        return self.page(rid.page_number).read(rid.slot)
+
+    def pages(self) -> Iterator[Page]:
+        """All pages in file order."""
+        return iter(self._pages)
+
+    def records(self) -> Iterator[Record]:
+        """All live records in file order (no buffering / accounting)."""
+        for page in self._pages:
+            yield from page.records()
+
+    # -- sizes ----------------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def live_count(self) -> int:
+        """Number of live records across all pages."""
+        return sum(page.live_count() for page in self._pages)
+
+    def __len__(self) -> int:
+        return self.live_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"HeapFile({self.name!r}, {self.page_count} pages, {self.live_count()} records)"

@@ -1,0 +1,83 @@
+"""Fixed-capacity pages of the simulated storage layer.
+
+The original PASCAL/R runtime read database relations from secondary storage
+one element at a time (Section 4.1: "reading the relation
+one-element-at-a-time").  The reproduction keeps everything in memory but
+simulates the page structure so the benchmark harness can report page reads
+and buffer-pool hit rates alongside the element counts the paper argues with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.relational.record import Record
+
+__all__ = ["Page", "DEFAULT_PAGE_CAPACITY"]
+
+#: Default number of element slots per page.
+DEFAULT_PAGE_CAPACITY = 32
+
+
+class Page:
+    """A fixed number of element slots.
+
+    Slots hold records or ``None`` tombstones left behind by deletions; a page
+    is *full* once every slot has been allocated, even if some were later
+    tombstoned (no in-page compaction, like a simple slotted page).
+    """
+
+    def __init__(self, page_number: int, capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        if capacity < 1:
+            raise StorageError("page capacity must be positive")
+        self.page_number = page_number
+        self.capacity = capacity
+        self._slots: list[Optional[Record]] = []
+
+    def is_full(self) -> bool:
+        """Whether every slot has been allocated."""
+        return len(self._slots) >= self.capacity
+
+    def append(self, record: Record) -> int:
+        """Store ``record`` in the next free slot and return its slot number."""
+        if self.is_full():
+            raise StorageError(f"page {self.page_number} is full")
+        self._slots.append(record)
+        return len(self._slots) - 1
+
+    def read(self, slot: int) -> Optional[Record]:
+        """The record in ``slot`` (``None`` for a tombstone)."""
+        try:
+            return self._slots[slot]
+        except IndexError:
+            raise StorageError(
+                f"slot {slot} beyond the {len(self._slots)} allocated slots of "
+                f"page {self.page_number}"
+            ) from None
+
+    def tombstone(self, slot: int) -> None:
+        """Mark ``slot`` as deleted."""
+        if slot < 0 or slot >= len(self._slots):
+            raise StorageError(f"cannot tombstone unallocated slot {slot}")
+        self._slots[slot] = None
+
+    def records(self) -> Iterator[Record]:
+        """The live (non-tombstoned) records on this page."""
+        for record in self._slots:
+            if record is not None:
+                yield record
+
+    def live_count(self) -> int:
+        """Number of live records."""
+        return sum(1 for record in self._slots if record is not None)
+
+    def allocated(self) -> int:
+        """Number of allocated slots (live + tombstoned)."""
+        return len(self._slots)
+
+    def __len__(self) -> int:
+        return self.live_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Page({self.page_number}, {self.live_count()}/{self.capacity} live)"

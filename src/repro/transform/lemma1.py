@@ -1,0 +1,126 @@
+"""Lemma 1: distributing quantifier-free formulae over quantified ones.
+
+Section 2 of the paper states four rules for the many-sorted calculus (``A``
+does not mention the quantified variable, ``B`` is arbitrary):
+
+1. ``A AND SOME rec IN rel (B)  =  SOME rec IN rel (A AND B)``  — unconditional
+2. ``A OR  SOME rec IN rel (B)  =  A``                           when ``rel = []``
+   ``A OR  SOME rec IN rel (B)  =  SOME rec IN rel (A OR B)``    otherwise
+3. ``A AND ALL  rec IN rel (B)  =  A``                           when ``rel = []``
+   ``A AND ALL  rec IN rel (B)  =  ALL rec IN rel (A AND B)``    otherwise
+4. ``A OR  ALL  rec IN rel (B)  =  ALL rec IN rel (A OR B)``     — unconditional
+
+Rules 2 and 3 are exactly where empty relations make the one-sorted intuition
+fail; the runtime adaptation of :mod:`repro.transform.emptyrel` and the
+prenex conversion of :mod:`repro.transform.normalform` both lean on this
+lemma.  The functions here expose the rules individually so they can be unit-
+and property-tested, and so EXPLAIN traces can cite which rule justified a
+rewriting step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.calculus.analysis import free_variables_of
+from repro.calculus.ast import ALL, And, Formula, Or, Quantified, SOME
+from repro.errors import TransformError
+
+__all__ = [
+    "Lemma1Result",
+    "distribute_into_quantifier",
+    "pull_quantifier_out",
+    "rule_name",
+]
+
+
+@dataclass(frozen=True)
+class Lemma1Result:
+    """The outcome of applying one Lemma 1 rule."""
+
+    formula: Formula
+    rule: int
+    requires_non_empty: bool
+    relation: str
+
+
+def rule_name(connective: str, kind: str) -> tuple[int, bool]:
+    """The Lemma 1 rule number and its non-empty precondition.
+
+    ``connective`` is ``"AND"`` or ``"OR"``; ``kind`` is ``SOME`` or ``ALL``.
+    Returns ``(rule number, requires_non_empty_range)``.
+    """
+    table = {
+        ("AND", SOME): (1, False),
+        ("OR", SOME): (2, True),
+        ("AND", ALL): (3, True),
+        ("OR", ALL): (4, False),
+    }
+    try:
+        return table[(connective, kind)]
+    except KeyError:  # pragma: no cover - defensive
+        raise TransformError(f"no Lemma 1 rule for {connective} / {kind}") from None
+
+
+def distribute_into_quantifier(
+    outer: Formula,
+    quantified: Quantified,
+    connective: str,
+    range_is_empty: Callable[[str], bool] | None = None,
+) -> Lemma1Result:
+    """Apply Lemma 1 left-to-right: move ``outer`` inside ``quantified``.
+
+    ``outer`` must not mention the quantified variable.  When the rule is one
+    of the conditional ones (2 or 3) and ``range_is_empty`` reports an empty
+    range, the result is ``outer`` alone, as the lemma prescribes; without a
+    ``range_is_empty`` oracle the non-empty branch is taken and the result is
+    flagged ``requires_non_empty``.
+    """
+    if quantified.var in free_variables_of(outer):
+        raise TransformError(
+            f"Lemma 1 requires the outer formula not to mention {quantified.var!r}"
+        )
+    rule, conditional = rule_name(connective, quantified.kind)
+    relation = quantified.range.relation
+    if conditional and range_is_empty is not None and range_is_empty(relation):
+        return Lemma1Result(outer, rule, False, relation)
+    combiner = And if connective == "AND" else Or
+    new_body = combiner(outer, quantified.body)
+    result = Quantified(quantified.kind, quantified.var, quantified.range, new_body)
+    return Lemma1Result(result, rule, conditional and range_is_empty is None, relation)
+
+
+def pull_quantifier_out(
+    formula: Formula,
+    range_is_empty: Callable[[str], bool] | None = None,
+) -> Lemma1Result | None:
+    """Apply Lemma 1 right-to-left on a binary ``AND``/``OR`` with one quantified operand.
+
+    Returns ``None`` when the formula does not match the lemma's shape
+    (not a binary connective, no quantified operand, or the non-quantified
+    operand mentions the bound variable).
+    """
+    if not isinstance(formula, (And, Or)) or len(formula.operands) != 2:
+        return None
+    connective = "AND" if isinstance(formula, And) else "OR"
+    for index in (0, 1):
+        quantified = formula.operands[index]
+        other = formula.operands[1 - index]
+        if not isinstance(quantified, Quantified):
+            continue
+        if quantified.var in free_variables_of(other):
+            continue
+        rule, conditional = rule_name(connective, quantified.kind)
+        relation = quantified.range.relation
+        if conditional and range_is_empty is not None and range_is_empty(relation):
+            return Lemma1Result(other, rule, False, relation)
+        combiner = And if connective == "AND" else Or
+        pulled = Quantified(
+            quantified.kind,
+            quantified.var,
+            quantified.range,
+            combiner(other, quantified.body),
+        )
+        return Lemma1Result(pulled, rule, conditional and range_is_empty is None, relation)
+    return None

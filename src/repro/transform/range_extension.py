@@ -1,0 +1,222 @@
+"""Strategy 3 — extended range expressions (Section 4.3).
+
+The cardinality of range relations has a very strong impact on evaluation
+cost, so PASCAL/R replaces database range relations by relational expressions
+over them.  Given a standard-form query, the compiler finds a monadic
+expression ``S(rec)`` with which to extend the range of a variable ``rec``
+using the equivalences
+
+* ``SOME rec IN rel (S(rec) AND WFF)  =  SOME rec IN [EACH r IN rel: S(r)] (WFF)``
+  for existentially quantified variables (free variables are handled as if
+  existentially quantified), and
+* ``ALL rec IN rel (NOT S(rec) OR WFF)  =  ALL rec IN [EACH r IN rel: S(r)] (WFF)``
+  for universally quantified variables.
+
+Operationally on the DNF matrix this means:
+
+* **existential / free variable** ``v``: a monadic term over ``v`` that is a
+  conjunct of *every* conjunction can be factored out of the matrix and into
+  ``v``'s range restriction;
+* **universal variable** ``v``: a conjunction consisting solely of monadic
+  terms over ``v`` is the ``NOT S(v)`` of the equivalence; it is removed from
+  the matrix and its negation becomes (part of) ``v``'s range restriction.
+  The paper's system "supports only conjunctions of join terms as range
+  expression extensions", which limits this to single-term conjunctions whose
+  negation is again a single term; the more general form the paper proposes
+  as an improvement (arbitrary monadic-only conjunctions whose negation is a
+  disjunction) is available behind the ``general_extensions`` flag.
+
+Example 4.5 of the paper is reproduced exactly: the professor test moves into
+``e``'s range, the ``pyear <> 1977`` disjunct moves (negated) into ``p``'s
+range, the sophomore test moves into ``c``'s range, and one conjunction of
+the matrix disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calculus.analysis import QuantifierSpec, free_variables_of
+from repro.calculus.ast import (
+    ALL,
+    And,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Formula,
+    Or,
+    RangeExpr,
+    Selection,
+    SOME,
+    TRUE,
+    VariableBinding,
+)
+from repro.errors import TransformError
+from repro.transform.normalform import StandardForm, to_negation_normal_form
+from repro.transform.rewriter import conjoin, disjoin, simplify
+from repro.calculus.ast import Not
+
+__all__ = ["RangeExtensionResult", "extend_ranges"]
+
+
+@dataclass(frozen=True)
+class RangeExtensionResult:
+    """Outcome of applying Strategy 3 to a standard-form query."""
+
+    standard_form: StandardForm
+    extensions: dict[str, Formula] = field(default_factory=dict)
+    removed_conjunctions: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.extensions)
+
+
+def _conjunction_literals(conjunction: Formula) -> list[Formula]:
+    if isinstance(conjunction, And):
+        return list(conjunction.operands)
+    return [conjunction]
+
+
+def _is_monadic_over(literal: Formula, var: str) -> bool:
+    return (
+        isinstance(literal, Comparison)
+        and literal.is_monadic()
+        and literal.mentions(var)
+    )
+
+
+def extend_ranges(
+    standard_form: StandardForm, general_extensions: bool = False
+) -> RangeExtensionResult:
+    """Apply Strategy 3 and return the rewritten standard form.
+
+    ``general_extensions`` enables the conjunctive-normal-form extension the
+    paper describes as future work: universal-variable disjuncts made of
+    several monadic terms (whose negation is a disjunction) are then also
+    moved into the range.
+    """
+    matrix = standard_form.matrix
+    if isinstance(matrix, BoolConst):
+        return RangeExtensionResult(standard_form)
+
+    conjunctions = [
+        _conjunction_literals(conjunction) for conjunction in standard_form.conjunctions
+    ]
+    extensions: dict[str, list[Formula]] = {}
+
+    free_vars = list(standard_form.selection.free_variables)
+    existential_vars = [s.var for s in standard_form.prefix if s.kind == SOME]
+    universal_vars = [s.var for s in standard_form.prefix if s.kind == ALL]
+
+    # ---- free variables: factor out monadic terms common to *every* conjunction.
+    #      (A free variable contributes to every output tuple, so a term that is
+    #      absent from some conjunction must not restrict its range.)
+    for var in free_vars:
+        common = _common_monadic_terms(conjunctions, var, only_where_var_occurs=False)
+        if not common:
+            continue
+        extensions.setdefault(var, []).extend(common)
+        conjunctions = [
+            [lit for lit in conjunction if lit not in common] for conjunction in conjunctions
+        ]
+
+    # ---- existential variables: factor out monadic terms common to every
+    #      conjunction *in which the variable occurs* (the paper's reading of
+    #      ``SOME rec IN rel (S(rec) AND WFF)``).  This is valid under the
+    #      standard-form assumption that (extended) ranges are non-empty; the
+    #      engine re-plans without Strategy 3 when that assumption fails at
+    #      runtime.
+    for var in existential_vars:
+        common = _common_monadic_terms(conjunctions, var, only_where_var_occurs=True)
+        if not common:
+            continue
+        extensions.setdefault(var, []).extend(common)
+        conjunctions = [
+            [lit for lit in conjunction if lit not in common] for conjunction in conjunctions
+        ]
+
+    # ---- universal variables: move monadic-only disjuncts into the range (negated).
+    removed_conjunctions = 0
+    for var in universal_vars:
+        surviving: list[list[Formula]] = []
+        for conjunction in conjunctions:
+            if conjunction and all(_is_monadic_over(lit, var) for lit in conjunction):
+                negatable = len(conjunction) == 1 or general_extensions
+                if negatable:
+                    negated = simplify(
+                        to_negation_normal_form(Not(conjoin(conjunction)))
+                    )
+                    extensions.setdefault(var, []).append(negated)
+                    removed_conjunctions += 1
+                    continue
+            surviving.append(conjunction)
+        conjunctions = surviving
+
+    if not extensions:
+        return RangeExtensionResult(standard_form)
+
+    # ---- rebuild matrix.
+    if not conjunctions:
+        # Every disjunct moved into a universal variable's range: what is left
+        # is the empty disjunction, i.e. FALSE.  (``ALL v IN [rel: S] (FALSE)``
+        # only holds when the extended range is empty, which the engine
+        # handles through its runtime fallback.)
+        new_matrix: Formula = FALSE
+    else:
+        rebuilt = []
+        for conjunction in conjunctions:
+            rebuilt.append(conjoin(conjunction) if conjunction else TRUE)
+        new_matrix = simplify(disjoin(rebuilt))
+
+    # ---- rebuild bindings and prefix with extended ranges.
+    extension_formulas = {var: conjoin(terms) for var, terms in extensions.items()}
+    new_bindings = []
+    for binding in standard_form.selection.bindings:
+        if binding.var in extension_formulas:
+            new_bindings.append(
+                VariableBinding(binding.var, binding.range.extend(extension_formulas[binding.var]))
+            )
+        else:
+            new_bindings.append(binding)
+    new_prefix = []
+    for spec in standard_form.prefix:
+        if spec.var in extension_formulas:
+            new_prefix.append(
+                QuantifierSpec(spec.kind, spec.var, spec.range.extend(extension_formulas[spec.var]))
+            )
+        else:
+            new_prefix.append(spec)
+
+    new_selection = Selection(
+        standard_form.selection.columns, new_bindings, standard_form.selection.formula
+    )
+    new_form = StandardForm(new_selection, tuple(new_prefix), new_matrix)
+    return RangeExtensionResult(new_form, extension_formulas, removed_conjunctions)
+
+
+def _common_monadic_terms(
+    conjunctions: list[list[Formula]], var: str, only_where_var_occurs: bool
+) -> list[Formula]:
+    """Monadic terms over ``var`` common to the relevant conjunctions.
+
+    ``only_where_var_occurs`` selects between the free-variable condition
+    (every conjunction of the matrix) and the existential condition (every
+    conjunction in which ``var`` occurs).
+    """
+    if only_where_var_occurs:
+        relevant = [
+            conjunction
+            for conjunction in conjunctions
+            if any(var in free_variables_of(lit) for lit in conjunction)
+        ]
+    else:
+        relevant = conjunctions
+    if not relevant:
+        return []
+    first = [lit for lit in relevant[0] if _is_monadic_over(lit, var)]
+    common = []
+    for literal in first:
+        if all(literal in conjunction for conjunction in relevant[1:]):
+            common.append(literal)
+    return common

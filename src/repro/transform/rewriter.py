@@ -1,0 +1,178 @@
+"""Generic formula rewriting utilities.
+
+All query transformations of Section 4 are expressed as pure functions over
+the calculus AST.  This module provides the shared machinery: bottom-up
+mapping, variable substitution and renaming, and boolean simplification
+(constant folding of ``TRUE``/``FALSE``, flattening, idempotence and
+double-negation removal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.calculus.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    FALSE,
+    FieldRef,
+    Formula,
+    Not,
+    Or,
+    Quantified,
+    RangeExpr,
+    TRUE,
+)
+from repro.errors import TransformError
+
+__all__ = [
+    "map_formula",
+    "rename_variable",
+    "fresh_variable",
+    "simplify",
+    "conjoin",
+    "disjoin",
+]
+
+
+def map_formula(formula: Formula, function: Callable[[Formula], Formula]) -> Formula:
+    """Rebuild ``formula`` bottom-up, applying ``function`` to every node.
+
+    ``function`` receives each node *after* its children have been rewritten
+    and returns the replacement node (possibly the same object).
+    """
+    if isinstance(formula, (BoolConst, Comparison)):
+        return function(formula)
+    if isinstance(formula, Not):
+        return function(Not(map_formula(formula.child, function)))
+    if isinstance(formula, And):
+        return function(And(*(map_formula(o, function) for o in formula.operands)))
+    if isinstance(formula, Or):
+        return function(Or(*(map_formula(o, function) for o in formula.operands)))
+    if isinstance(formula, Quantified):
+        range_expr = formula.range
+        if range_expr.restriction is not None:
+            range_expr = RangeExpr(
+                range_expr.relation, map_formula(range_expr.restriction, function)
+            )
+        return function(
+            Quantified(formula.kind, formula.var, range_expr, map_formula(formula.body, function))
+        )
+    raise TransformError(f"cannot rewrite unknown node {formula!r}")
+
+
+def rename_variable(formula: Formula, old: str, new: str) -> Formula:
+    """Rename free occurrences of variable ``old`` to ``new``.
+
+    Quantifiers binding ``old`` shield their bodies (their occurrences are not
+    free); quantifiers binding ``new`` inside would capture the renamed
+    variable and raise :class:`~repro.errors.TransformError`.
+    """
+    if isinstance(formula, (BoolConst,)):
+        return formula
+    if isinstance(formula, Comparison):
+        def rename_operand(operand):
+            if isinstance(operand, FieldRef) and operand.var == old:
+                return FieldRef(new, operand.field)
+            return operand
+
+        return Comparison(rename_operand(formula.left), formula.op, rename_operand(formula.right))
+    if isinstance(formula, Not):
+        return Not(rename_variable(formula.child, old, new))
+    if isinstance(formula, And):
+        return And(*(rename_variable(o, old, new) for o in formula.operands))
+    if isinstance(formula, Or):
+        return Or(*(rename_variable(o, old, new) for o in formula.operands))
+    if isinstance(formula, Quantified):
+        if formula.var == old:
+            return formula
+        if formula.var == new:
+            raise TransformError(
+                f"renaming {old!r} to {new!r} would be captured by an inner quantifier"
+            )
+        range_expr = formula.range
+        if range_expr.restriction is not None:
+            range_expr = RangeExpr(
+                range_expr.relation, rename_variable(range_expr.restriction, old, new)
+            )
+        return Quantified(
+            formula.kind, formula.var, range_expr, rename_variable(formula.body, old, new)
+        )
+    raise TransformError(f"cannot rename variables in {formula!r}")
+
+
+def fresh_variable(base: str, taken: Iterable[str]) -> str:
+    """A variable name derived from ``base`` that does not clash with ``taken``."""
+    taken_set = set(taken)
+    if base not in taken_set:
+        return base
+    suffix = 1
+    while f"{base}_{suffix}" in taken_set:
+        suffix += 1
+    return f"{base}_{suffix}"
+
+
+def conjoin(operands: Iterable[Formula]) -> Formula:
+    """Conjunction of ``operands`` with the usual unit rules (empty = TRUE)."""
+    materialized = [o for o in operands]
+    if not materialized:
+        return TRUE
+    if len(materialized) == 1:
+        return materialized[0]
+    return And(*materialized)
+
+
+def disjoin(operands: Iterable[Formula]) -> Formula:
+    """Disjunction of ``operands`` with the usual unit rules (empty = FALSE)."""
+    materialized = [o for o in operands]
+    if not materialized:
+        return FALSE
+    if len(materialized) == 1:
+        return materialized[0]
+    return Or(*materialized)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Boolean simplification.
+
+    * ``NOT NOT f`` → ``f``; ``NOT TRUE`` → ``FALSE``; ``NOT FALSE`` → ``TRUE``
+    * ``TRUE``/``FALSE`` units and absorbers inside ``AND``/``OR``
+    * duplicate operands of ``AND``/``OR`` collapse
+    * a quantifier whose body simplifies to a constant keeps the constant only
+      when that is sound irrespective of the range being empty; because it is
+      not (``SOME v IN [] (TRUE)`` is FALSE), quantifiers over constant bodies
+      are left in place and handled by the runtime empty-relation adaptation.
+    """
+
+    def simplify_node(node: Formula) -> Formula:
+        if isinstance(node, Not):
+            child = node.child
+            if isinstance(child, BoolConst):
+                return FALSE if child.value else TRUE
+            if isinstance(child, Not):
+                return child.child
+            return node
+        if isinstance(node, And):
+            operands: list[Formula] = []
+            for operand in node.operands:
+                if isinstance(operand, BoolConst):
+                    if not operand.value:
+                        return FALSE
+                    continue
+                if operand not in operands:
+                    operands.append(operand)
+            return conjoin(operands)
+        if isinstance(node, Or):
+            operands = []
+            for operand in node.operands:
+                if isinstance(operand, BoolConst):
+                    if operand.value:
+                        return TRUE
+                    continue
+                if operand not in operands:
+                    operands.append(operand)
+            return disjoin(operands)
+        return node
+
+    return map_formula(formula, simplify_node)

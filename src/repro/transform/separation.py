@@ -1,0 +1,67 @@
+"""Separate evaluation of conjunctions for purely existential queries.
+
+End of Section 2: *"In a query with only existential quantification, each
+conjunction of the standard form can be evaluated separately, because*
+``SOME rec IN rel (WFF1 OR WFF2)`` *is equivalent to*
+``SOME rec1 IN rel (WFF1) OR SOME rec2 IN rel (WFF2)``.  *In most queries with
+universal quantifiers, it is not even permitted."*
+
+This module implements the test and the split: a standard-form query without
+universal quantifiers is decomposed into one sub-query per conjunction of the
+matrix; the overall result is the union of the sub-query results.  Section 4.3
+notes that fully independent evaluation is not always *desirable* (common
+work is repeated), which the ablation benchmark ``bench_ablation_pipeline``
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calculus.analysis import QuantifierSpec, free_variables_of
+from repro.calculus.ast import ALL, BoolConst, Formula
+from repro.errors import TransformError
+from repro.transform.normalform import StandardForm
+
+__all__ = ["SeparationResult", "can_separate", "separate_conjunctions"]
+
+
+@dataclass(frozen=True)
+class SeparationResult:
+    """A standard-form query split into independently evaluable sub-queries."""
+
+    subqueries: tuple[StandardForm, ...]
+
+    def __len__(self) -> int:
+        return len(self.subqueries)
+
+
+def can_separate(standard_form: StandardForm) -> bool:
+    """Whether the conjunctions of the matrix may be evaluated separately.
+
+    True exactly when the quantifier prefix contains no universal quantifier
+    (free variables and existential quantifiers distribute over the
+    disjunction) and the matrix is a genuine disjunction.
+    """
+    if any(spec.kind == ALL for spec in standard_form.prefix):
+        return False
+    return len(standard_form.conjunctions) > 1
+
+
+def separate_conjunctions(standard_form: StandardForm) -> SeparationResult:
+    """Split a purely existential standard form into one sub-query per conjunction.
+
+    Each sub-query keeps only the prefix entries whose variable actually
+    occurs in its conjunction (an existential quantifier over an unused,
+    non-empty range is redundant), which is where the saving comes from.
+    """
+    if any(spec.kind == ALL for spec in standard_form.prefix):
+        raise TransformError(
+            "conjunction separation requires a purely existential quantifier prefix"
+        )
+    subqueries = []
+    for conjunction in standard_form.conjunctions:
+        used = free_variables_of(conjunction) if not isinstance(conjunction, BoolConst) else set()
+        prefix = tuple(spec for spec in standard_form.prefix if spec.var in used)
+        subqueries.append(StandardForm(standard_form.selection, prefix, conjunction))
+    return SeparationResult(tuple(subqueries))

@@ -1,0 +1,40 @@
+"""PASCAL/R type system: scalar types and relation schemas."""
+
+from repro.types.scalar import (
+    BOOLEAN,
+    CHAR,
+    COMPARISON_OPERATORS,
+    INTEGER,
+    BooleanType,
+    CharArray,
+    CharType,
+    Enumeration,
+    EnumValue,
+    IntegerType,
+    ScalarType,
+    Subrange,
+    compare_values,
+    negate_operator,
+    swap_operator,
+)
+from repro.types.schema import Field, RelationSchema
+
+__all__ = [
+    "BOOLEAN",
+    "CHAR",
+    "COMPARISON_OPERATORS",
+    "INTEGER",
+    "BooleanType",
+    "CharArray",
+    "CharType",
+    "Enumeration",
+    "EnumValue",
+    "Field",
+    "IntegerType",
+    "RelationSchema",
+    "ScalarType",
+    "Subrange",
+    "compare_values",
+    "negate_operator",
+    "swap_operator",
+]

@@ -1,0 +1,204 @@
+"""Record and relation schemas.
+
+The paper declares relations as
+
+.. code-block:: pascal
+
+    employees : RELATION <enr> OF
+                RECORD
+                  enr     : enumbertype;
+                  ename   : nametype;
+                  estatus : statustype
+                END;
+
+A :class:`RelationSchema` captures exactly that: an ordered list of named,
+typed components plus the list of component identifiers forming the key
+(the angular-bracket list).  Schemas are immutable and hashable so they can
+be shared between a base relation, its indexes, and intermediate reference
+relations derived from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.types.scalar import ScalarType
+
+__all__ = ["Field", "RelationSchema"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single component (attribute) of a relation element."""
+
+    name: str
+    type: ScalarType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid component identifier: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a PASCAL/R ``RELATION <key> OF RECORD ... END``.
+
+    Parameters
+    ----------
+    name:
+        Name of the relation type; purely descriptive.
+    fields:
+        Ordered sequence of :class:`Field` (or ``(name, type)`` pairs).
+    key:
+        The component identifiers forming the key.  Defaults to *all*
+        components, which is the convention used for intermediate reference
+        relations in the paper's Figure 2.
+    """
+
+    name: str
+    fields: tuple[Field, ...]
+    key: tuple[str, ...] = ()
+    _field_map: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __init__(
+        self,
+        name: str,
+        fields: Sequence[Field] | Sequence[tuple[str, ScalarType]] | Mapping[str, ScalarType],
+        key: Sequence[str] | None = None,
+    ) -> None:
+        if isinstance(fields, Mapping):
+            normalized = tuple(Field(fname, ftype) for fname, ftype in fields.items())
+        else:
+            normalized = tuple(
+                f if isinstance(f, Field) else Field(f[0], f[1]) for f in fields
+            )
+        if not normalized:
+            raise SchemaError(f"relation schema {name!r} has no components")
+        names = [f.name for f in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation schema {name!r} has duplicate components")
+        if key is None:
+            key_tuple = tuple(names)
+        else:
+            key_tuple = tuple(key)
+            if not key_tuple:
+                raise SchemaError(f"relation schema {name!r} has an empty key")
+            missing = [k for k in key_tuple if k not in names]
+            if missing:
+                raise SchemaError(
+                    f"key components {missing} of schema {name!r} are not declared components"
+                )
+            if len(set(key_tuple)) != len(key_tuple):
+                raise SchemaError(f"relation schema {name!r} repeats key components")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "fields", normalized)
+        object.__setattr__(self, "key", key_tuple)
+        object.__setattr__(self, "_field_map", {f.name: f for f in normalized})
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Component identifiers in declaration order."""
+        return tuple(f.name for f in self.fields)
+
+    def __contains__(self, field_name: str) -> bool:
+        return field_name in self._field_map
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def field_type(self, field_name: str) -> ScalarType:
+        """Return the declared type of ``field_name``."""
+        try:
+            return self._field_map[field_name].type
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no component {field_name!r}"
+            ) from None
+
+    def has_field(self, field_name: str) -> bool:
+        """Whether ``field_name`` is a component of this schema."""
+        return field_name in self._field_map
+
+    def field_position(self, field_name: str) -> int:
+        """Index of ``field_name`` in declaration order."""
+        for position, f in enumerate(self.fields):
+            if f.name == field_name:
+                return position
+        raise SchemaError(f"schema {self.name!r} has no component {field_name!r}")
+
+    # -- derived schemas -------------------------------------------------------
+
+    def project(self, field_names: Sequence[str], name: str | None = None) -> "RelationSchema":
+        """Schema obtained by projecting on ``field_names`` (key = all of them)."""
+        missing = [f for f in field_names if f not in self._field_map]
+        if missing:
+            raise SchemaError(f"cannot project {self.name!r} on unknown components {missing}")
+        projected = tuple(self._field_map[f] for f in field_names)
+        return RelationSchema(name or f"{self.name}_projection", projected, key=None)
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "RelationSchema":
+        """Schema with components renamed according to ``mapping``."""
+        renamed = tuple(
+            Field(mapping.get(f.name, f.name), f.type) for f in self.fields
+        )
+        new_key = tuple(mapping.get(k, k) for k in self.key)
+        return RelationSchema(name or self.name, renamed, key=new_key)
+
+    def concat(self, other: "RelationSchema", name: str | None = None) -> "RelationSchema":
+        """Schema whose components are this schema's followed by ``other``'s.
+
+        Used for Cartesian products and joins of reference relations; component
+        name clashes raise :class:`~repro.errors.SchemaError`, callers are
+        expected to rename first.
+        """
+        clash = set(self.field_names) & set(other.field_names)
+        if clash:
+            raise SchemaError(
+                f"cannot concatenate schemas {self.name!r} and {other.name!r}: "
+                f"components {sorted(clash)} clash"
+            )
+        return RelationSchema(
+            name or f"{self.name}_x_{other.name}", self.fields + other.fields, key=None
+        )
+
+    # -- validation -----------------------------------------------------------
+
+    def coerce_values(self, values: Mapping[str, Any]) -> tuple[Any, ...]:
+        """Validate and coerce a mapping of component values into storage order.
+
+        Missing or extra components raise :class:`~repro.errors.SchemaError`;
+        ill-typed values raise :class:`~repro.errors.ValidationError`.
+        """
+        extra = set(values) - set(self.field_names)
+        if extra:
+            raise SchemaError(
+                f"values for unknown components {sorted(extra)} of schema {self.name!r}"
+            )
+        missing = [f.name for f in self.fields if f.name not in values]
+        if missing:
+            raise SchemaError(
+                f"missing values for components {missing} of schema {self.name!r}"
+            )
+        return tuple(f.type.coerce(values[f.name]) for f in self.fields)
+
+    def key_of(self, values: Mapping[str, Any] | Sequence[Any]) -> tuple[Any, ...]:
+        """Extract the key tuple from a mapping or storage-ordered sequence."""
+        if isinstance(values, Mapping):
+            return tuple(values[k] for k in self.key)
+        positions = [self.field_position(k) for k in self.key]
+        return tuple(values[p] for p in positions)
+
+    def describe(self) -> str:
+        """A PASCAL/R-flavoured, human readable rendering of the schema."""
+        lines = [f"RELATION <{', '.join(self.key)}> OF RECORD"]
+        for f in self.fields:
+            lines.append(f"    {f.name} : {f.type.name};")
+        lines.append("END")
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Workloads: the Figure 1 university database, the paper's queries, generators."""
+
+from repro.workloads.generator import (
+    GeneratorConfig,
+    random_database,
+    random_selection,
+    random_workload,
+)
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    EXAMPLE_45_TEXT,
+    NO_1977_PAPERS_TEXT,
+    PROFESSORS_TEXT,
+    SENIORITY_TEXT,
+    TEACHES_LOW_LEVEL_TEXT,
+    all_named_queries,
+    example_21,
+    example_45,
+    no_1977_papers,
+    professors,
+    seniority_pairs,
+    teaches_low_level,
+)
+from repro.workloads.university import (
+    UniversityProfile,
+    build_university_database,
+    declare_schema,
+    figure1_database,
+)
+
+__all__ = [
+    "EXAMPLE_21_TEXT",
+    "EXAMPLE_45_TEXT",
+    "GeneratorConfig",
+    "NO_1977_PAPERS_TEXT",
+    "PROFESSORS_TEXT",
+    "SENIORITY_TEXT",
+    "TEACHES_LOW_LEVEL_TEXT",
+    "UniversityProfile",
+    "all_named_queries",
+    "build_university_database",
+    "declare_schema",
+    "example_21",
+    "example_45",
+    "figure1_database",
+    "no_1977_papers",
+    "professors",
+    "random_database",
+    "random_selection",
+    "random_workload",
+    "seniority_pairs",
+    "teaches_low_level",
+]

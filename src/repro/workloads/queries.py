@@ -1,0 +1,193 @@
+"""The paper's example queries (and a few companions used by the benchmarks).
+
+Every query is provided both as PASCAL/R-style text (parsed by
+:mod:`repro.lang`) and through a constructor returning the calculus AST, so
+examples can show the surface syntax while tests work with structured values.
+"""
+
+from __future__ import annotations
+
+from repro.calculus import builder as q
+from repro.calculus.ast import Selection
+from repro.lang.parser import parse_selection
+
+__all__ = [
+    "EXAMPLE_21_TEXT",
+    "EXAMPLE_45_TEXT",
+    "PROFESSORS_TEXT",
+    "TEACHES_LOW_LEVEL_TEXT",
+    "NO_1977_PAPERS_TEXT",
+    "PUBLISHED_EVERY_YEAR_QUERY",
+    "SENIORITY_TEXT",
+    "example_21",
+    "example_45",
+    "professors",
+    "teaches_low_level",
+    "no_1977_papers",
+    "seniority_pairs",
+    "all_named_queries",
+]
+
+
+#: Example 2.1 — the running query of the paper: names of professors who did
+#: not publish any papers in 1977 or who currently offer courses at a level of
+#: sophomore or lower.
+EXAMPLE_21_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    (e.estatus = professor)
+    AND
+    (ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))
+     OR
+     SOME c IN courses ((c.clevel <= sophomore)
+        AND
+        SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+"""
+
+
+#: Example 4.5 — the same query written with extended range expressions, as
+#: produced by Strategy 3.  Parsing it yields the query the optimizer should
+#: arrive at on its own.
+EXAMPLE_45_TEXT = """
+[<e.ename> OF EACH e IN [EACH e IN employees: (e.estatus = professor)]:
+    ALL p IN [EACH p IN papers: (p.pyear = 1977)]
+        (SOME c IN [EACH c IN courses: (c.clevel <= sophomore)]
+            (SOME t IN timetable
+                ((p.penr <> e.enr)
+                 OR
+                 (t.tenr = e.enr) AND (t.tcnr = c.cnr))))]
+"""
+
+
+#: A purely monadic query: the professors.
+PROFESSORS_TEXT = """
+[<e.enr, e.ename> OF EACH e IN employees: (e.estatus = professor)]
+"""
+
+
+#: A purely existential query: employees who currently teach a course at
+#: sophomore level or below (the second branch of the running query).
+TEACHES_LOW_LEVEL_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    SOME c IN courses ((c.clevel <= sophomore)
+        AND SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr)))]
+"""
+
+
+#: A universally quantified query: employees with no 1977 publication (the
+#: first branch of the running query).
+NO_1977_PAPERS_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))]
+"""
+
+
+#: An inequality-quantified query exercising the min/max value-list shortcut
+#: of Strategy 4: employees whose number is smaller than that of every author
+#: of a 1977 paper.
+SENIORITY_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    ALL p IN [EACH p IN papers: (p.pyear = 1977)] (e.enr < p.penr)]
+"""
+
+
+#: A query whose quantified variable connects through two dyadic terms — used
+#: to exercise the multi-term (tuple list) path of Strategy 4: employees with
+#: a timetable entry on their own course number (enr = cnr coincidences).
+PUBLISHED_EVERY_YEAR_QUERY = """
+[<e.ename> OF EACH e IN employees:
+    SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = e.enr))]
+"""
+
+
+def example_21() -> Selection:
+    """Example 2.1 as a calculus value (identical to parsing :data:`EXAMPLE_21_TEXT`)."""
+    return q.selection(
+        columns=[("e", "ename")],
+        each=[("e", "employees")],
+        where=q.and_(
+            q.eq(("e", "estatus"), "professor"),
+            q.or_(
+                q.all_(
+                    "p",
+                    "papers",
+                    q.or_(
+                        q.ne(("p", "pyear"), 1977),
+                        q.ne(("e", "enr"), ("p", "penr")),
+                    ),
+                ),
+                q.some(
+                    "c",
+                    "courses",
+                    q.and_(
+                        q.le(("c", "clevel"), "sophomore"),
+                        q.some(
+                            "t",
+                            "timetable",
+                            q.and_(
+                                q.eq(("c", "cnr"), ("t", "tcnr")),
+                                q.eq(("e", "enr"), ("t", "tenr")),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def example_45() -> Selection:
+    """Example 4.5: the running query with extended range expressions."""
+    return q.selection(
+        columns=[("e", "ename")],
+        each=[q.each("e", q.range_("employees", q.eq(("e", "estatus"), "professor")))],
+        where=q.all_(
+            "p",
+            q.range_("papers", q.eq(("p", "pyear"), 1977)),
+            q.some(
+                "c",
+                q.range_("courses", q.le(("c", "clevel"), "sophomore")),
+                q.some(
+                    "t",
+                    "timetable",
+                    q.or_(
+                        q.ne(("p", "penr"), ("e", "enr")),
+                        q.and_(
+                            q.eq(("t", "tenr"), ("e", "enr")),
+                            q.eq(("t", "tcnr"), ("c", "cnr")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def professors() -> Selection:
+    """The monadic professors query."""
+    return parse_selection(PROFESSORS_TEXT)
+
+
+def teaches_low_level() -> Selection:
+    """The purely existential branch of the running query."""
+    return parse_selection(TEACHES_LOW_LEVEL_TEXT)
+
+
+def no_1977_papers() -> Selection:
+    """The universally quantified branch of the running query."""
+    return parse_selection(NO_1977_PAPERS_TEXT)
+
+
+def seniority_pairs() -> Selection:
+    """The inequality-quantified query used by the value-list ablation."""
+    return parse_selection(SENIORITY_TEXT)
+
+
+def all_named_queries() -> dict[str, Selection]:
+    """Every named query, keyed by a short identifier (used by benchmarks)."""
+    return {
+        "example_2_1": example_21(),
+        "professors": professors(),
+        "teaches_low_level": teaches_low_level(),
+        "no_1977_papers": no_1977_papers(),
+        "seniority": seniority_pairs(),
+    }

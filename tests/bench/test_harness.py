@@ -1,0 +1,65 @@
+"""Unit tests for the benchmark measurement harness."""
+
+import pytest
+
+from repro import StrategyOptions
+from repro.bench.harness import compare_strategies, format_table, measure, measure_naive
+from repro.bench.report import CONFIGURATIONS, SCALES
+from repro.workloads.queries import EXAMPLE_21_TEXT, PROFESSORS_TEXT
+
+
+class TestMeasure:
+    def test_measure_profiles_the_execution(self, figure1):
+        measurement = measure(figure1, EXAMPLE_21_TEXT, StrategyOptions.all_strategies())
+        assert measurement.result_size >= 0
+        assert measurement.total_scans == 4
+        assert measurement.elements_read > 0
+        assert measurement.division_steps == 0
+        assert measurement.elapsed_seconds > 0
+
+    def test_measure_unoptimised_counts_divisions(self, figure1):
+        measurement = measure(figure1, EXAMPLE_21_TEXT, StrategyOptions.none(), label="unopt")
+        assert measurement.label == "unopt"
+        assert measurement.division_steps == 1
+        assert measurement.peak_combination_tuples > 0
+
+    def test_measure_naive(self, figure1):
+        measurement = measure_naive(figure1, PROFESSORS_TEXT)
+        assert measurement.label == "naive interpretation"
+        assert measurement.intermediate_tuples == 0
+        assert measurement.scans["employees"] >= 1
+
+    def test_row_contains_reporting_columns(self, figure1):
+        measurement = measure(figure1, PROFESSORS_TEXT, StrategyOptions.all_strategies())
+        row = measurement.row()
+        assert {"configuration", "result", "scans", "intermediate", "time (ms)"} <= set(row)
+
+
+class TestCompareAndFormat:
+    def test_compare_strategies_produces_one_row_per_configuration(self, figure1):
+        measurements = compare_strategies(
+            figure1,
+            PROFESSORS_TEXT,
+            {"a": StrategyOptions.none(), "b": StrategyOptions.all_strategies()},
+            include_naive=True,
+        )
+        assert [m.label for m in measurements] == ["naive interpretation", "a", "b"]
+        # All configurations agree on the result size.
+        assert len({m.result_size for m in measurements}) == 1
+
+    def test_format_table_aligns_columns(self, figure1):
+        measurements = compare_strategies(
+            figure1, PROFESSORS_TEXT, {"only": StrategyOptions.all_strategies()}
+        )
+        table = format_table(measurements, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "configuration" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_predefined_configuration_table(self):
+        assert "S1-S4 full optimizer" in CONFIGURATIONS
+        assert len(SCALES) >= 2

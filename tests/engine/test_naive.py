@@ -1,0 +1,162 @@
+"""Unit tests for the naive (ground truth) evaluator."""
+
+import pytest
+
+from repro.calculus import builder as q
+from repro.calculus.typecheck import TypeChecker
+from repro.engine.naive import evaluate_formula, evaluate_selection_naive, operand_value, range_elements
+from repro.engine.result import result_schema_for
+from repro.errors import EvaluationError
+from repro.workloads.queries import example_21
+
+
+def resolve(figure1, selection):
+    return TypeChecker.for_database(figure1).resolve(selection)
+
+
+class TestOperands:
+    def test_constant_operand(self, figure1):
+        assert operand_value(q.const(3), {}) == 3
+
+    def test_field_operand(self, figure1):
+        employee = figure1.relation("employees")[1]
+        assert operand_value(q.field("e", "enr"), {"e": employee}) == 1
+
+    def test_unbound_variable_raises(self, figure1):
+        with pytest.raises(EvaluationError):
+            operand_value(q.field("e", "enr"), {})
+
+
+class TestRangeElements:
+    def test_full_range(self, figure1):
+        records = list(range_elements(figure1, q.range_("employees"), "e"))
+        assert len(records) == len(figure1.relation("employees"))
+
+    def test_restricted_range(self, figure1):
+        restricted = q.range_("courses", q.le(("c", "clevel"), "sophomore"))
+        resolved = resolve(
+            figure1,
+            q.selection([("c", "ctitle")], [q.each("c", restricted)], q.eq(("c", "cnr"), ("c", "cnr"))),
+        )
+        records = list(range_elements(figure1, resolved.bindings[0].range, "c"))
+        assert records
+        assert all(r.clevel.label in ("freshman", "sophomore") for r in records)
+
+    def test_scans_are_counted(self, figure1):
+        figure1.reset_statistics()
+        list(range_elements(figure1, q.range_("papers"), "p"))
+        assert figure1.statistics.scans("papers") == 1
+
+
+class TestFormulaEvaluation:
+    def test_monadic_comparison(self, figure1):
+        resolved = resolve(
+            figure1,
+            q.selection([("e", "ename")], [("e", "employees")], q.eq(("e", "estatus"), "professor")),
+        )
+        employees = figure1.relation("employees")
+        professors = [e for e in employees if e.estatus.label == "professor"]
+        others = [e for e in employees if e.estatus.label != "professor"]
+        assert evaluate_formula(resolved.formula, {"e": professors[0]}, figure1)
+        assert not evaluate_formula(resolved.formula, {"e": others[0]}, figure1)
+
+    def test_quantifier_short_circuit(self, figure1):
+        formula = q.some("t", "timetable", q.eq(("t", "tenr"), ("e", "enr")))
+        employees = figure1.relation("employees")
+        teaching = {t.tenr for t in figure1.relation("timetable")}
+        teacher = next(e for e in employees if e.enr in teaching)
+        idle = [e for e in employees if e.enr not in teaching]
+        assert evaluate_formula(formula, {"e": teacher}, figure1)
+        if idle:
+            assert not evaluate_formula(formula, {"e": idle[0]}, figure1)
+
+    def test_universal_quantifier(self, figure1):
+        formula = q.all_("p", "papers", q.ne(("p", "penr"), ("e", "enr")))
+        employees = figure1.relation("employees")
+        authors = {p.penr for p in figure1.relation("papers")}
+        author = next(e for e in employees if e.enr in authors)
+        non_author = next(e for e in employees if e.enr not in authors)
+        assert not evaluate_formula(formula, {"e": author}, figure1)
+        assert evaluate_formula(formula, {"e": non_author}, figure1)
+
+
+class TestSelectionEvaluation:
+    def test_result_schema_uses_column_names_and_types(self, figure1):
+        resolved = resolve(figure1, example_21())
+        schema = result_schema_for(resolved, figure1)
+        assert schema.field_names == ("ename",)
+
+    def test_alias_in_result_schema(self, figure1):
+        selection = q.selection(
+            [q.column("e", "ename", alias="who")], [("e", "employees")], q.eq(("e", "enr"), 1)
+        )
+        schema = result_schema_for(resolve(figure1, selection), figure1)
+        assert schema.field_names == ("who",)
+
+    def test_duplicate_output_names_are_disambiguated(self, figure1):
+        selection = q.selection(
+            [("e", "ename"), ("e", "ename")], [("e", "employees")], q.eq(("e", "enr"), 1)
+        )
+        schema = result_schema_for(resolve(figure1, selection), figure1)
+        assert schema.field_names == ("ename", "ename_2")
+
+    def test_monadic_query_results(self, figure1):
+        resolved = resolve(
+            figure1,
+            q.selection([("e", "enr")], [("e", "employees")], q.eq(("e", "estatus"), "professor")),
+        )
+        result = evaluate_selection_naive(resolved, figure1)
+        expected = {e.enr for e in figure1.relation("employees") if e.estatus.label == "professor"}
+        assert {r.enr for r in result} == expected
+
+    def test_duplicate_projection_values_are_eliminated(self, figure1):
+        resolved = resolve(
+            figure1,
+            q.selection([("e", "estatus")], [("e", "employees")], q.eq(("e", "enr"), ("e", "enr"))),
+        )
+        result = evaluate_selection_naive(resolved, figure1)
+        distinct = {e.estatus for e in figure1.relation("employees")}
+        assert len(result) == len(distinct)
+
+    def test_multi_variable_query(self, figure1):
+        resolved = resolve(
+            figure1,
+            q.selection(
+                [("e", "ename"), ("c", "cnr")],
+                [("e", "employees"), ("c", "courses")],
+                q.some(
+                    "t",
+                    "timetable",
+                    q.and_(q.eq(("t", "tenr"), ("e", "enr")), q.eq(("t", "tcnr"), ("c", "cnr"))),
+                ),
+            ),
+        )
+        result = evaluate_selection_naive(resolved, figure1)
+        assert len(result) > 0
+        timetable_pairs = {(t.tenr, t.tcnr) for t in figure1.relation("timetable")}
+        employees = {e.enr: e.ename for e in figure1.relation("employees")}
+        expected = {(employees[enr], cnr) for enr, cnr in timetable_pairs if enr in employees}
+        assert {(r.ename, r.cnr) for r in result} == expected
+
+    def test_running_query_known_answer(self, figure1):
+        """Cross-check the running query against an independent Python reimplementation."""
+        resolved = resolve(figure1, example_21())
+        result = evaluate_selection_naive(resolved, figure1)
+
+        employees = figure1.relation("employees").elements()
+        papers = figure1.relation("papers").elements()
+        courses = figure1.relation("courses").elements()
+        timetable = figure1.relation("timetable").elements()
+        expected = set()
+        for e in employees:
+            if e.estatus.label != "professor":
+                continue
+            no_1977 = all(p.pyear != 1977 or e.enr != p.penr for p in papers)
+            low = any(
+                c.clevel.ordinal <= 1
+                and any(c.cnr == t.tcnr and e.enr == t.tenr for t in timetable)
+                for c in courses
+            )
+            if no_1977 or low:
+                expected.add(e.ename)
+        assert {r.ename for r in result} == expected

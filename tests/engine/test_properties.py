@@ -1,0 +1,148 @@
+"""Property-based tests: the engine always agrees with the naive evaluator.
+
+These are the library's strongest correctness guarantees.  For randomly
+generated databases (empty relations drawn with elevated probability, so the
+Lemma 1 edge cases are exercised) and randomly generated first-order queries,
+every strategy configuration of the phase-structured engine must return
+exactly the relation computed by direct interpretation of the calculus.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import QueryEngine, StrategyOptions
+from repro.calculus.typecheck import TypeChecker
+from repro.engine.naive import evaluate_selection_naive
+from repro.errors import PascalRError
+from repro.transform.normalform import to_standard_form
+from repro.transform.range_extension import extend_ranges
+from repro.workloads.generator import random_workload
+
+CONFIGS = [
+    StrategyOptions.all_strategies(),
+    StrategyOptions.none(),
+    StrategyOptions.only(parallel_collection=True, one_step_nested=True),
+    StrategyOptions.only(extended_ranges=True),
+    StrategyOptions.only(collection_phase_quantifiers=True),
+    StrategyOptions(separate_existential_conjunctions=True),
+    StrategyOptions(general_range_extensions=True),
+]
+
+PROPERTY_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def workload(seed: int):
+    """A resolved random (database, selection) pair, or None when ill-typed."""
+    database, selection = random_workload(seed)
+    try:
+        resolved = TypeChecker.for_database(database).resolve(selection)
+    except PascalRError:
+        return None
+    return database, resolved
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_full_optimizer_matches_naive_evaluation(seed):
+    pair = workload(seed)
+    if pair is None:
+        return
+    database, resolved = pair
+    expected = evaluate_selection_naive(resolved, database)
+    engine = QueryEngine(database)
+    assert engine.execute(resolved).relation == expected
+
+
+@PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    config=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+)
+def test_every_strategy_configuration_matches_naive_evaluation(seed, config):
+    pair = workload(seed)
+    if pair is None:
+        return
+    database, resolved = pair
+    expected = evaluate_selection_naive(resolved, database)
+    engine = QueryEngine(database)
+    assert engine.execute(resolved, options=CONFIGS[config]).relation == expected
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_standard_form_preserves_semantics(seed):
+    """Prenex + DNF conversion does not change the naive evaluation result
+    (when all range relations are non-empty, per the paper's assumption)."""
+    pair = workload(seed)
+    if pair is None:
+        return
+    database, resolved = pair
+    if any(relation.is_empty() for relation in database.relations()):
+        return
+    standardized = to_standard_form(resolved).to_selection()
+    assert evaluate_selection_naive(standardized, database) == evaluate_selection_naive(
+        resolved, database
+    )
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_range_extension_preserves_semantics_on_nonempty_extensions(seed):
+    """Strategy 3 preserves the naive result whenever the extended ranges are
+    non-empty (the paper's applicability assumption)."""
+    pair = workload(seed)
+    if pair is None:
+        return
+    database, resolved = pair
+    if any(relation.is_empty() for relation in database.relations()):
+        return
+    form = to_standard_form(resolved)
+    extension = extend_ranges(form)
+    if not extension.changed:
+        return
+    from repro.engine.naive import range_elements
+
+    extended = extension.standard_form
+    ranges = [(binding.var, binding.range) for binding in extended.selection.bindings] + [
+        (spec.var, spec.range) for spec in extended.prefix
+    ]
+    for var, range_expr in ranges:
+        if range_expr.restriction is not None and not any(
+            True for _ in range_elements(database, range_expr, var)
+        ):
+            return  # empty extension: the engine falls back, the rewrite alone need not hold
+    rewritten = extended.to_selection()
+    assert evaluate_selection_naive(rewritten, database) == evaluate_selection_naive(
+        resolved, database
+    )
+
+
+@pytest.mark.parametrize("base_seed", [0, 1000, 2000, 3000])
+def test_deterministic_replay_of_random_workloads(base_seed):
+    """The generator is deterministic, so regression seeds stay meaningful."""
+    first = random_workload(base_seed)
+    second = random_workload(base_seed)
+    assert first[1] == second[1]
+    assert first[0].cardinalities() == second[0].cardinalities()
+
+
+def test_dense_seed_sweep_all_strategies():
+    """A deterministic sweep (no hypothesis shrinking) over 150 seeds."""
+    rng = random.Random(7)
+    seeds = [rng.randint(0, 100_000) for _ in range(150)]
+    for seed in seeds:
+        pair = workload(seed)
+        if pair is None:
+            continue
+        database, resolved = pair
+        expected = evaluate_selection_naive(resolved, database)
+        engine = QueryEngine(database)
+        for options in (CONFIGS[0], CONFIGS[1]):
+            assert engine.execute(resolved, options=options).relation == expected, seed

@@ -1,0 +1,173 @@
+"""Unit tests for the lexer and the PASCAL/R-style selection parser."""
+
+import pytest
+
+from repro.calculus.ast import (
+    ALL,
+    And,
+    Comparison,
+    Const,
+    FieldRef,
+    Not,
+    Or,
+    Quantified,
+    SOME,
+)
+from repro.errors import LexError, ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_formula, parse_selection
+from repro.lang.tokens import TokenType
+from repro.workloads.queries import EXAMPLE_21_TEXT, example_21
+
+
+class TestLexer:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("some ALL each In of")
+        assert [t.value for t in tokens[:-1]] == ["SOME", "ALL", "EACH", "IN", "OF"]
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_numbers_strings(self):
+        tokens = tokenize("employees 1977 'Highman'")
+        assert tokens[0].type == TokenType.IDENT
+        assert tokens[1].value == 1977
+        assert tokens[2].type == TokenType.STRING
+        assert tokens[2].value == "Highman"
+
+    def test_two_character_operators(self):
+        tokens = tokenize("<> <= >= < > =")
+        assert [t.value for t in tokens[:-1]] == ["<>", "<=", ">=", "<", ">", "="]
+
+    def test_punctuation(self):
+        tokens = tokenize("[ ] ( ) , : .")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.COLON,
+            TokenType.DOT,
+        ]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("a (* PASCAL comment *) b { braces } c")
+        assert [t.value for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'open")
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("(* never closed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_ends_with_eof(self):
+        assert tokenize("")[-1].type == TokenType.EOF
+
+
+class TestFormulaParsing:
+    def test_simple_comparison(self):
+        formula = parse_formula("(e.estatus = professor)")
+        assert formula == Comparison(FieldRef("e", "estatus"), "=", Const("professor"))
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse_formula("(a.x = 1) OR (a.y = 2) AND (a.z = 3)")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.operands[1], And)
+
+    def test_not(self):
+        formula = parse_formula("NOT (a.x = 1)")
+        assert isinstance(formula, Not)
+
+    def test_quantifiers(self):
+        formula = parse_formula("SOME t IN timetable ((t.tenr = e.enr))")
+        assert isinstance(formula, Quantified)
+        assert formula.kind == SOME
+        assert formula.range.relation == "timetable"
+        universal = parse_formula("ALL p IN papers ((p.pyear <> 1977))")
+        assert universal.kind == ALL
+
+    def test_extended_range_in_quantifier(self):
+        formula = parse_formula(
+            "ALL p IN [EACH p IN papers: (p.pyear = 1977)] ((p.penr <> e.enr))"
+        )
+        assert formula.range.is_extended()
+
+    def test_extended_range_with_different_inner_variable_is_renamed(self):
+        formula = parse_formula(
+            "ALL p IN [EACH x IN papers: (x.pyear = 1977)] ((p.penr <> e.enr))"
+        )
+        restriction = formula.range.restriction
+        assert restriction.left == FieldRef("p", "pyear")
+
+    def test_true_false_constants(self):
+        assert parse_formula("true").value is True
+        assert parse_formula("FALSE").value is False
+
+    def test_numbers_and_strings_as_operands(self):
+        formula = parse_formula("(e.ename = 'Highman')")
+        assert formula.right == Const("Highman")
+
+    def test_missing_operator_raises(self):
+        with pytest.raises(ParseError):
+            parse_formula("(e.enr e.enr)")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(ParseError):
+            parse_formula("(e.enr = 1) extra")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("(e.enr = )")
+        assert excinfo.value.line == 1
+
+
+class TestSelectionParsing:
+    def test_minimal_selection(self):
+        selection = parse_selection("[<e.ename> OF EACH e IN employees: true]")
+        assert selection.free_variables == ("e",)
+        assert selection.columns[0].field == "ename"
+
+    def test_multiple_columns_and_bindings(self):
+        selection = parse_selection(
+            "[<e.ename, c.ctitle> OF EACH e IN employees, EACH c IN courses: "
+            "(e.enr = c.cnr)]"
+        )
+        assert len(selection.columns) == 2
+        assert selection.free_variables == ("e", "c")
+
+    def test_column_alias(self):
+        selection = parse_selection(
+            "[<e.ename AS name> OF EACH e IN employees: true]"
+        )
+        assert selection.columns[0].alias == "name"
+
+    def test_extended_range_binding(self):
+        selection = parse_selection(
+            "[<e.ename> OF EACH e IN [EACH e IN employees: (e.estatus = professor)]: true]"
+        )
+        assert selection.bindings[0].range.is_extended()
+
+    def test_running_query_matches_builder_form(self):
+        assert parse_selection(EXAMPLE_21_TEXT) == example_21()
+
+    def test_missing_bracket_raises(self):
+        with pytest.raises(ParseError):
+            parse_selection("[<e.ename> OF EACH e IN employees: true")
+
+    def test_missing_of_raises(self):
+        with pytest.raises(ParseError):
+            parse_selection("[<e.ename> EACH e IN employees: true]")

@@ -1,0 +1,58 @@
+"""Printer/parser round-trip tests (including property-based ones)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus.printer import format_formula, format_selection
+from repro.lang.parser import parse_formula, parse_selection
+from repro.workloads.generator import random_selection
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    EXAMPLE_45_TEXT,
+    NO_1977_PAPERS_TEXT,
+    PROFESSORS_TEXT,
+    SENIORITY_TEXT,
+    TEACHES_LOW_LEVEL_TEXT,
+)
+
+
+NAMED_QUERIES = {
+    "example_2_1": EXAMPLE_21_TEXT,
+    "example_4_5": EXAMPLE_45_TEXT,
+    "professors": PROFESSORS_TEXT,
+    "teaches_low_level": TEACHES_LOW_LEVEL_TEXT,
+    "no_1977_papers": NO_1977_PAPERS_TEXT,
+    "seniority": SENIORITY_TEXT,
+}
+
+
+@pytest.mark.parametrize("name", sorted(NAMED_QUERIES))
+def test_named_queries_round_trip(name):
+    """print(parse(text)) parses back to the same AST for every paper query."""
+    selection = parse_selection(NAMED_QUERIES[name])
+    printed = format_selection(selection)
+    assert parse_selection(printed) == selection
+
+
+@pytest.mark.parametrize("name", sorted(NAMED_QUERIES))
+def test_printing_is_deterministic(name):
+    selection = parse_selection(NAMED_QUERIES[name])
+    assert format_selection(selection) == format_selection(selection)
+
+
+def test_formula_round_trip_simple():
+    text = "(e.estatus = professor) AND SOME t IN timetable ((t.tenr = e.enr))"
+    formula = parse_formula(text)
+    assert parse_formula(format_formula(formula)) == formula
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_selections_round_trip(seed):
+    """Randomly generated selections survive print -> parse unchanged."""
+    selection = random_selection(random.Random(seed))
+    printed = format_selection(selection)
+    assert parse_selection(printed) == selection

@@ -1,0 +1,211 @@
+"""Unit tests for the relational algebra used by the combination phase."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.relational.algebra import (
+    antijoin,
+    difference,
+    distinct_values,
+    divide,
+    intersection,
+    join,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    semijoin,
+    theta_join,
+    theta_semijoin,
+    union,
+)
+from repro.relational.relation import Relation
+from repro.types.scalar import INTEGER
+from repro.types.schema import RelationSchema
+
+
+def make(name: str, fields: list[str], rows: list[tuple]) -> Relation:
+    schema = RelationSchema(name, [(f, INTEGER) for f in fields])
+    relation = Relation(name, schema)
+    for row in rows:
+        relation.insert(dict(zip(fields, row)))
+    return relation
+
+
+@pytest.fixture
+def enrolment():
+    """A little student/course enrolment universe for division tests."""
+    takes = make("takes", ["student", "course"], [
+        (1, 10), (1, 20), (1, 30),
+        (2, 10), (2, 20),
+        (3, 30),
+    ])
+    courses = make("required", ["course"], [(10,), (20,)])
+    return takes, courses
+
+
+class TestBasicOperators:
+    def test_select(self):
+        r = make("r", ["a", "b"], [(1, 2), (3, 4)])
+        assert len(select(r, lambda rec: rec.a > 1)) == 1
+
+    def test_project_eliminates_duplicates(self):
+        r = make("r", ["a", "b"], [(1, 2), (1, 3)])
+        assert len(project(r, ["a"])) == 1
+
+    def test_project_keeps_requested_order(self):
+        r = make("r", ["a", "b"], [(1, 2)])
+        assert project(r, ["b", "a"]).schema.field_names == ("b", "a")
+
+    def test_rename(self):
+        r = make("r", ["a"], [(1,)])
+        renamed = rename(r, {"a": "x"})
+        assert renamed.schema.field_names == ("x",)
+        assert renamed.elements()[0].x == 1
+
+    def test_product_cardinality(self):
+        r = make("r", ["a"], [(1,), (2,)])
+        s = make("s", ["b"], [(3,), (4,), (5,)])
+        assert len(product(r, s)) == 6
+
+    def test_product_name_clash_raises(self):
+        from repro.errors import PascalRError
+
+        r = make("r", ["a"], [(1,)])
+        with pytest.raises(PascalRError):
+            product(r, r)
+
+    def test_theta_join(self):
+        r = make("r", ["a"], [(1,), (2,), (3,)])
+        s = make("s", ["b"], [(2,), (3,)])
+        result = theta_join(r, s, lambda x, y: x.a < y.b)
+        assert len(result) == 3  # (1,2) (1,3) (2,3)
+
+    def test_equi_join(self):
+        r = make("r", ["a", "x"], [(1, 100), (2, 200)])
+        s = make("s", ["b", "y"], [(1, 10), (1, 11), (3, 30)])
+        result = join(r, s, on=[("a", "b")])
+        assert len(result) == 2
+
+    def test_join_with_no_pairs_is_product(self):
+        r = make("r", ["a"], [(1,), (2,)])
+        s = make("s", ["b"], [(1,)])
+        assert len(join(r, s, on=[])) == 2
+
+    def test_natural_join_shares_common_columns(self):
+        r = make("r", ["a", "b"], [(1, 2), (2, 3)])
+        s = make("s", ["b", "c"], [(2, 9), (3, 8), (7, 1)])
+        result = natural_join(r, s)
+        assert result.schema.field_names == ("a", "b", "c")
+        assert len(result) == 2
+
+    def test_natural_join_without_common_columns_is_product(self):
+        r = make("r", ["a"], [(1,), (2,)])
+        s = make("s", ["b"], [(5,)])
+        assert len(natural_join(r, s)) == 2
+
+
+class TestSetOperators:
+    def test_union(self):
+        r = make("r", ["a"], [(1,), (2,)])
+        s = make("r2", ["a"], [(2,), (3,)])
+        assert len(union(r, s)) == 3
+
+    def test_difference(self):
+        r = make("r", ["a"], [(1,), (2,)])
+        s = make("r2", ["a"], [(2,)])
+        assert [rec.a for rec in difference(r, s)] == [1]
+
+    def test_intersection(self):
+        r = make("r", ["a"], [(1,), (2,)])
+        s = make("r2", ["a"], [(2,), (3,)])
+        assert [rec.a for rec in intersection(r, s)] == [2]
+
+    def test_union_schema_mismatch_raises(self):
+        r = make("r", ["a"], [(1,)])
+        s = make("s", ["b"], [(1,)])
+        with pytest.raises(AlgebraError):
+            union(r, s)
+
+    def test_set_operators_do_not_mutate_operands(self):
+        r = make("r", ["a"], [(1,)])
+        s = make("r2", ["a"], [(2,)])
+        union(r, s)
+        difference(r, s)
+        intersection(r, s)
+        assert len(r) == 1 and len(s) == 1
+
+
+class TestDivision:
+    def test_divide_students_taking_all_required_courses(self, enrolment):
+        takes, required = enrolment
+        result = divide(takes, required, by=[("course", "course")])
+        assert {rec.student for rec in result} == {1, 2}
+
+    def test_divide_by_empty_divisor_returns_all_groups(self, enrolment):
+        takes, _ = enrolment
+        empty = make("required", ["course"], [])
+        result = divide(takes, empty, by=[("course", "course")])
+        assert {rec.student for rec in result} == {1, 2, 3}
+
+    def test_divide_empty_dividend(self, enrolment):
+        _, required = enrolment
+        empty = make("takes", ["student", "course"], [])
+        assert len(divide(empty, required, by=[("course", "course")])) == 0
+
+    def test_divide_unknown_columns_raise(self, enrolment):
+        takes, required = enrolment
+        with pytest.raises(AlgebraError):
+            divide(takes, required, by=[("nope", "course")])
+        with pytest.raises(AlgebraError):
+            divide(takes, required, by=[("course", "nope")])
+
+    def test_divide_eliminating_all_columns_raises(self, enrolment):
+        _, required = enrolment
+        one_column = make("takes", ["course"], [(10,), (20,)])
+        with pytest.raises(AlgebraError):
+            divide(one_column, required, by=[("course", "course")])
+
+    def test_division_matches_quantifier_semantics(self, enrolment):
+        """x qualifies iff for every divisor row the pair is in the dividend."""
+        takes, required = enrolment
+        result = divide(takes, required, by=[("course", "course")])
+        students = {rec.student for rec in takes}
+        required_courses = {rec.course for rec in required}
+        expected = {
+            s
+            for s in students
+            if all((s, c) in {(r.student, r.course) for r in takes} for c in required_courses)
+        }
+        assert {rec.student for rec in result} == expected
+
+
+class TestSemiAndAntiJoin:
+    def test_semijoin(self):
+        r = make("r", ["a"], [(1,), (2,), (3,)])
+        s = make("s", ["b"], [(2,), (3,), (4,)])
+        assert {rec.a for rec in semijoin(r, s, on=[("a", "b")])} == {2, 3}
+
+    def test_antijoin(self):
+        r = make("r", ["a"], [(1,), (2,), (3,)])
+        s = make("s", ["b"], [(2,), (3,), (4,)])
+        assert {rec.a for rec in antijoin(r, s, on=[("a", "b")])} == {1}
+
+    def test_semijoin_and_antijoin_partition_left(self):
+        r = make("r", ["a"], [(i,) for i in range(10)])
+        s = make("s", ["b"], [(i,) for i in range(0, 10, 3)])
+        semi = semijoin(r, s, on=[("a", "b")])
+        anti = antijoin(r, s, on=[("a", "b")])
+        assert len(semi) + len(anti) == len(r)
+        assert len(intersection(semi, anti)) == 0
+
+    def test_theta_semijoin(self):
+        r = make("r", ["a"], [(1,), (5,), (9,)])
+        s = make("s", ["b"], [(4,), (6,)])
+        result = theta_semijoin(r, s, on=[("a", "<", "b")])
+        assert {rec.a for rec in result} == {1, 5}
+
+    def test_distinct_values(self):
+        r = make("r", ["a", "b"], [(1, 5), (2, 5), (3, 6)])
+        assert distinct_values(r, "b") == {5, 6}

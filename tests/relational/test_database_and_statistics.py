@@ -1,0 +1,163 @@
+"""Unit tests for the database catalog and the access statistics."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relational.database import Database
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.statistics import COLLECTION, COMBINATION, AccessStatistics
+from repro.storage.storedrelation import StoredRelation
+from repro.types.scalar import INTEGER
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database("test")
+    employees = db.create_relation("employees", [("enr", INTEGER), ("boss", INTEGER)], key=["enr"])
+    for enr in range(1, 6):
+        employees.insert({"enr": enr, "boss": enr // 2})
+    db.create_relation("projects", [("pnr", INTEGER)], key=["pnr"])
+    return db
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, database):
+        assert database.relation("employees").name == "employees"
+        assert database["projects"].is_empty()
+        assert "employees" in database
+
+    def test_paged_database_uses_stored_relations(self, database):
+        assert isinstance(database.relation("employees"), StoredRelation)
+
+    def test_unpaged_database_uses_plain_relations(self):
+        db = Database("plain", paged=False)
+        relation = db.create_relation("r", [("a", INTEGER)])
+        assert not isinstance(relation, StoredRelation)
+
+    def test_duplicate_relation_raises(self, database):
+        with pytest.raises(CatalogError):
+            database.create_relation("employees", [("enr", INTEGER)])
+
+    def test_unknown_relation_raises(self, database):
+        with pytest.raises(CatalogError):
+            database.relation("nonexistent")
+
+    def test_drop_relation(self, database):
+        database.drop_relation("projects")
+        assert not database.has_relation("projects")
+        with pytest.raises(CatalogError):
+            database.drop_relation("projects")
+
+    def test_cardinalities(self, database):
+        assert database.cardinalities() == {"employees": 5, "projects": 0}
+
+    def test_relation_names_and_iteration(self, database):
+        assert database.relation_names() == ["employees", "projects"]
+        assert len(list(database.relations())) == 2
+
+    def test_add_external_relation(self, database):
+        from repro.relational.relation import Relation
+        from repro.types.schema import RelationSchema
+
+        extra = Relation("extra", RelationSchema("extra", [("x", INTEGER)]))
+        database.add_relation(extra)
+        assert database.relation("extra") is extra
+        assert extra.tracker is database.statistics
+
+    def test_describe_lists_relations_and_indexes(self, database):
+        database.create_index("employees", "boss")
+        text = database.describe()
+        assert "employees" in text
+        assert "employees.boss" in text
+
+
+class TestPermanentIndexes:
+    def test_create_and_lookup_index(self, database):
+        index = database.create_index("employees", "boss")
+        assert isinstance(index, HashIndex)
+        assert database.index_for("employees", "boss") is index
+        assert database.index_for("employees", "enr") is None
+
+    def test_sorted_index_for_range_operator(self, database):
+        index = database.create_index("employees", "boss", operator="<=")
+        assert isinstance(index, SortedIndex)
+
+    def test_index_probe(self, database):
+        index = database.create_index("employees", "boss")
+        assert len(index.probe(1)) == 2  # employees 2 and 3 have boss 1
+
+    def test_refresh_indexes_after_insert(self, database):
+        database.create_index("employees", "boss")
+        database.relation("employees").insert({"enr": 10, "boss": 1})
+        database.refresh_indexes()
+        assert len(database.index_for("employees", "boss").probe(1)) == 3
+
+    def test_drop_relation_drops_its_indexes(self, database):
+        database.create_index("employees", "boss")
+        database.drop_relation("employees")
+        assert database.index_for("employees", "boss") is None
+
+    def test_drop_index(self, database):
+        database.create_index("employees", "boss")
+        database.drop_index("employees", "boss")
+        assert database.index_for("employees", "boss") is None
+
+
+class TestStatistics:
+    def test_scans_and_elements(self, database):
+        list(database.relation("employees").scan())
+        stats = database.statistics
+        assert stats.scans("employees") == 1
+        assert stats.elements_read("employees") == 5
+        assert stats.elements_read() == 5
+        assert stats.total_scans() == 1
+
+    def test_reset(self, database):
+        list(database.relation("employees").scan())
+        database.reset_statistics()
+        assert database.statistics.total_scans() == 0
+        assert database.statistics.intermediate_tuples == 0
+
+    def test_phase_attribution(self):
+        stats = AccessStatistics()
+        with stats.phase(COLLECTION):
+            stats.record_element_read("r", 3)
+        with stats.phase(COMBINATION):
+            stats.record_element_read("r", 2)
+        stats.record_element_read("r", 10)
+        assert stats.phase_elements(COLLECTION) == 3
+        assert stats.phase_elements(COMBINATION) == 2
+        assert stats.elements_read("r") == 15
+
+    def test_nested_phases_restore_previous(self):
+        stats = AccessStatistics()
+        with stats.phase(COLLECTION):
+            with stats.phase(COMBINATION):
+                assert stats.current_phase == COMBINATION
+            assert stats.current_phase == COLLECTION
+        assert stats.current_phase is None
+
+    def test_intermediate_and_page_counters(self):
+        stats = AccessStatistics()
+        stats.record_intermediate(10)
+        stats.record_intermediate(5, relations=2)
+        stats.record_page_read(hit=True)
+        stats.record_page_read(hit=False)
+        snapshot = stats.as_dict()
+        assert snapshot["intermediate_tuples"] == 15
+        assert snapshot["intermediate_relations"] == 3
+        assert snapshot["page_hits"] == 1
+        assert snapshot["page_misses"] == 1
+
+    def test_summary_mentions_relations(self):
+        stats = AccessStatistics()
+        stats.record_scan("employees")
+        assert "employees" in stats.summary()
+
+    def test_insert_delete_counters(self, database):
+        employees = database.relation("employees")
+        employees.insert({"enr": 99, "boss": 1})
+        employees.delete_key(99)
+        counters = database.statistics.as_dict()["relations"]["employees"]
+        assert counters["inserts"] >= 1
+        assert counters["deletes"] == 1

@@ -1,0 +1,206 @@
+"""Unit tests for records, relations, selected variables and references."""
+
+import pytest
+
+from repro.errors import (
+    DanglingReferenceError,
+    DuplicateKeyError,
+    MissingElementError,
+    SchemaError,
+)
+from repro.relational.record import Record
+from repro.relational.relation import Relation
+from repro.relational.statistics import AccessStatistics
+from repro.types.scalar import INTEGER, CharArray, Enumeration
+from repro.types.schema import RelationSchema
+
+STATUS = Enumeration("statustype", ("student", "technician", "assistant", "professor"))
+
+
+@pytest.fixture
+def schema() -> RelationSchema:
+    return RelationSchema(
+        "employees",
+        [("enr", INTEGER), ("ename", CharArray(10)), ("estatus", STATUS)],
+        key=["enr"],
+    )
+
+
+@pytest.fixture
+def employees(schema) -> Relation:
+    relation = Relation("employees", schema)
+    relation.insert({"enr": 1, "ename": "Jarke", "estatus": "professor"})
+    relation.insert({"enr": 2, "ename": "Schmidt", "estatus": "professor"})
+    relation.insert({"enr": 3, "ename": "Mall", "estatus": "assistant"})
+    return relation
+
+
+class TestRecord:
+    def test_attribute_and_subscript_access(self, schema):
+        record = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "professor"})
+        assert record.enr == 1
+        assert record["estatus"] == STATUS.professor
+
+    def test_key(self, schema):
+        record = Record(schema, {"enr": 5, "ename": "Koch", "estatus": "student"})
+        assert record.key == (5,)
+
+    def test_immutable(self, schema):
+        record = Record(schema, {"enr": 5, "ename": "Koch", "estatus": "student"})
+        with pytest.raises(AttributeError):
+            record.enr = 6
+
+    def test_equality_and_hash_are_value_based(self, schema):
+        a = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "professor"})
+        b = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "professor"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_tuple_construction_checks_arity(self, schema):
+        with pytest.raises(SchemaError):
+            Record(schema, (1, "x"))
+
+    def test_replace(self, schema):
+        record = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "student"})
+        promoted = record.replace(estatus="professor")
+        assert promoted.estatus == STATUS.professor
+        assert record.estatus == STATUS.student
+
+    def test_as_dict_and_project_values(self, schema):
+        record = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "student"})
+        assert record.as_dict()["enr"] == 1
+        assert record.project_values(("estatus", "enr")) == (STATUS.student, 1)
+
+    def test_get_with_default(self, schema):
+        record = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "student"})
+        assert record.get("salary", 0) == 0
+
+    def test_unknown_attribute_raises(self, schema):
+        record = Record(schema, {"enr": 1, "ename": "Jarke", "estatus": "student"})
+        with pytest.raises(AttributeError):
+            _ = record.salary
+
+
+class TestRelationUpdates:
+    def test_insert_and_len(self, employees):
+        assert len(employees) == 3
+
+    def test_insert_same_element_is_noop(self, employees):
+        employees.insert({"enr": 1, "ename": "Jarke", "estatus": "professor"})
+        assert len(employees) == 3
+
+    def test_insert_conflicting_key_raises(self, employees):
+        with pytest.raises(DuplicateKeyError):
+            employees.insert({"enr": 1, "ename": "Impostor", "estatus": "student"})
+
+    def test_insert_wrong_schema_record_raises(self, employees):
+        other = RelationSchema("other", [("x", INTEGER)])
+        with pytest.raises(SchemaError):
+            employees.insert(Record(other, {"x": 1}))
+
+    def test_delete_by_element_and_key(self, employees):
+        assert employees.delete({"enr": 3, "ename": "Mall", "estatus": "assistant"})
+        assert not employees.contains_key(3)
+        assert employees.delete_key(2)
+        assert len(employees) == 1
+
+    def test_delete_missing_returns_false(self, employees):
+        assert not employees.delete_key(99)
+
+    def test_assign_replaces_contents(self, employees):
+        employees.assign([{"enr": 9, "ename": "New", "estatus": "student"}])
+        assert len(employees) == 1
+        assert employees.contains_key(9)
+
+    def test_clear_and_is_empty(self, employees):
+        employees.clear()
+        assert employees.is_empty()
+
+    def test_copy_is_independent(self, employees):
+        clone = employees.copy()
+        clone.delete_key(1)
+        assert employees.contains_key(1)
+        assert not clone.contains_key(1)
+
+
+class TestSelectedVariablesAndReferences:
+    def test_selected_variable(self, employees):
+        assert employees[1].ename.strip() == "Jarke"
+        assert employees[(2,)].ename.strip() == "Schmidt"
+
+    def test_selected_variable_missing_raises(self, employees):
+        with pytest.raises(MissingElementError):
+            employees[99]
+
+    def test_reference_round_trip(self, employees):
+        ref = employees.ref(1)
+        assert ref.deref().ename.strip() == "Jarke"
+        assert ref.exists()
+
+    def test_reference_of_record(self, employees):
+        record = employees[3]
+        ref = employees.ref_of(record)
+        assert ref.deref() == record
+
+    def test_reference_for_missing_element_raises(self, employees):
+        with pytest.raises(MissingElementError):
+            employees.ref(99)
+
+    def test_dangling_reference_detected(self, employees):
+        ref = employees.ref(3)
+        employees.delete_key(3)
+        assert not ref.exists()
+        with pytest.raises(DanglingReferenceError):
+            ref.deref()
+
+    def test_reference_equality_and_hash(self, employees):
+        assert employees.ref(1) == employees.ref(1)
+        assert employees.ref(1) != employees.ref(2)
+        assert len({employees.ref(1), employees.ref(1)}) == 1
+
+    def test_reference_component_shortcut(self, employees):
+        assert employees.ref(2).component("estatus") == STATUS.professor
+
+    def test_refs_iterates_all(self, employees):
+        assert len(list(employees.refs())) == 3
+
+
+class TestRelationSemantics:
+    def test_contains_record_and_key(self, employees):
+        record = employees[1]
+        assert record in employees
+        assert (1,) in employees
+        assert 1 in employees
+
+    def test_equality_is_set_based(self, schema, employees):
+        other = Relation("other", schema)
+        for record in list(employees)[::-1]:
+            other.insert(record)
+        assert other == employees
+
+    def test_scan_counts_accesses(self, schema):
+        stats = AccessStatistics()
+        relation = Relation("employees", schema, tracker=stats)
+        relation.insert({"enr": 1, "ename": "Jarke", "estatus": "professor"})
+        relation.insert({"enr": 2, "ename": "Schmidt", "estatus": "professor"})
+        list(relation.scan())
+        list(relation.scan())
+        assert stats.scans("employees") == 2
+        assert stats.elements_read("employees") == 4
+
+    def test_plain_iteration_is_untracked(self, schema):
+        stats = AccessStatistics()
+        relation = Relation("employees", schema, tracker=stats)
+        relation.insert({"enr": 1, "ename": "Jarke", "estatus": "professor"})
+        list(relation)
+        assert stats.scans("employees") == 0
+
+    def test_show_renders_table(self, employees):
+        text = employees.show()
+        assert "ename" in text
+        assert "Jarke" in text
+
+    def test_show_with_limit(self, employees):
+        text = employees.show(limit=1)
+        assert "more" in text

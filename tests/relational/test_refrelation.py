@@ -1,0 +1,95 @@
+"""Unit tests for reference-typed relations (the Figure 2 structures)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.relational.refrelation import (
+    ReferenceType,
+    make_indirect_join,
+    make_ref_tuple_relation,
+    make_single_list,
+    ref_field_name,
+)
+from repro.relational.relation import Relation
+from repro.types.scalar import INTEGER
+from repro.types.schema import RelationSchema
+
+
+@pytest.fixture
+def courses() -> Relation:
+    schema = RelationSchema("courses", [("cnr", INTEGER), ("clevel", INTEGER)], key=["cnr"])
+    relation = Relation("courses", schema)
+    for cnr, level in [(1, 1), (2, 2), (3, 4)]:
+        relation.insert({"cnr": cnr, "clevel": level})
+    return relation
+
+
+@pytest.fixture
+def timetable() -> Relation:
+    schema = RelationSchema("timetable", [("tcnr", INTEGER)], key=["tcnr"])
+    relation = Relation("timetable", schema)
+    for tcnr in (1, 2):
+        relation.insert({"tcnr": tcnr})
+    return relation
+
+
+class TestReferenceType:
+    def test_accepts_references_into_target(self, courses):
+        rtype = ReferenceType("courses")
+        ref = courses.ref(1)
+        assert rtype.contains(ref)
+        assert rtype.coerce(ref) is ref
+
+    def test_rejects_foreign_references(self, courses, timetable):
+        rtype = ReferenceType("courses")
+        with pytest.raises(ValidationError):
+            rtype.coerce(timetable.ref(1))
+
+    def test_rejects_non_references(self):
+        with pytest.raises(ValidationError):
+            ReferenceType("courses").coerce(42)
+
+    def test_untargeted_reference_type_accepts_any(self, courses, timetable):
+        rtype = ReferenceType()
+        assert rtype.contains(courses.ref(1))
+        assert rtype.contains(timetable.ref(1))
+
+    def test_comparability(self):
+        assert ReferenceType("courses").is_comparable_with(ReferenceType("courses"))
+        assert not ReferenceType("courses").is_comparable_with(ReferenceType("papers"))
+        assert ReferenceType("courses").is_comparable_with(ReferenceType())
+
+    def test_name(self):
+        assert ReferenceType("courses").name == "@courses"
+
+
+class TestConstructors:
+    def test_ref_field_name(self):
+        assert ref_field_name("c") == "c_ref"
+
+    def test_single_list(self, courses):
+        refs = [courses.ref(1), courses.ref(2)]
+        single = make_single_list("sl_csoph", "c", courses, refs)
+        assert len(single) == 2
+        assert single.schema.field_names == ("c_ref",)
+        stored = {rec.c_ref for rec in single}
+        assert stored == set(refs)
+
+    def test_indirect_join(self, courses, timetable):
+        pairs = [(courses.ref(1), timetable.ref(1)), (courses.ref(2), timetable.ref(2))]
+        ij = make_indirect_join("ij_c_t", "c", courses, "t", timetable, pairs)
+        assert len(ij) == 2
+        assert ij.schema.field_names == ("c_ref", "t_ref")
+
+    def test_ref_tuple_relation(self, courses, timetable):
+        rows = [(courses.ref(1), timetable.ref(2))]
+        rel = make_ref_tuple_relation("combo", ["c", "t"], [courses, timetable], rows)
+        assert len(rel) == 1
+        record = rel.elements()[0]
+        assert record.c_ref.deref().cnr == 1
+        assert record.t_ref.deref().tcnr == 2
+
+    def test_single_list_deduplicates(self, courses):
+        refs = [courses.ref(1), courses.ref(1)]
+        single = make_single_list("sl", "c", courses, refs)
+        assert len(single) == 1

@@ -1,0 +1,194 @@
+"""Unit tests for the simulated paged storage layer."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.record import Record
+from repro.relational.statistics import AccessStatistics
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.page import Page
+from repro.storage.storedrelation import StoredRelation
+from repro.types.scalar import INTEGER
+from repro.types.schema import RelationSchema
+
+SCHEMA = RelationSchema("numbers", [("n", INTEGER)], key=["n"])
+
+
+def record(n: int) -> Record:
+    return Record(SCHEMA, {"n": n})
+
+
+class TestPage:
+    def test_append_and_read(self):
+        page = Page(0, capacity=2)
+        slot = page.append(record(1))
+        assert page.read(slot).n == 1
+
+    def test_capacity_enforced(self):
+        page = Page(0, capacity=1)
+        page.append(record(1))
+        assert page.is_full()
+        with pytest.raises(StorageError):
+            page.append(record(2))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            Page(0, capacity=0)
+
+    def test_tombstone(self):
+        page = Page(0, capacity=4)
+        slot = page.append(record(1))
+        page.append(record(2))
+        page.tombstone(slot)
+        assert page.read(slot) is None
+        assert page.live_count() == 1
+        assert page.allocated() == 2
+        assert [r.n for r in page.records()] == [2]
+
+    def test_tombstone_unallocated_slot_raises(self):
+        with pytest.raises(StorageError):
+            Page(0).tombstone(0)
+
+    def test_read_bad_slot_raises(self):
+        with pytest.raises(StorageError):
+            Page(0).read(3)
+
+
+class TestHeapFile:
+    def test_append_allocates_pages(self):
+        heap = HeapFile("numbers", page_capacity=2)
+        rids = [heap.append(record(i)) for i in range(5)]
+        assert heap.page_count == 3
+        assert heap.live_count() == 5
+        assert rids[0] == RecordId(0, 0)
+        assert rids[4].page_number == 2
+
+    def test_read_and_delete(self):
+        heap = HeapFile("numbers", page_capacity=2)
+        rid = heap.append(record(7))
+        assert heap.read(rid).n == 7
+        heap.delete(rid)
+        assert heap.read(rid) is None
+        assert heap.live_count() == 0
+
+    def test_records_iteration_skips_tombstones(self):
+        heap = HeapFile("numbers", page_capacity=2)
+        keep = heap.append(record(1))
+        gone = heap.append(record(2))
+        heap.delete(gone)
+        assert [r.n for r in heap.records()] == [1]
+
+    def test_unknown_page_raises(self):
+        with pytest.raises(StorageError):
+            HeapFile("numbers").page(4)
+
+    def test_truncate(self):
+        heap = HeapFile("numbers")
+        heap.append(record(1))
+        heap.truncate()
+        assert heap.page_count == 0
+
+
+class TestBufferPool:
+    def test_hits_and_misses(self):
+        heap = HeapFile("numbers", page_capacity=1)
+        for i in range(3):
+            heap.append(record(i))
+        pool = BufferPool(size=2)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 1)
+        assert pool.hits == 1
+        assert pool.misses == 2
+        assert pool.hit_rate() == pytest.approx(1 / 3)
+
+    def test_lru_eviction(self):
+        heap = HeapFile("numbers", page_capacity=1)
+        for i in range(3):
+            heap.append(record(i))
+        pool = BufferPool(size=2)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 1)
+        pool.get_page(heap, 2)  # evicts page 0
+        pool.get_page(heap, 0)  # miss again
+        assert pool.misses == 4
+        assert pool.resident_pages() == 2
+
+    def test_tracker_integration(self):
+        stats = AccessStatistics()
+        heap = HeapFile("numbers", page_capacity=1)
+        heap.append(record(1))
+        pool = BufferPool(size=1, tracker=stats)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 0)
+        assert stats.pages_read == 2
+        assert stats.page_hits == 1
+
+    def test_invalidate(self):
+        heap = HeapFile("numbers", page_capacity=1)
+        heap.append(record(1))
+        pool = BufferPool(size=2)
+        pool.get_page(heap, 0)
+        pool.invalidate("numbers")
+        assert pool.resident_pages() == 0
+
+    def test_minimum_size(self):
+        with pytest.raises(StorageError):
+            BufferPool(size=0)
+
+
+class TestStoredRelation:
+    def make(self, count: int = 70, page_capacity: int = 32) -> StoredRelation:
+        stats = AccessStatistics()
+        relation = StoredRelation(
+            "numbers", SCHEMA, tracker=stats, page_capacity=page_capacity
+        )
+        for i in range(count):
+            relation.insert({"n": i})
+        return relation
+
+    def test_behaves_like_a_relation(self):
+        relation = self.make(10)
+        assert len(relation) == 10
+        assert relation[3].n == 3
+        assert relation.ref(5).deref().n == 5
+
+    def test_scan_counts_pages_and_elements(self):
+        relation = self.make(70, page_capacity=32)
+        assert relation.page_count == 3
+        list(relation.scan())
+        stats = relation.tracker
+        assert stats.scans("numbers") == 1
+        assert stats.elements_read("numbers") == 70
+        assert stats.pages_read == 3
+
+    def test_repeated_scans_hit_the_buffer_pool(self):
+        relation = self.make(40, page_capacity=32)
+        list(relation.scan())
+        list(relation.scan())
+        assert relation.buffer_pool.hits >= 2
+
+    def test_fetch_by_key(self):
+        relation = self.make(10)
+        assert relation.fetch(4).n == 4
+        assert relation.fetch(99) is None
+
+    def test_delete_tombstones_heap(self):
+        relation = self.make(5)
+        relation.delete_key(2)
+        assert relation.heap_file.live_count() == 4
+        assert [r.n for r in relation.scan()] == [0, 1, 3, 4]
+
+    def test_assign_truncates_heap(self):
+        relation = self.make(5)
+        relation.assign([{"n": 100}])
+        assert len(relation) == 1
+        assert relation.heap_file.live_count() == 1
+        assert [r.n for r in relation.scan()] == [100]
+
+    def test_clear(self):
+        relation = self.make(5)
+        relation.clear()
+        assert relation.is_empty()
+        assert relation.page_count == 0

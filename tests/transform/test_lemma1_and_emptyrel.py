@@ -1,0 +1,143 @@
+"""Unit tests for Lemma 1 and the runtime empty-relation adaptation (Example 2.2)."""
+
+import pytest
+
+from repro.calculus import builder as q
+from repro.calculus.ast import ALL, And, BoolConst, Or, Quantified, SOME
+from repro.errors import TransformError
+from repro.transform.emptyrel import adapt_formula, adapt_selection
+from repro.transform.lemma1 import distribute_into_quantifier, pull_quantifier_out, rule_name
+from repro.workloads.queries import example_21
+from repro.workloads.university import figure1_database
+
+
+A = q.eq(("e", "estatus"), "professor")
+B = q.ne(("p", "pyear"), 1977)
+
+
+def some_p():
+    return q.some("p", "papers", B)
+
+
+def all_p():
+    return q.all_("p", "papers", B)
+
+
+class TestRuleTable:
+    def test_rule_numbers_and_preconditions(self):
+        assert rule_name("AND", SOME) == (1, False)
+        assert rule_name("OR", SOME) == (2, True)
+        assert rule_name("AND", ALL) == (3, True)
+        assert rule_name("OR", ALL) == (4, False)
+
+
+class TestDistributeIntoQuantifier:
+    def test_rule1_and_some(self):
+        result = distribute_into_quantifier(A, some_p(), "AND")
+        assert result.rule == 1
+        assert not result.requires_non_empty
+        assert isinstance(result.formula, Quantified)
+        assert result.formula.body == And(A, B)
+
+    def test_rule2_or_some_non_empty(self):
+        result = distribute_into_quantifier(A, some_p(), "OR", range_is_empty=lambda _: False)
+        assert result.rule == 2
+        assert result.formula.body == Or(A, B)
+
+    def test_rule2_or_some_empty_range_collapses_to_outer(self):
+        result = distribute_into_quantifier(A, some_p(), "OR", range_is_empty=lambda _: True)
+        assert result.formula == A
+
+    def test_rule3_and_all_empty_range_collapses_to_outer(self):
+        result = distribute_into_quantifier(A, all_p(), "AND", range_is_empty=lambda _: True)
+        assert result.rule == 3
+        assert result.formula == A
+
+    def test_rule4_or_all(self):
+        result = distribute_into_quantifier(A, all_p(), "OR")
+        assert result.rule == 4
+        assert not result.requires_non_empty
+        assert result.formula.body == Or(A, B)
+
+    def test_conditional_rules_flagged_without_oracle(self):
+        assert distribute_into_quantifier(A, some_p(), "OR").requires_non_empty
+        assert distribute_into_quantifier(A, all_p(), "AND").requires_non_empty
+
+    def test_outer_mentioning_bound_variable_rejected(self):
+        outer = q.eq(("p", "pyear"), 1980)
+        with pytest.raises(TransformError):
+            distribute_into_quantifier(outer, some_p(), "AND")
+
+
+class TestPullQuantifierOut:
+    def test_pulls_some_out_of_and(self):
+        result = pull_quantifier_out(And(A, some_p()))
+        assert result is not None
+        assert result.rule == 1
+        assert isinstance(result.formula, Quantified)
+
+    def test_pulls_all_out_of_or(self):
+        result = pull_quantifier_out(Or(A, all_p()))
+        assert result.rule == 4
+
+    def test_empty_range_short_circuits(self):
+        result = pull_quantifier_out(Or(A, some_p()), range_is_empty=lambda _: True)
+        assert result.formula == A
+
+    def test_non_matching_shapes_return_none(self):
+        assert pull_quantifier_out(And(A, B)) is None
+        assert pull_quantifier_out(A) is None
+        three = And(A, B, some_p())
+        assert pull_quantifier_out(three) is None
+
+    def test_outer_mentioning_bound_variable_returns_none(self):
+        outer = q.eq(("p", "pyear"), 1980)
+        assert pull_quantifier_out(And(outer, some_p())) is None
+
+
+class TestEmptyRangeAdaptation:
+    def test_some_over_empty_range_becomes_false(self):
+        adaptation = adapt_formula(some_p(), relation_is_empty=lambda name: True)
+        assert adaptation.formula == BoolConst(False)
+        assert adaptation.removed_quantifiers == ((SOME, "p", "papers"),)
+
+    def test_all_over_empty_range_becomes_true(self):
+        adaptation = adapt_formula(all_p(), relation_is_empty=lambda name: True)
+        assert adaptation.formula == BoolConst(True)
+
+    def test_enclosing_connectives_simplify(self):
+        formula = q.and_(A, all_p())
+        adaptation = adapt_formula(formula, relation_is_empty=lambda name: name == "papers")
+        assert adaptation.formula == A
+
+    def test_nothing_changes_when_ranges_are_non_empty(self):
+        formula = q.and_(A, all_p())
+        adaptation = adapt_formula(formula, relation_is_empty=lambda name: False)
+        assert not adaptation.changed
+        assert adaptation.formula == formula
+
+    def test_example_22_adaptation(self):
+        """With papers = [], the running query reduces to the professor test."""
+        database = figure1_database()
+        database.relation("papers").clear()
+        selection = example_21()
+        adapted, record = adapt_selection(selection, database)
+        assert record.changed
+        assert (ALL, "p", "papers") in record.removed_quantifiers
+        # The remaining formula no longer mentions papers at all.
+        from repro.calculus.analysis import relations_of
+
+        assert "papers" not in relations_of(adapted)
+
+    def test_adaptation_handles_extended_ranges(self):
+        database = figure1_database()
+        formula = q.some(
+            "p",
+            q.range_("papers", q.eq(("p", "pyear"), 1900)),  # matches nothing
+            q.ne(("p", "penr"), 1),
+        )
+        # A OR (SOME p IN empty-extended-range ...) collapses to A (Lemma 1 rule 2).
+        selection = q.selection([("e", "ename")], [("e", "employees")], q.or_(A, formula))
+        adapted, record = adapt_selection(selection, database)
+        assert record.changed
+        assert adapted.formula == A

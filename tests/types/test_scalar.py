@@ -1,0 +1,212 @@
+"""Unit tests for the PASCAL/R scalar types."""
+
+import pytest
+
+from repro.errors import TypeSystemError, ValidationError
+from repro.types.scalar import (
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    CharArray,
+    Enumeration,
+    EnumValue,
+    Subrange,
+    compare_values,
+    negate_operator,
+    swap_operator,
+)
+
+
+class TestIntegerType:
+    def test_contains_integers(self):
+        assert INTEGER.contains(5)
+        assert INTEGER.contains(-3)
+
+    def test_rejects_booleans_and_strings(self):
+        assert not INTEGER.contains(True)
+        assert not INTEGER.contains("5")
+
+    def test_coerce_passes_integers_through(self):
+        assert INTEGER.coerce(42) == 42
+
+    def test_coerce_rejects_non_integers(self):
+        with pytest.raises(ValidationError):
+            INTEGER.coerce("42")
+
+    def test_comparable_with_subrange(self):
+        assert INTEGER.is_comparable_with(Subrange(1, 10))
+
+
+class TestSubrange:
+    def test_bounds_are_inclusive(self):
+        year = Subrange(1900, 1999, "yeartype")
+        assert year.contains(1900)
+        assert year.contains(1999)
+        assert not year.contains(2000)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(TypeSystemError):
+            Subrange(10, 1)
+
+    def test_default_name(self):
+        assert Subrange(1, 99).name == "1..99"
+
+    def test_coerce_outside_range_raises(self):
+        with pytest.raises(ValidationError):
+            Subrange(1, 99).coerce(100)
+
+    def test_coerce_inside_range(self):
+        assert Subrange(1, 99).coerce(50) == 50
+
+
+class TestBooleanAndChar:
+    def test_boolean_coerce(self):
+        assert BOOLEAN.coerce(True) is True
+        with pytest.raises(ValidationError):
+            BOOLEAN.coerce(1)
+
+    def test_char_requires_single_character(self):
+        assert CHAR.coerce("x") == "x"
+        with pytest.raises(ValidationError):
+            CHAR.coerce("xy")
+
+
+class TestCharArray:
+    def test_pads_to_declared_length(self):
+        name = CharArray(10, "nametype")
+        assert name.coerce("Highman") == "Highman   "
+
+    def test_rejects_too_long_strings(self):
+        with pytest.raises(ValidationError):
+            CharArray(3).coerce("abcd")
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(ValidationError):
+            CharArray(3).coerce(123)
+
+    def test_needs_positive_length(self):
+        with pytest.raises(TypeSystemError):
+            CharArray(0)
+
+    def test_padded_values_compare_equal_after_strip(self):
+        name = CharArray(10)
+        assert compare_values("=", name.coerce("Highman"), "Highman")
+
+
+class TestEnumeration:
+    @pytest.fixture
+    def level(self):
+        return Enumeration("leveltype", ("freshman", "sophomore", "junior", "senior"))
+
+    def test_value_lookup(self, level):
+        assert level.value("junior").ordinal == 2
+
+    def test_attribute_access(self, level):
+        assert level.sophomore == level.value("sophomore")
+
+    def test_unknown_label_raises(self, level):
+        with pytest.raises(ValidationError):
+            level.value("graduate")
+
+    def test_ordering_follows_declaration(self, level):
+        assert level.freshman < level.sophomore < level.junior < level.senior
+
+    def test_paper_comparison_clevel_le_sophomore(self, level):
+        assert compare_values("<=", level.freshman, level.sophomore)
+        assert compare_values("<=", level.sophomore, level.sophomore)
+        assert not compare_values("<=", level.junior, level.sophomore)
+
+    def test_coerce_accepts_labels_and_values(self, level):
+        assert level.coerce("senior") == level.senior
+        assert level.coerce(level.senior) == level.senior
+
+    def test_coerce_rejects_foreign_enum_values(self, level):
+        status = Enumeration("statustype", ("student", "professor"))
+        with pytest.raises(ValidationError):
+            level.coerce(status.professor)
+
+    def test_cross_enum_ordering_raises(self, level):
+        status = Enumeration("statustype", ("student", "professor"))
+        with pytest.raises(TypeSystemError):
+            _ = level.freshman < status.professor
+
+    def test_equality_with_label_string(self, level):
+        assert level.junior == "junior"
+        assert level.junior != "senior"
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TypeSystemError):
+            Enumeration("bad", ("a", "a"))
+
+    def test_empty_enumeration_rejected(self):
+        with pytest.raises(TypeSystemError):
+            Enumeration("bad", ())
+
+    def test_values_in_declaration_order(self, level):
+        assert [v.label for v in level.values()] == [
+            "freshman",
+            "sophomore",
+            "junior",
+            "senior",
+        ]
+
+    def test_enum_value_hashable(self, level):
+        assert len({level.freshman, level.value("freshman")}) == 1
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,negated",
+        [("=", "<>"), ("<>", "="), ("<", ">="), ("<=", ">"), (">", "<="), (">=", "<")],
+    )
+    def test_negate_operator(self, op, negated):
+        assert negate_operator(op) == negated
+
+    @pytest.mark.parametrize(
+        "op,swapped",
+        [("=", "="), ("<>", "<>"), ("<", ">"), ("<=", ">="), (">", "<"), (">=", "<=")],
+    )
+    def test_swap_operator(self, op, swapped):
+        assert swap_operator(op) == swapped
+
+    def test_negation_is_involution(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert negate_operator(negate_operator(op)) == op
+
+    def test_swap_is_involution(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert swap_operator(swap_operator(op)) == op
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 3, 3, True),
+            ("<>", 3, 3, False),
+            ("<", 3, 4, True),
+            ("<=", 4, 4, True),
+            (">", 5, 4, True),
+            (">=", 3, 4, False),
+        ],
+    )
+    def test_compare_values(self, op, left, right, expected):
+        assert compare_values(op, left, right) is expected
+
+    def test_compare_values_unknown_operator(self):
+        with pytest.raises(TypeSystemError):
+            compare_values("==", 1, 1)
+
+    def test_negate_semantics(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            for left in range(0, 4):
+                for right in range(0, 4):
+                    assert compare_values(op, left, right) != compare_values(
+                        negate_operator(op), left, right
+                    )
+
+    def test_swap_semantics(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            for left in range(0, 4):
+                for right in range(0, 4):
+                    assert compare_values(op, left, right) == compare_values(
+                        swap_operator(op), right, left
+                    )
