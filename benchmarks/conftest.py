@@ -1,9 +1,11 @@
 """Shared fixtures for the benchmark suite.
 
-Every benchmark regenerates one of the paper's figures or worked examples (see
-DESIGN.md, "Per-experiment index").  The pytest-benchmark timings quantify the
+Every benchmark regenerates one of the paper's figures or worked examples, or
+profiles one of this repository's own optimizations (see DESIGN.md,
+"Per-experiment index").  The pytest-benchmark timings quantify the
 end-to-end cost; each benchmark additionally prints a paper-style comparison
-table (scans / intermediate structure sizes) recorded in EXPERIMENTS.md.
+table (scans / intermediate structure sizes) via ``print_report``, visible
+with ``pytest -s``.
 """
 
 from __future__ import annotations

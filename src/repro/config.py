@@ -46,6 +46,17 @@ class StrategyOptions:
     use_permanent_indexes:
         Skip the index-construction step of the collection phase when the
         database holds a matching permanent index (Section 3.2).
+    join_ordering:
+        Combination-phase optimizer — order the joins of each conjunction by
+        estimated cardinality (smallest structure first, then the connected
+        structure with the smallest estimated join result) instead of the
+        textual first-connected order of the literal Section 3.3 procedure.
+    semijoin_reduction:
+        Combination-phase optimizer — before joining, semijoin-filter every
+        conjunct structure against the other structures of the same
+        conjunction that share a variable column (Bernstein & Chiu's
+        technique, which Section 4.4 relates to collection-phase
+        quantifiers), so dyadic structures shrink before they enter a join.
     """
 
     parallel_collection: bool = True
@@ -55,6 +66,8 @@ class StrategyOptions:
     general_range_extensions: bool = False
     separate_existential_conjunctions: bool = False
     use_permanent_indexes: bool = True
+    join_ordering: bool = True
+    semijoin_reduction: bool = True
 
     # -- presets -----------------------------------------------------------------
 
@@ -72,6 +85,8 @@ class StrategyOptions:
             extended_ranges=False,
             collection_phase_quantifiers=False,
             use_permanent_indexes=False,
+            join_ordering=False,
+            semijoin_reduction=False,
         )
 
     @classmethod
@@ -93,6 +108,8 @@ class StrategyOptions:
             "general_range_extensions": "S3+ general extensions",
             "separate_existential_conjunctions": "separate conjunctions",
             "use_permanent_indexes": "permanent indexes",
+            "join_ordering": "cost-ordered joins",
+            "semijoin_reduction": "semijoin reduction",
         }
         enabled = [label for attr, label in names.items() if getattr(self, attr)]
         return ", ".join(enabled) if enabled else "no strategies"

@@ -610,6 +610,7 @@ class CollectionPhase:
         return evaluate_formula(restriction, {var: record}, self.database)
 
     def _term_holds(self, term: Comparison, var: str, record: Record) -> bool:
+        self.statistics.record_comparison()
         return evaluate_formula(term, {var: record}, self.database)
 
     def _passes_folds(

@@ -1,4 +1,4 @@
-"""The combination phase (Section 3.3, step 2).
+"""The combination phase (Section 3.3, step 2) and its optimizer.
 
 "The COMBINATION PHASE manipulates only reference relations; it evaluates
 logical operators and quantifiers in three steps:
@@ -12,11 +12,31 @@ logical operators and quantifiers in three steps:
 * quantifiers are evaluated from right to left, using projection for
   existential quantification and division for universal quantification."
 
-The implementation below follows that description literally, using the
-relational algebra of :mod:`repro.relational.algebra` over reference
-relations.  Its cost — the size of the n-tuple relations it builds — is the
-quantity Strategies 3 and 4 attack, and it is reported through the shared
+The implementation below follows that description, using the relational
+algebra of :mod:`repro.relational.algebra` over reference relations.  Its
+cost — the size of the n-tuple relations it builds — is the quantity
+Strategies 3 and 4 attack, and it is reported through the shared
 :class:`~repro.relational.statistics.AccessStatistics`.
+
+Two combination-phase optimizations (switchable through
+:class:`~repro.config.StrategyOptions`) attack the same cost *inside* the
+phase:
+
+* ``join_ordering`` — instead of joining structures in textual
+  first-connected order, start from the smallest structure and greedily join
+  the connected structure with the smallest estimated join cardinality
+  (``|L| * |R| / max(distinct join values)``); Cartesian products are taken
+  only as a last resort, smallest first.
+* ``semijoin_reduction`` — before any n-tuple join, a reducer pass
+  semijoin-filters each conjunct structure against every other structure of
+  the conjunction sharing a variable column (Bernstein & Chiu's technique,
+  which the paper relates to its collection-phase quantifier evaluation), so
+  dyadic structures shrink before they ever enter a join.
+
+Both default to on; ``StrategyOptions.none()`` (or the individual flags)
+restores the literal Section 3.3 behaviour.  The chosen join order and the
+per-structure reduction sizes are recorded on :class:`CombinationResult` so
+``explain(..., analyze=True)`` can show them.
 """
 
 from __future__ import annotations
@@ -25,13 +45,14 @@ from dataclasses import dataclass, field
 
 from repro.calculus.analysis import QuantifierSpec
 from repro.calculus.ast import ALL, SOME
+from repro.config import StrategyOptions
 from repro.engine.collection import CollectionResult, ConjunctStructure
 from repro.errors import EvaluationError
-from repro.relational.algebra import divide, natural_join, project, union
+from repro.relational.algebra import divide, natural_join, project, semijoin, union
 from repro.relational.record import Record
 from repro.relational.refrelation import ReferenceType, ref_field_name
 from repro.relational.relation import Relation
-from repro.relational.statistics import COMBINATION
+from repro.relational.statistics import COMBINATION, estimate_join_cardinality
 from repro.transform.pipeline import PreparedQuery
 from repro.types.schema import Field, RelationSchema
 
@@ -50,15 +71,36 @@ class CombinationResult:
     after_quantifiers_size: int = 0
     peak_tuples: int = 0
 
+    conjunction_indexes: list[int] = field(default_factory=list)
+    """Positions (0-based, into the prepared matrix) of the conjunctions
+    actually evaluated — dropped conjunctions leave gaps, and the entries of
+    ``conjunction_sizes``/``join_orders``/``reductions`` align with this."""
+
+    join_orders: list[list[tuple[str, int]]] = field(default_factory=list)
+    """Per evaluated conjunction: ``(structure description, cardinality)`` in
+    the order the structures were joined (post-reduction sizes)."""
+
+    reductions: list[list[tuple[str, int, int]]] = field(default_factory=list)
+    """Per evaluated conjunction: ``(structure description, size before,
+    size after)`` for every structure touched by the semijoin reducer."""
+
 
 class CombinationPhase:
     """Combines collection-phase structures into free-variable reference tuples."""
 
-    def __init__(self, prepared: PreparedQuery, database, collection: CollectionResult) -> None:
+    def __init__(
+        self,
+        prepared: PreparedQuery,
+        database,
+        collection: CollectionResult,
+        options: StrategyOptions | None = None,
+    ) -> None:
         self.prepared = prepared
         self.database = database
         self.collection = collection
+        self.options = options if options is not None else prepared.options
         self.statistics = database.statistics
+        self._peak = 0
 
     # -- public API ------------------------------------------------------------------
 
@@ -66,94 +108,242 @@ class CombinationPhase:
         with self.statistics.phase(COMBINATION):
             return self._run()
 
+    def _note(self, relation: Relation) -> Relation:
+        """Track the peak intermediate n-tuple relation size."""
+        size = len(relation)
+        if size > self._peak:
+            self._peak = size
+        return relation
+
     def _run(self) -> CombinationResult:
         variables = list(self.prepared.variables)
         result = CombinationResult(tuples=self._empty_tuple_relation(variables))
-        peak = 0
+        self._peak = 0
 
         combined: Relation | None = None
         for index, structures in enumerate(self.collection.conjunctions):
             if structures is None:
                 continue
-            conjunction_relation = self._combine_conjunction(index, structures, variables)
-            size = len(conjunction_relation)
-            result.conjunction_sizes.append(size)
-            self.statistics.record_intermediate(size)
-            peak = max(peak, size)
+            conjunction_relation = self._combine_conjunction(index, structures, variables, result)
+            result.conjunction_indexes.append(index)
+            result.conjunction_sizes.append(len(conjunction_relation))
+            self._note(conjunction_relation)
             if combined is None:
                 combined = conjunction_relation
             else:
-                combined = union(combined, conjunction_relation, name="matrix_union")
+                combined = self._note(
+                    union(combined, conjunction_relation, name="matrix_union",
+                          tracker=self.statistics)
+                )
         if combined is None:
             # Every conjunction was dropped: the matrix is unsatisfiable.
             result.union_size = 0
             result.after_quantifiers_size = 0
-            result.peak_tuples = peak
+            result.peak_tuples = self._peak
             return result
 
         result.union_size = len(combined)
-        peak = max(peak, len(combined))
 
         # Quantifier elimination, right to left.
         current = combined
         for spec in reversed(self.prepared.prefix):
-            current = self._eliminate_quantifier(current, spec)
-            self.statistics.record_intermediate(len(current))
-            peak = max(peak, len(current))
+            current = self._note(self._eliminate_quantifier(current, spec))
 
         result.tuples = self._project_to_free_variables(current)
         result.after_quantifiers_size = len(result.tuples)
-        result.peak_tuples = peak
+        result.peak_tuples = self._peak
         return result
 
     # -- conjunction combination ---------------------------------------------------------
 
     def _combine_conjunction(
-        self, index: int, structures: list[ConjunctStructure], variables: list[str]
+        self,
+        index: int,
+        structures: list[ConjunctStructure],
+        variables: list[str],
+        result: CombinationResult,
     ) -> Relation:
         """Build the n-tuple reference relation for one conjunction."""
-        pending = list(structures)
-        current: Relation | None = None
-        covered: set[str] = set()
+        entries: list[tuple[str, Relation]] = [
+            (structure.description, self._structure_relation(index, structure))
+            for structure in structures
+        ]
 
-        # Join connected structures first (shared variables), then bring in the
-        # disconnected ones via Cartesian products.
-        while pending:
-            if current is None:
-                structure = pending.pop(0)
-                current = self._structure_relation(index, structure)
-                covered.update(structure.variables)
-                continue
-            pick = None
-            for position, structure in enumerate(pending):
-                if covered & set(structure.variables):
-                    pick = position
-                    break
-            if pick is None:
-                pick = 0
-            structure = pending.pop(pick)
-            current = natural_join(
-                current, self._structure_relation(index, structure), name=f"conj{index}"
-            )
-            covered.update(structure.variables)
+        if self.options.semijoin_reduction and len(entries) > 1:
+            result.reductions.append(self._reduce_structures(entries))
+        else:
+            result.reductions.append([])
+
+        order: list[tuple[str, int]] = []
+        current = self._join_structures(index, entries, order)
 
         if current is None:
             # No structures: the conjunction is TRUE — every combination of
             # variable bindings qualifies; start from the first variable's range.
             current = self._range_relation(variables[0])
+            order.append((f"range of {variables[0]}", len(current)))
 
         # Extend with the full ranges of the variables the conjunction does not
         # mention (Section 3.3 builds n-tuples over *all* n variables).
         for var in variables:
             if ref_field_name(var) not in current.schema.field_names:
-                current = natural_join(
-                    current, self._range_relation(var), name=f"conj{index}_x_{var}"
+                extension = self._range_relation(var)
+                order.append((f"range of {var}", len(extension)))
+                current = self._note(
+                    natural_join(current, extension, name=f"conj{index}_x_{var}",
+                                 tracker=self.statistics)
                 )
+        result.join_orders.append(order)
         return project(
             current,
             [ref_field_name(var) for var in variables],
             name=f"conjunction_{index}",
+            tracker=self.statistics,
         )
+
+    def _join_structures(
+        self, index: int, entries: list[tuple[str, Relation]], order: list[tuple[str, int]]
+    ) -> Relation | None:
+        """Join the conjunct structures, in legacy or cost-estimated order."""
+        pending = list(entries)
+        if not pending:
+            return None
+
+        if self.options.join_ordering:
+            start = min(range(len(pending)), key=lambda i: len(pending[i][1]))
+        else:
+            start = 0
+        description, current = pending.pop(start)
+        order.append((description, len(current)))
+        covered = set(current.schema.field_names)
+
+        # Distinct counts keyed by (relation identity, column tuple).  Every
+        # cached relation is alive when its entry is read (it is ``current``
+        # or sits in ``pending``), and both join operands' entries are
+        # evicted below *before* the operands can be freed, so a recycled
+        # id() can never hit a stale entry.
+        distinct_cache: dict[tuple[int, tuple[str, ...]], int] = {}
+        while pending:
+            pick = self._pick_next(current, covered, pending, distinct_cache)
+            description, relation = pending.pop(pick)
+            order.append((description, len(relation)))
+            for stale_id in (id(current), id(relation)):
+                for key in [k for k in distinct_cache if k[0] == stale_id]:
+                    del distinct_cache[key]
+            current = self._note(
+                natural_join(current, relation, name=f"conj{index}", tracker=self.statistics)
+            )
+            covered.update(relation.schema.field_names)
+        return current
+
+    def _pick_next(
+        self,
+        current: Relation,
+        covered: set[str],
+        pending: list[tuple[str, Relation]],
+        distinct_cache: dict[tuple[int, tuple[str, ...]], int],
+    ) -> int:
+        """Position of the next structure to join into ``current``."""
+        if not self.options.join_ordering:
+            # Legacy: the first connected structure, else the first one
+            # (Cartesian product) — the literal Section 3.3 reading.
+            for position, (_, relation) in enumerate(pending):
+                if covered & set(relation.schema.field_names):
+                    return position
+            return 0
+
+        best_connected: int | None = None
+        best_connected_cost = 0.0
+        best_disconnected: int | None = None
+        best_disconnected_size = 0
+        for position, (_, relation) in enumerate(pending):
+            shared = [f for f in relation.schema.field_names if f in covered]
+            if shared:
+                cost = estimate_join_cardinality(
+                    len(current),
+                    len(relation),
+                    self._cached_distinct(current, shared, distinct_cache),
+                    self._cached_distinct(relation, shared, distinct_cache),
+                )
+                if best_connected is None or cost < best_connected_cost:
+                    best_connected, best_connected_cost = position, cost
+            else:
+                size = len(relation)
+                if best_disconnected is None or size < best_disconnected_size:
+                    best_disconnected, best_disconnected_size = position, size
+        if best_connected is not None:
+            return best_connected
+        assert best_disconnected is not None
+        return best_disconnected
+
+    @staticmethod
+    def _cached_distinct(
+        relation: Relation,
+        field_names: list[str],
+        cache: dict[tuple[int, tuple[str, ...]], int],
+    ) -> int:
+        key = (id(relation), tuple(field_names))
+        count = cache.get(key)
+        if count is None:
+            positions = relation.schema.positions_of(field_names)
+            count = len({tuple(record.values[p] for p in positions) for record in relation})
+            cache[key] = count
+        return count
+
+    def _reduce_structures(
+        self, entries: list[tuple[str, Relation]]
+    ) -> list[tuple[str, int, int]]:
+        """Semijoin-filter each structure against its connected neighbours.
+
+        Repeats passes until no structure shrinks (bounded by the number of
+        structures, which suffices for acyclic join graphs — a full reducer
+        in the sense of Bernstein & Chiu; cyclic graphs still only shrink,
+        never change the join result).
+        """
+        originals = [len(relation) for _, relation in entries]
+        shared_cache: dict[tuple[int, int], list[str]] = {}
+        for i, (_, left) in enumerate(entries):
+            left_names = set(left.schema.field_names)
+            for j, (_, right) in enumerate(entries):
+                if i == j:
+                    continue
+                shared_cache[(i, j)] = [
+                    f for f in right.schema.field_names if f in left_names
+                ]
+
+        changed = True
+        passes = 0
+        while changed and passes <= len(entries):
+            changed = False
+            passes += 1
+            for i in range(len(entries)):
+                description, left = entries[i]
+                if len(left) == 0:
+                    continue
+                for j in range(len(entries)):
+                    if i == j:
+                        continue
+                    shared = shared_cache[(i, j)]
+                    if not shared:
+                        continue
+                    before = len(left)
+                    left = semijoin(
+                        left,
+                        entries[j][1],
+                        on=[(f, f) for f in shared],
+                        name=left.name,
+                        tracker=self.statistics,
+                    )
+                    removed = before - len(left)
+                    if removed:
+                        self.statistics.record_reduction(removed)
+                        changed = True
+                entries[i] = (description, left)
+
+        return [
+            (description, original, len(relation))
+            for (description, relation), original in zip(entries, originals)
+        ]
 
     def _structure_relation(self, index: int, structure: ConjunctStructure) -> Relation:
         schema = RelationSchema(
@@ -165,8 +355,8 @@ class CombinationPhase:
             key=None,
         )
         relation = Relation(schema.name, schema)
-        for row in structure.rows:
-            relation.insert(Record.raw(schema, tuple(row)))
+        raw = Record.raw
+        relation.bulk_insert_raw(raw(schema, tuple(row)) for row in structure.rows)
         return relation
 
     def _range_relation(self, var: str) -> Relation:
@@ -176,8 +366,8 @@ class CombinationPhase:
             key=None,
         )
         relation = Relation(schema.name, schema)
-        for ref in self.collection.range_refs[var]:
-            relation.insert(Record.raw(schema, (ref,)))
+        raw = Record.raw
+        relation.bulk_insert_raw(raw(schema, (ref,)) for ref in self.collection.range_refs[var])
         return relation
 
     def _relation_of(self, var: str) -> str:
@@ -193,10 +383,13 @@ class CombinationPhase:
             )
         if spec.kind == SOME:
             remaining = [f for f in current.schema.field_names if f != column]
-            return project(current, remaining, name=f"exists_{spec.var}")
+            return project(current, remaining, name=f"exists_{spec.var}", tracker=self.statistics)
         if spec.kind == ALL:
             divisor = self._range_relation(spec.var)
-            return divide(current, divisor, by=[(column, column)], name=f"forall_{spec.var}")
+            return divide(
+                current, divisor, by=[(column, column)], name=f"forall_{spec.var}",
+                tracker=self.statistics,
+            )
         raise EvaluationError(f"unknown quantifier kind {spec.kind!r}")
 
     # -- output shaping ----------------------------------------------------------------------

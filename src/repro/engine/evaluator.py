@@ -157,7 +157,7 @@ class QueryEngine:
             relation = self._evaluate_constant_matrix(selection, prepared)
             return QueryResult(relation=relation, prepared=prepared, statistics={})
         collection = CollectionPhase(prepared, self.database, options).run()
-        combination = CombinationPhase(prepared, self.database, collection).run()
+        combination = CombinationPhase(prepared, self.database, collection, options).run()
         relation = ConstructionPhase(selection, self.database).run(combination)
         return QueryResult(
             relation=relation,
@@ -214,7 +214,8 @@ class QueryEngine:
         """Evaluate each conjunction as an independent sub-query and union the results."""
         total: Relation | None = None
         last: QueryResult | None = None
-        for conjunction in prepared.conjunctions:
+        combined: CombinationResult | None = None
+        for position, conjunction in enumerate(prepared.conjunctions):
             used_vars = set()
             for literal in conjunction:
                 variables = getattr(literal, "variables", None)
@@ -238,6 +239,7 @@ class QueryEngine:
             )
             partial = self._execute_prepared(selection, sub, options)
             last = partial
+            combined = self._merge_combination(combined, partial.combination, position)
             if total is None:
                 total = partial.relation
             else:
@@ -250,17 +252,71 @@ class QueryEngine:
             prepared=prepared,
             statistics={},
             collection=last.collection,
-            combination=last.combination,
+            combination=combined,
             subqueries=len(prepared.conjunctions),
         )
 
+    @staticmethod
+    def _merge_combination(
+        combined: CombinationResult | None,
+        partial: CombinationResult | None,
+        position: int,
+    ) -> CombinationResult | None:
+        """Fold one sub-query's combination report into the whole query's.
+
+        Each sub-query evaluates exactly one conjunction of the original
+        matrix, so its recorded ``conjunction_indexes`` (always ``[0]``) are
+        re-based to ``position`` — keeping EXPLAIN's conjunction numbering
+        aligned with the prepared matrix.  The scalar sizes are per-sub-query
+        sums (the sub-queries never form one combined union relation).
+        """
+        if partial is None:
+            return combined
+        if combined is None:
+            combined = CombinationResult(tuples=partial.tuples)
+        combined.tuples = partial.tuples
+        combined.conjunction_sizes.extend(partial.conjunction_sizes)
+        combined.conjunction_indexes.extend(position for _ in partial.conjunction_indexes)
+        combined.join_orders.extend(partial.join_orders)
+        combined.reductions.extend(partial.reductions)
+        combined.union_size += partial.union_size
+        combined.after_quantifiers_size += partial.after_quantifiers_size
+        combined.peak_tuples = max(combined.peak_tuples, partial.peak_tuples)
+        return combined
+
     # -- explain ----------------------------------------------------------------------------------
 
-    def explain(self, query: str | Selection, options: StrategyOptions | None = None) -> str:
-        """A textual account of how the engine would evaluate ``query``."""
-        from repro.engine.explain import explain_prepared
+    def explain(
+        self,
+        query: str | Selection,
+        options: StrategyOptions | None = None,
+        analyze: bool = False,
+    ) -> str:
+        """A textual account of how the engine would evaluate ``query``.
+
+        With ``analyze=True`` the query is actually executed and the report
+        additionally shows what the combination phase *did*: the join order
+        chosen for every conjunction and the per-structure semijoin reduction
+        sizes (EXPLAIN ANALYZE, in later systems' terms).
+        """
+        from repro.engine.explain import explain_combination, explain_prepared
 
         options = options or self.options
+        if analyze:
+            # Explain the plan that actually ran: execute() may re-plan via
+            # the Strategy 3 runtime fallback, and result.prepared (with its
+            # trace) reflects that, keeping the static and dynamic sections
+            # of the report consistent.
+            result = self.execute(query, options)
+            effective = (
+                options.with_(extended_ranges=False)
+                if result.used_strategy3_fallback
+                else options
+            )
+            report = explain_prepared(result.prepared, self.database, effective)
+            if result.combination is not None:
+                report += "\n" + explain_combination(result.combination)
+            return report
         prepared = self.prepare(query, options)
         return explain_prepared(prepared, self.database, options)
 

@@ -3,7 +3,10 @@
 Shows what the examples and the paper's worked derivations show: the
 transformation trace, the (possibly extended) ranges, the quantifier prefix,
 the matrix conjunctions with their join terms and derived predicates, and the
-collection-phase scan order.
+collection-phase scan order.  :func:`explain_combination` extends the report
+with execution-time facts — the combination-phase join order and the
+semijoin reducer's per-structure before/after sizes — and is what
+``QueryEngine.explain(..., analyze=True)`` appends.
 """
 
 from __future__ import annotations
@@ -11,10 +14,11 @@ from __future__ import annotations
 from repro.calculus.ast import BoolConst, Comparison
 from repro.calculus.printer import format_formula, format_range, format_selection
 from repro.config import StrategyOptions
+from repro.engine.combination import CombinationResult
 from repro.transform.pipeline import PreparedQuery
 from repro.transform.quantifier_pushdown import DerivedPredicate
 
-__all__ = ["explain_prepared"]
+__all__ = ["explain_prepared", "explain_combination"]
 
 
 def explain_prepared(prepared: PreparedQuery, database, options: StrategyOptions) -> str:
@@ -68,4 +72,37 @@ def explain_prepared(prepared: PreparedQuery, database, options: StrategyOptions
             + ("TRUE — the result is the projection of the free ranges" if prepared.constant
                else "FALSE — the result is empty")
         )
+    return "\n".join(lines)
+
+
+def explain_combination(combination: CombinationResult) -> str:
+    """Render the combination phase's recorded join orders and reductions.
+
+    Conjunction numbers match the ``matrix:`` section of
+    :func:`explain_prepared` — dropped conjunctions keep their position.
+    """
+    lines: list[str] = ["combination phase:"]
+    # conjunction_indexes, join_orders and reductions are appended in
+    # lockstep by CombinationPhase — index directly so a broken invariant
+    # fails loudly instead of mislabelling conjunctions.
+    for position, order in enumerate(combination.join_orders):
+        number = combination.conjunction_indexes[position] + 1
+        lines.append(f"  conjunction {number} join order:")
+        for step, (description, size) in enumerate(order):
+            prefix = "start with" if step == 0 else "then join"
+            lines.append(f"    {prefix} {description} ({size} tuples)")
+        reductions = combination.reductions[position]
+        reduced = [r for r in reductions if r[1] != r[2]]
+        if reduced:
+            lines.append(f"  conjunction {number} semijoin reductions:")
+            for description, before, after in reduced:
+                lines.append(f"    {description}: {before} -> {after} tuples")
+        elif reductions:
+            lines.append(f"  conjunction {number} semijoin reductions: (nothing removed)")
+    lines.append(
+        f"  conjunction sizes: {combination.conjunction_sizes}, "
+        f"union {combination.union_size}, "
+        f"after quantifiers {combination.after_quantifiers_size}, "
+        f"peak n-tuples {combination.peak_tuples}"
+    )
     return "\n".join(lines)

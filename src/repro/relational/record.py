@@ -25,7 +25,7 @@ class Record:
     set-oriented relation semantics require.
     """
 
-    __slots__ = ("_schema", "_values")
+    __slots__ = ("_schema", "_values", "_hash")
 
     def __init__(self, schema: RelationSchema, values: Mapping[str, Any] | tuple):
         if isinstance(values, tuple):
@@ -41,6 +41,7 @@ class Record:
             stored = schema.coerce_values(values)
         object.__setattr__(self, "_schema", schema)
         object.__setattr__(self, "_values", stored)
+        object.__setattr__(self, "_hash", None)
 
     # -- construction helpers -------------------------------------------------
 
@@ -50,6 +51,7 @@ class Record:
         record = object.__new__(cls)
         object.__setattr__(record, "_schema", schema)
         object.__setattr__(record, "_values", values)
+        object.__setattr__(record, "_hash", None)
         return record
 
     # -- accessors -------------------------------------------------------------
@@ -101,7 +103,8 @@ class Record:
 
     def project_values(self, field_names: tuple[str, ...]) -> tuple:
         """Values of the named components, in the order given."""
-        return tuple(self[name] for name in field_names)
+        values = self._values
+        return tuple(values[p] for p in self._schema.positions_of(field_names))
 
     # -- value semantics ---------------------------------------------------------
 
@@ -120,7 +123,11 @@ class Record:
         )
 
     def __hash__(self) -> int:
-        return hash((self._schema.field_names, self._values))
+        cached = self._hash
+        if cached is None:
+            cached = hash((self._schema.field_names, self._values))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         pairs = ", ".join(

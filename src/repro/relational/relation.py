@@ -63,6 +63,10 @@ class Relation:
         self.schema = schema
         self.tracker = tracker
         self._elements: dict[tuple, Record] = {}
+        # Intermediate (reference) relations use key = all components, in
+        # which case the key tuple *is* the value tuple — the algebra kernels
+        # exploit this to skip key extraction entirely.
+        self._key_is_all = schema.key == schema.field_names
         if elements is not None:
             self.insert_all(elements)
 
@@ -122,6 +126,31 @@ class Relation:
         """Insert every element of ``elements`` (the ``:+`` of a set literal)."""
         for element in elements:
             self.insert(element)
+
+    def insert_raw(self, record: Record) -> Record:
+        """No-coerce, no-tracker insert of an already-validated record.
+
+        Internal fast path for the relational algebra kernels, which build
+        fresh result relations whose key covers all components: duplicate
+        values collapse by dict semantics, so no key-violation check is
+        needed.  Callers with a proper (partial) key must use
+        :meth:`insert` instead.
+        """
+        values = record.values
+        key = values if self._key_is_all else self.schema.key_of(values)
+        self._elements[key] = record
+        return record
+
+    def bulk_insert_raw(self, records: Iterable[Record]) -> None:
+        """Insert many already-validated records through the raw fast path."""
+        elements = self._elements
+        if self._key_is_all:
+            for record in records:
+                elements[record.values] = record
+        else:
+            key_of = self.schema.key_of
+            for record in records:
+                elements[key_of(record.values)] = record
 
     def delete(self, element: Record | Mapping[str, Any] | tuple) -> bool:
         """The PASCAL/R delete operator ``:-`` for a single element.

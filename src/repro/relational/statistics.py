@@ -19,12 +19,44 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["AccessStatistics", "PhaseScope", "COLLECTION", "COMBINATION", "CONSTRUCTION"]
+__all__ = [
+    "AccessStatistics",
+    "PhaseScope",
+    "COLLECTION",
+    "COMBINATION",
+    "CONSTRUCTION",
+    "join_selectivity",
+    "estimate_join_cardinality",
+]
 
 #: Phase labels used by the evaluation engine.
 COLLECTION = "collection"
 COMBINATION = "combination"
 CONSTRUCTION = "construction"
+
+
+def join_selectivity(left_distinct: int, right_distinct: int) -> float:
+    """The classic equi-join selectivity hint: ``1 / max(distinct values)``.
+
+    Each side contributes ``distinct`` different join-key values; assuming
+    the smaller set of values is contained in the larger one, a fraction
+    ``1/max`` of the Cartesian product survives the join predicate.
+    """
+    return 1.0 / max(left_distinct, right_distinct, 1)
+
+
+def estimate_join_cardinality(
+    left_size: int, right_size: int, left_distinct: int, right_distinct: int
+) -> float:
+    """Estimated size of an equi-join from operand sizes and distinct counts.
+
+    Used by the combination-phase join-ordering optimizer to pick the next
+    structure to join: ``|L| * |R| * join_selectivity``.  A zero on either
+    side short-circuits to zero (the join is empty).
+    """
+    if left_size == 0 or right_size == 0:
+        return 0.0
+    return left_size * right_size * join_selectivity(left_distinct, right_distinct)
 
 
 @dataclass
@@ -67,6 +99,8 @@ class AccessStatistics:
         self.page_hits = 0
         self.page_misses = 0
         self.comparisons = 0
+        self.reduced_tuples = 0
+        self.reductions = 0
 
     # -- phase management -----------------------------------------------------
 
@@ -120,6 +154,15 @@ class AccessStatistics:
         """``count`` join-term comparisons were evaluated."""
         self.comparisons += count
 
+    def record_reduction(self, removed: int) -> None:
+        """One semijoin application of the reducer removed ``removed`` tuples.
+
+        ``reductions`` therefore counts individual reducing semijoins, not
+        reducer passes (a pass applies several semijoins).
+        """
+        self.reductions += 1
+        self.reduced_tuples += removed
+
     # -- reporting -------------------------------------------------------------
 
     def scans(self, relation_name: str) -> int:
@@ -156,6 +199,8 @@ class AccessStatistics:
             "page_hits": self.page_hits,
             "page_misses": self.page_misses,
             "comparisons": self.comparisons,
+            "reduced_tuples": self.reduced_tuples,
+            "reductions": self.reductions,
         }
 
     def reset(self) -> None:
@@ -168,6 +213,8 @@ class AccessStatistics:
         self.page_hits = 0
         self.page_misses = 0
         self.comparisons = 0
+        self.reduced_tuples = 0
+        self.reductions = 0
 
     def summary(self) -> str:
         """A compact multi-line human readable summary."""
@@ -184,6 +231,10 @@ class AccessStatistics:
         )
         lines.append(
             f"pages: read={self.pages_read} hits={self.page_hits} misses={self.page_misses}"
+        )
+        lines.append(
+            f"semijoin reducer: reducing semijoins={self.reductions} "
+            f"tuples removed={self.reduced_tuples}"
         )
         return "\n".join(lines)
 

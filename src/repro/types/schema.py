@@ -61,6 +61,8 @@ class RelationSchema:
     fields: tuple[Field, ...]
     key: tuple[str, ...] = ()
     _field_map: dict = field(default_factory=dict, compare=False, repr=False)
+    _position_map: dict = field(default_factory=dict, compare=False, repr=False)
+    _key_positions: tuple = field(default=(), compare=False, repr=False)
 
     def __init__(
         self,
@@ -96,6 +98,12 @@ class RelationSchema:
         object.__setattr__(self, "fields", normalized)
         object.__setattr__(self, "key", key_tuple)
         object.__setattr__(self, "_field_map", {f.name: f for f in normalized})
+        object.__setattr__(
+            self, "_position_map", {f.name: i for i, f in enumerate(normalized)}
+        )
+        object.__setattr__(
+            self, "_key_positions", tuple(names.index(k) for k in key_tuple)
+        )
 
     # -- lookups -------------------------------------------------------------
 
@@ -128,10 +136,26 @@ class RelationSchema:
 
     def field_position(self, field_name: str) -> int:
         """Index of ``field_name`` in declaration order."""
-        for position, f in enumerate(self.fields):
-            if f.name == field_name:
-                return position
-        raise SchemaError(f"schema {self.name!r} has no component {field_name!r}")
+        try:
+            return self._position_map[field_name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no component {field_name!r}"
+            ) from None
+
+    def positions_of(self, field_names: Sequence[str]) -> tuple[int, ...]:
+        """Declaration-order indexes of several components at once.
+
+        The relational algebra kernels resolve component positions once per
+        operator call through this method instead of once per record.
+        """
+        positions = self._position_map
+        try:
+            return tuple(positions[name] for name in field_names)
+        except KeyError as exc:
+            raise SchemaError(
+                f"schema {self.name!r} has no component {exc.args[0]!r}"
+            ) from None
 
     # -- derived schemas -------------------------------------------------------
 
@@ -192,8 +216,7 @@ class RelationSchema:
         """Extract the key tuple from a mapping or storage-ordered sequence."""
         if isinstance(values, Mapping):
             return tuple(values[k] for k in self.key)
-        positions = [self.field_position(k) for k in self.key]
-        return tuple(values[p] for p in positions)
+        return tuple(values[p] for p in self._key_positions)
 
     def describe(self) -> str:
         """A PASCAL/R-flavoured, human readable rendering of the schema."""

@@ -19,12 +19,16 @@ __all__ = [
     "NO_1977_PAPERS_TEXT",
     "PUBLISHED_EVERY_YEAR_QUERY",
     "SENIORITY_TEXT",
+    "OTHERS_PUBLISHED_1977_TEXT",
+    "PUBLISHING_TEACHERS_TEXT",
     "example_21",
     "example_45",
     "professors",
     "teaches_low_level",
     "no_1977_papers",
     "seniority_pairs",
+    "others_published_1977",
+    "publishing_teachers",
     "all_named_queries",
 ]
 
@@ -96,6 +100,32 @@ SENIORITY_TEXT = """
 PUBLISHED_EVERY_YEAR_QUERY = """
 [<e.ename> OF EACH e IN employees:
     SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = e.enr))]
+"""
+
+
+#: A three-variable conjunction whose dominant structure is a large
+#: inequality indirect join (``e.enr <> p.penr``): teaching professors for
+#: whom some 1977 paper was written by somebody else.  Every variable is
+#: mentioned by a join term, so the combination phase's join order and the
+#: semijoin reducer — not range extension products — determine the peak
+#: intermediate size.  This is the showcase query of the combination-phase
+#: optimizer benchmark.
+OTHERS_PUBLISHED_1977_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    SOME p IN papers (SOME t IN timetable
+        ((e.estatus = professor) AND (e.enr <> p.penr)
+         AND (e.enr = t.tenr) AND (p.pyear = 1977)))]
+"""
+
+
+#: A four-variable chain join — employees who published a paper and teach a
+#: course at sophomore level or below — exercising the join-ordering
+#: optimizer on a conjunction with four structures and no range extension.
+PUBLISHING_TEACHERS_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    SOME p IN papers (SOME c IN courses (SOME t IN timetable
+        ((e.enr = p.penr) AND (c.clevel <= sophomore)
+         AND (c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
 """
 
 
@@ -182,6 +212,16 @@ def seniority_pairs() -> Selection:
     return parse_selection(SENIORITY_TEXT)
 
 
+def others_published_1977() -> Selection:
+    """The three-variable inequality-join query of the combination benchmark."""
+    return parse_selection(OTHERS_PUBLISHED_1977_TEXT)
+
+
+def publishing_teachers() -> Selection:
+    """The four-variable chain-join query of the combination benchmark."""
+    return parse_selection(PUBLISHING_TEACHERS_TEXT)
+
+
 def all_named_queries() -> dict[str, Selection]:
     """Every named query, keyed by a short identifier (used by benchmarks)."""
     return {
@@ -190,4 +230,6 @@ def all_named_queries() -> dict[str, Selection]:
         "teaches_low_level": teaches_low_level(),
         "no_1977_papers": no_1977_papers(),
         "seniority": seniority_pairs(),
+        "others_published_1977": others_published_1977(),
+        "publishing_teachers": publishing_teachers(),
     }

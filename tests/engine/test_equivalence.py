@@ -1,0 +1,61 @@
+"""Cross-engine equivalence: the optimized combination phase vs. ground truth.
+
+For every query in :func:`repro.workloads.queries.all_named_queries`, the
+phase-structured engine must return exactly the relation computed by
+:func:`repro.engine.evaluator.execute_naive`, under every combination of the
+combination-phase optimizer flags (``join_ordering`` × ``semijoin_reduction``)
+crossed with the representative strategy configurations of ``conftest``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, execute_naive
+from repro.workloads.queries import all_named_queries
+
+SCALE2_CONFIGS = {
+    "all": StrategyOptions.all_strategies(),
+    "none": StrategyOptions.none(),
+    "s1": StrategyOptions.only(parallel_collection=True),
+    "s1+s2": StrategyOptions.only(parallel_collection=True, one_step_nested=True),
+    "s3+s4": StrategyOptions.only(
+        extended_ranges=True, collection_phase_quantifiers=True
+    ),
+}
+
+QUERIES = all_named_queries()
+
+OPTIMIZER_FLAGS = list(itertools.product((False, True), repeat=2))
+
+
+def _flag_id(flags: tuple[bool, bool]) -> str:
+    ordering, reduction = flags
+    return f"ordering={'on' if ordering else 'off'}-semijoin={'on' if reduction else 'off'}"
+
+
+@pytest.mark.parametrize("flags", OPTIMIZER_FLAGS, ids=_flag_id)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_optimizer_flags_match_naive_on_figure1(figure1, query_name, flags, strategy_options):
+    """All optimizer flag combinations × strategy configs, on the Figure 1 data."""
+    ordering, reduction = flags
+    options = strategy_options.with_(join_ordering=ordering, semijoin_reduction=reduction)
+    expected = execute_naive(figure1, QUERIES[query_name])
+    result = QueryEngine(figure1, options).execute(QUERIES[query_name])
+    assert result.relation == expected
+
+
+@pytest.mark.parametrize("flags", OPTIMIZER_FLAGS, ids=_flag_id)
+@pytest.mark.parametrize("config_name", sorted(SCALE2_CONFIGS))
+def test_optimizer_flags_match_naive_at_scale2(university_scale2, config_name, flags):
+    """A larger database catches size-dependent ordering bugs; one query per cell."""
+    ordering, reduction = flags
+    options = SCALE2_CONFIGS[config_name].with_(
+        join_ordering=ordering, semijoin_reduction=reduction
+    )
+    for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
+        expected = execute_naive(university_scale2, QUERIES[query_name])
+        result = QueryEngine(university_scale2, options).execute(QUERIES[query_name])
+        assert result.relation == expected, (config_name, query_name)
