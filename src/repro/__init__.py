@@ -20,14 +20,17 @@ from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
 from repro.lang.parser import parse_formula, parse_selection
 from repro.relational.database import Database
 from repro.relational.relation import Relation
+from repro.service import PreparedQuery, QueryService
 from repro.workloads.university import build_university_database, figure1_database
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
+    "PreparedQuery",
     "QueryEngine",
     "QueryResult",
+    "QueryService",
     "Relation",
     "StrategyOptions",
     "__version__",

@@ -32,6 +32,7 @@ __all__ = [
     "SOME",
     "ALL",
     "Const",
+    "Param",
     "FieldRef",
     "Operand",
     "Formula",
@@ -68,6 +69,33 @@ class Const:
 
 
 @dataclass(frozen=True)
+class Param:
+    """A named query parameter ``$name`` standing in for a constant operand.
+
+    Parameters make one query text cover a family of workloads: the compile
+    side (parsing, type checking, the Section 2-3 transformations) runs once
+    on the parameterized form, and each execution substitutes concrete
+    constants via :func:`repro.service.bind_selection` /
+    :func:`repro.service.bind_plan`.  Type resolution records the scalar type
+    of the component the parameter is compared with in ``type`` (excluded
+    from equality, so resolved and unresolved occurrences of ``$name``
+    compare equal), and binding coerces the supplied value through it —
+    enumeration labels, subrange bounds and padded char-arrays behave exactly
+    as literal constants would.
+    """
+
+    name: str
+    type: Any = field(default=None, compare=False)
+
+    def with_type(self, scalar_type: Any) -> "Param":
+        """A copy of this parameter annotated with its resolved scalar type."""
+        return Param(self.name, scalar_type)
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
 class FieldRef:
     """A component access ``variable.component`` (e.g. ``e.ename``)."""
 
@@ -79,7 +107,7 @@ class FieldRef:
 
 
 #: An operand of a comparison.
-Operand = Union[Const, FieldRef]
+Operand = Union[Const, Param, FieldRef]
 
 
 # ------------------------------------------------------------------------ formulae

@@ -31,6 +31,7 @@ from repro.calculus.ast import (
     Not,
     Or,
     OutputColumn,
+    Param,
     Quantified,
     RangeExpr,
     Selection,
@@ -40,6 +41,7 @@ from repro.calculus.ast import (
 __all__ = [
     "field",
     "const",
+    "param",
     "operand",
     "comp",
     "eq",
@@ -70,13 +72,18 @@ def const(value: Any) -> Const:
     return Const(value)
 
 
+def param(name: str) -> Param:
+    """The named query parameter ``$name``."""
+    return Param(name)
+
+
 def operand(value: Any):
     """Coerce a convenience value into an operand.
 
     ``("e", "enr")`` tuples become :class:`FieldRef`; existing operands pass
     through; anything else becomes a :class:`Const`.
     """
-    if isinstance(value, (FieldRef, Const)):
+    if isinstance(value, (FieldRef, Const, Param)):
         return value
     if isinstance(value, tuple) and len(value) == 2 and all(isinstance(v, str) for v in value):
         return FieldRef(value[0], value[1])

@@ -19,6 +19,7 @@ from repro.calculus.ast import (
     Formula,
     Not,
     Or,
+    Param,
     Quantified,
     RangeExpr,
     Selection,
@@ -33,6 +34,8 @@ def format_operand(operand: Any) -> str:
     """Render one operand of a join term."""
     if isinstance(operand, FieldRef):
         return f"{operand.var}.{operand.field}"
+    if isinstance(operand, Param):
+        return f"${operand.name}"
     if isinstance(operand, Const):
         value = operand.value
         if isinstance(value, EnumValue):

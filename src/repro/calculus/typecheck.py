@@ -23,6 +23,7 @@ from repro.calculus.ast import (
     Not,
     Or,
     OutputColumn,
+    Param,
     Quantified,
     RangeExpr,
     Selection,
@@ -40,6 +41,8 @@ class TypeChecker:
 
     def __init__(self, schemas: Mapping[str, RelationSchema]):
         self._schemas = dict(schemas)
+        # Per-resolve() registry: parameter name -> first resolved scalar type.
+        self._param_types: dict[str, ScalarType] = {}
 
     @classmethod
     def for_database(cls, database) -> "TypeChecker":
@@ -74,6 +77,7 @@ class TypeChecker:
         unknown relations, and :class:`~repro.errors.TypeCheckError` on
         unknown components or incomparable operand types.
         """
+        self._param_types = {}
         scope: dict[str, str] = {}
         bindings = []
         for binding in selection.bindings:
@@ -131,7 +135,7 @@ class TypeChecker:
         right_is_field = isinstance(right, FieldRef)
         if not left_is_field and not right_is_field:
             raise TypeCheckError(
-                f"join term {comparison!r} compares two constants; "
+                f"join term {comparison!r} compares two constants or parameters; "
                 "at least one operand must be a component access"
             )
         if left_is_field and right_is_field:
@@ -145,17 +149,30 @@ class TypeChecker:
             return comparison
         if left_is_field:
             field_type = self._field_type(scope, left)
-            return Comparison(left, comparison.op, self._coerce(field_type, right, comparison))
+            return Comparison(left, comparison.op, self._resolve_constant(field_type, right, comparison))
         field_type = self._field_type(scope, right)
-        return Comparison(self._coerce(field_type, left, comparison), comparison.op, right)
+        return Comparison(self._resolve_constant(field_type, left, comparison), comparison.op, right)
 
-    @staticmethod
-    def _coerce(field_type: ScalarType, constant: Const, comparison: Comparison) -> Const:
+    def _resolve_constant(self, field_type: ScalarType, operand, comparison: Comparison):
+        """Coerce a literal now; annotate a parameter for coercion at bind time."""
+        if isinstance(operand, Param):
+            known = self._param_types.get(operand.name)
+            if known is None:
+                self._param_types[operand.name] = field_type
+            elif not known.is_comparable_with(field_type):
+                # One bound value must satisfy every occurrence; incompatible
+                # component types make that impossible — fail like the
+                # literal-constant equivalent would.
+                raise TypeCheckError(
+                    f"parameter ${operand.name} is compared with incompatible types "
+                    f"{known.name!r} and {field_type.name!r} (in join term {comparison!r})"
+                )
+            return operand.with_type(field_type)
         try:
-            return Const(field_type.coerce(constant.value))
+            return Const(field_type.coerce(operand.value))
         except ValidationError as exc:
             raise TypeCheckError(
-                f"constant {constant.value!r} in join term {comparison!r} is not a value "
+                f"constant {operand.value!r} in join term {comparison!r} is not a value "
                 f"of type {field_type.name!r}: {exc}"
             ) from exc
 

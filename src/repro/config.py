@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["StrategyOptions"]
+__all__ = ["StrategyOptions", "ServiceOptions"]
 
 
 @dataclass(frozen=True)
@@ -113,3 +113,31 @@ class StrategyOptions:
         }
         enabled = [label for attr, label in names.items() if getattr(self, attr)]
         return ", ".join(enabled) if enabled else "no strategies"
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Tuning knobs of the prepared-query service layer.
+
+    Attributes
+    ----------
+    plan_cache_capacity:
+        Maximum number of compiled plans the
+        :class:`~repro.service.cache.PlanCache` retains (LRU-evicted);
+        ``0`` disables plan caching (every prepare recompiles).
+    collection_cache_size:
+        Per-prepared-query bound-plan and collection-structure memo size;
+        ``0`` disables both memos (every execution re-binds and re-collects).
+    batching:
+        Whether :meth:`~repro.service.QueryService.execute_batch` groups
+        compatible plans to share collection-phase scans; when off, batches
+        simply execute their requests one by one.
+    """
+
+    plan_cache_capacity: int = 128
+    collection_cache_size: int = 32
+    batching: bool = True
+
+    def with_(self, **changes) -> "ServiceOptions":
+        """A copy with the named settings changed."""
+        return replace(self, **changes)

@@ -41,7 +41,7 @@ from repro.relational.record import Record
 from repro.relational.reference import Ref
 from repro.relational.relation import Relation
 from repro.relational.statistics import COLLECTION
-from repro.transform.pipeline import PreparedQuery
+from repro.transform.pipeline import QueryPlan
 from repro.transform.quantifier_pushdown import DerivedPredicate
 from repro.types.scalar import compare_values, swap_operator
 
@@ -283,7 +283,7 @@ class _ConjunctionNeeds:
 class CollectionPhase:
     """Executes the collection phase for a prepared query."""
 
-    def __init__(self, prepared: PreparedQuery, database, options: StrategyOptions) -> None:
+    def __init__(self, prepared: QueryPlan, database, options: StrategyOptions) -> None:
         self.prepared = prepared
         self.database = database
         self.options = options

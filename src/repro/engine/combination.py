@@ -53,7 +53,7 @@ from repro.relational.record import Record
 from repro.relational.refrelation import ReferenceType, ref_field_name
 from repro.relational.relation import Relation
 from repro.relational.statistics import COMBINATION, estimate_join_cardinality
-from repro.transform.pipeline import PreparedQuery
+from repro.transform.pipeline import QueryPlan
 from repro.types.schema import Field, RelationSchema
 
 __all__ = ["CombinationResult", "CombinationPhase"]
@@ -90,7 +90,7 @@ class CombinationPhase:
 
     def __init__(
         self,
-        prepared: PreparedQuery,
+        prepared: QueryPlan,
         database,
         collection: CollectionResult,
         options: StrategyOptions | None = None,

@@ -36,7 +36,7 @@ from repro.engine.result import project_environment, result_relation_for
 from repro.lang.parser import parse_selection
 from repro.relational.record import Record
 from repro.relational.relation import Relation
-from repro.transform.pipeline import PreparedQuery, prepare_query
+from repro.transform.pipeline import QueryPlan, prepare_query
 from repro.transform.separation import can_separate
 from repro.transform.normalform import to_standard_form
 
@@ -48,7 +48,7 @@ class QueryResult:
     """The outcome of executing one query."""
 
     relation: Relation
-    prepared: PreparedQuery
+    prepared: QueryPlan
     statistics: dict
     collection: CollectionResult | None = None
     combination: CombinationResult | None = None
@@ -105,7 +105,7 @@ class QueryEngine:
             return self.parse(query)
         return TypeChecker.for_database(self.database).resolve(query)
 
-    def prepare(self, query: str | Selection, options: StrategyOptions | None = None) -> PreparedQuery:
+    def prepare(self, query: str | Selection, options: StrategyOptions | None = None) -> QueryPlan:
         """Run only the transformation pipeline (used by EXPLAIN and tests)."""
         selection = self._admit(query)
         return prepare_query(selection, self.database, options or self.options, resolve=False)
@@ -129,12 +129,68 @@ class QueryEngine:
         result.statistics = self.database.statistics.as_dict()
         return result
 
-    def _execute_resolved(self, selection: Selection, options: StrategyOptions) -> QueryResult:
-        prepared = prepare_query(selection, self.database, options, resolve=False)
+    def execute_plan(
+        self,
+        plan: QueryPlan,
+        options: StrategyOptions | None = None,
+        reset_statistics: bool = True,
+        collection: CollectionResult | None = None,
+        collection_sink=None,
+    ) -> QueryResult:
+        """Evaluate an already-transformed :class:`QueryPlan`.
+
+        This is the run-time half of the prepare/execute split used by the
+        service layer: the compile-time pipeline (lexing, type checking, the
+        Section 2-3 transformations) was paid when ``plan`` was built; only
+        the collection/combination/construction phases run here.  ``plan``
+        must be fully bound (no free parameters) and must have been prepared
+        against this engine's database with ``options`` (default: the
+        options recorded on the plan).
+
+        ``collection`` supplies a previously collected
+        :class:`CollectionResult` for this exact plan (the service layer's
+        per-binding memo), skipping the collection phase; ``collection_sink``
+        is called with the collection result actually computed for the plan,
+        so the caller can memoize it.  Neither applies to the constant-matrix
+        or separated-conjunction paths, and the Strategy 3 runtime fallback
+        always re-collects for its re-planned query.
+        """
+        options = options or plan.options
+        if reset_statistics:
+            self.database.reset_statistics()
+        started = time.perf_counter()
+        result = self._execute_resolved(
+            plan.selection,
+            options,
+            plan=plan,
+            collection=collection,
+            collection_sink=collection_sink,
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        result.statistics = self.database.statistics.as_dict()
+        return result
+
+    def _execute_resolved(
+        self,
+        selection: Selection,
+        options: StrategyOptions,
+        plan: QueryPlan | None = None,
+        collection: CollectionResult | None = None,
+        collection_sink=None,
+    ) -> QueryResult:
+        prepared = plan if plan is not None else prepare_query(
+            selection, self.database, options, resolve=False
+        )
         try:
             if options.separate_existential_conjunctions and self._separable(prepared):
                 return self._execute_separated(selection, prepared, options)
-            return self._execute_prepared(selection, prepared, options)
+            return self._execute_prepared(
+                selection,
+                prepared,
+                options,
+                collection=collection,
+                collection_sink=collection_sink,
+            )
         except ExtendedRangeEmptyError:
             fallback_options = options.with_(extended_ranges=False)
             prepared = prepare_query(selection, self.database, fallback_options, resolve=False)
@@ -147,7 +203,12 @@ class QueryEngine:
             return result
 
     def _execute_prepared(
-        self, selection: Selection, prepared: PreparedQuery, options: StrategyOptions
+        self,
+        selection: Selection,
+        prepared: QueryPlan,
+        options: StrategyOptions,
+        collection: CollectionResult | None = None,
+        collection_sink=None,
     ) -> QueryResult:
         if prepared.constant is not None:
             # The constant-matrix shortcut still relies on the non-empty-range
@@ -156,7 +217,10 @@ class QueryEngine:
             self._check_extended_prefix_ranges(prepared)
             relation = self._evaluate_constant_matrix(selection, prepared)
             return QueryResult(relation=relation, prepared=prepared, statistics={})
-        collection = CollectionPhase(prepared, self.database, options).run()
+        if collection is None:
+            collection = CollectionPhase(prepared, self.database, options).run()
+            if collection_sink is not None:
+                collection_sink(collection)
         combination = CombinationPhase(prepared, self.database, collection, options).run()
         relation = ConstructionPhase(selection, self.database).run(combination)
         return QueryResult(
@@ -167,7 +231,7 @@ class QueryEngine:
             combination=combination,
         )
 
-    def _check_extended_prefix_ranges(self, prepared: PreparedQuery) -> None:
+    def _check_extended_prefix_ranges(self, prepared: QueryPlan) -> None:
         """Raise :class:`ExtendedRangeEmptyError` when an extended quantifier range is empty."""
         for spec in prepared.prefix:
             if spec.range.restriction is None:
@@ -178,7 +242,7 @@ class QueryEngine:
             if not any(True for _ in range_elements(self.database, spec.range, spec.var)):
                 raise ExtendedRangeEmptyError(spec.var, spec.range.relation)
 
-    def _evaluate_constant_matrix(self, selection: Selection, prepared: PreparedQuery) -> Relation:
+    def _evaluate_constant_matrix(self, selection: Selection, prepared: QueryPlan) -> Relation:
         """Evaluate a query whose matrix collapsed to TRUE or FALSE."""
         result = result_relation_for(selection, self.database)
         if not prepared.constant:
@@ -201,7 +265,7 @@ class QueryEngine:
 
     # -- separate evaluation of existential conjunctions -----------------------------------------
 
-    def _separable(self, prepared: PreparedQuery) -> bool:
+    def _separable(self, prepared: QueryPlan) -> bool:
         if prepared.constant is not None:
             return False
         if any(spec.kind == "ALL" for spec in prepared.prefix):
@@ -209,7 +273,7 @@ class QueryEngine:
         return len(prepared.conjunctions) > 1
 
     def _execute_separated(
-        self, selection: Selection, prepared: PreparedQuery, options: StrategyOptions
+        self, selection: Selection, prepared: QueryPlan, options: StrategyOptions
     ) -> QueryResult:
         """Evaluate each conjunction as an independent sub-query and union the results."""
         total: Relation | None = None
@@ -229,7 +293,7 @@ class QueryEngine:
                 for s in prepared.prefix
                 if s.var in used_vars or s.range.restriction is not None
             )
-            sub = PreparedQuery(
+            sub = QueryPlan(
                 selection=prepared.selection,
                 bindings=prepared.bindings,
                 prefix=sub_prefix,

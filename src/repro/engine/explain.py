@@ -15,13 +15,13 @@ from repro.calculus.ast import BoolConst, Comparison
 from repro.calculus.printer import format_formula, format_range, format_selection
 from repro.config import StrategyOptions
 from repro.engine.combination import CombinationResult
-from repro.transform.pipeline import PreparedQuery
+from repro.transform.pipeline import QueryPlan
 from repro.transform.quantifier_pushdown import DerivedPredicate
 
 __all__ = ["explain_prepared", "explain_combination"]
 
 
-def explain_prepared(prepared: PreparedQuery, database, options: StrategyOptions) -> str:
+def explain_prepared(prepared: QueryPlan, database, options: StrategyOptions) -> str:
     """Render a multi-line EXPLAIN report for ``prepared``."""
     lines: list[str] = []
     lines.append("query:")

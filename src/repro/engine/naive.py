@@ -26,6 +26,7 @@ from repro.calculus.ast import (
     Formula,
     Not,
     Or,
+    Param,
     Quantified,
     RangeExpr,
     Selection,
@@ -43,6 +44,11 @@ def operand_value(operand: Any, environment: Mapping[str, Record]) -> Any:
     """The value of a join-term operand under a variable binding environment."""
     if isinstance(operand, Const):
         return operand.value
+    if isinstance(operand, Param):
+        raise EvaluationError(
+            f"parameter ${operand.name} has no bound value; bind parameters "
+            "(repro.service.bind_selection or PreparedQuery.execute) before evaluating"
+        )
     if isinstance(operand, FieldRef):
         try:
             record = environment[operand.var]

@@ -27,6 +27,7 @@ __all__ = [
     "TypeCheckError",
     "TransformError",
     "PlanError",
+    "BindingError",
     "EvaluationError",
 ]
 
@@ -126,6 +127,15 @@ class TransformError(PascalRError):
 
 class PlanError(PascalRError):
     """An evaluation plan is ill-formed or cannot be constructed."""
+
+
+class BindingError(PlanError):
+    """Parameter bindings do not match a prepared query's parameters.
+
+    Raised when executing a prepared query with missing bindings, bindings
+    for parameters the query does not declare, or values outside the scalar
+    type of the component the parameter is compared with.
+    """
 
 
 class EvaluationError(PascalRError):

@@ -95,6 +95,8 @@ class Lexer:
             return self._scan_number(line, column)
         if ch == "'":
             return self._scan_string(line, column)
+        if ch == "$":
+            return self._scan_parameter(line, column)
         if ch in _OPERATOR_CHARS:
             return self._scan_operator(line, column)
         single = {
@@ -145,6 +147,16 @@ class Lexer:
                     continue
                 return Token(TokenType.STRING, "".join(chars), line, column)
             chars.append(self._advance())
+
+    def _scan_parameter(self, line: int, column: int) -> Token:
+        self._advance()  # the $ sigil
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        name = self.text[start : self.position]
+        if not name or name[0].isdigit():
+            raise LexError("expected a parameter name after '$'", line, column)
+        return Token(TokenType.PARAM, name, line, column)
 
     def _scan_operator(self, line: int, column: int) -> Token:
         two = self._peek() + self._peek(1)

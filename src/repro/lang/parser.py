@@ -24,7 +24,7 @@ Grammar (keywords are case-insensitive)::
                  | primary
     primary      : '(' formula ')' | TRUE | FALSE | comparison
     comparison   : operand ('=' | '<>' | '<' | '<=' | '>' | '>=') operand
-    operand      : IDENT '.' IDENT | NUMBER | STRING | IDENT
+    operand      : IDENT '.' IDENT | NUMBER | STRING | IDENT | '$' IDENT
 
 A bare identifier operand (e.g. ``professor``) denotes a constant — typically
 an enumeration label — and is resolved to a typed value by
@@ -46,6 +46,7 @@ from repro.calculus.ast import (
     Not,
     Or,
     OutputColumn,
+    Param,
     Quantified,
     RangeExpr,
     Selection,
@@ -236,6 +237,9 @@ class Parser:
         if token.type == TokenType.STRING:
             self._advance()
             return Const(token.value)
+        if token.type == TokenType.PARAM:
+            self._advance()
+            return Param(token.value)
         raise self._error("expected an operand (component access or constant)")
 
 

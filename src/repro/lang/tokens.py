@@ -14,6 +14,7 @@ class TokenType:
     IDENT = "IDENT"
     NUMBER = "NUMBER"
     STRING = "STRING"
+    PARAM = "PARAM"            # $name — a named query parameter
     KEYWORD = "KEYWORD"
     OPERATOR = "OPERATOR"      # = <> < <= > >=
     LBRACKET = "LBRACKET"      # [

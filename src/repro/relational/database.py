@@ -28,6 +28,38 @@ class Database:
         self.statistics = AccessStatistics()
         self._relations: dict[str, Relation] = {}
         self._indexes: dict[tuple[str, str], HashIndex | SortedIndex] = {}
+        self._schema_version = 0
+
+    # -- schema versioning -----------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        """A counter bumped on every catalog mutation.
+
+        The service layer's plan cache keys cached plans on this version, so
+        creating or dropping relations and indexes invalidates every plan
+        compiled against the old catalog (the cache's invalidation rule).
+        Call :meth:`bump_schema_version` after out-of-band mutations the
+        catalog cannot see.
+        """
+        return self._schema_version
+
+    def bump_schema_version(self) -> int:
+        """Invalidate cached plans by advancing the schema version."""
+        self._schema_version += 1
+        return self._schema_version
+
+    @property
+    def data_version(self) -> int:
+        """A counter advanced on every tracked data mutation.
+
+        Every insert, delete, assign and clear on a relation owned by this
+        database reports to the shared statistics tracker, which maintains a
+        monotonic mutation epoch (it survives statistics resets).  The
+        service layer compares this version to decide whether cached
+        collection-phase structures still reflect the stored data.
+        """
+        return self.statistics.mutation_epoch
 
     # -- relation management ---------------------------------------------------------
 
@@ -55,6 +87,7 @@ class Database:
         else:
             relation = Relation(name, schema, elements=elements, tracker=self.statistics)
         self._relations[name] = relation
+        self.bump_schema_version()
         return relation
 
     def add_relation(self, relation: Relation) -> Relation:
@@ -63,6 +96,7 @@ class Database:
             raise CatalogError(f"relation {relation.name!r} already declared")
         relation.tracker = self.statistics
         self._relations[relation.name] = relation
+        self.bump_schema_version()
         return relation
 
     def relation(self, name: str) -> Relation:
@@ -82,6 +116,7 @@ class Database:
         del self._relations[name]
         for index_key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[index_key]
+        self.bump_schema_version()
 
     def relations(self) -> Iterator[Relation]:
         """All base relations in declaration order."""
@@ -114,6 +149,7 @@ class Database:
         relation = self.relation(relation_name)
         index = build_index(relation, field_name, operator, tracker=self.statistics)
         self._indexes[(relation_name, field_name)] = index
+        self.bump_schema_version()
         return index
 
     def index_for(self, relation_name: str, field_name: str) -> HashIndex | SortedIndex | None:
@@ -121,7 +157,8 @@ class Database:
         return self._indexes.get((relation_name, field_name))
 
     def drop_index(self, relation_name: str, field_name: str) -> None:
-        self._indexes.pop((relation_name, field_name), None)
+        if self._indexes.pop((relation_name, field_name), None) is not None:
+            self.bump_schema_version()
 
     def indexes(self) -> Iterator[tuple[str, str]]:
         """The ``(relation, component)`` pairs that have a permanent index."""

@@ -98,6 +98,8 @@ class Relation:
     def assign(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> "Relation":
         """The PASCAL/R assignment ``rel := [...]`` — replace all elements."""
         self._elements = {}
+        if self.tracker is not None:
+            self.tracker.record_mutation()
         self.insert_all(elements)
         return self
 
@@ -179,6 +181,8 @@ class Relation:
     def clear(self) -> None:
         """Remove every element."""
         self._elements.clear()
+        if self.tracker is not None:
+            self.tracker.record_mutation()
 
     # -- selected variables and references -----------------------------------------
 

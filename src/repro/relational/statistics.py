@@ -93,6 +93,10 @@ class AccessStatistics:
         self._relations: dict[str, _RelationCounters] = defaultdict(_RelationCounters)
         self._phase_elements: dict[str, int] = defaultdict(int)
         self._phase: str | None = None
+        # Monotonic data-mutation epoch.  Unlike the counters it is private
+        # and survives reset(): the service layer compares epochs to decide
+        # whether cached collection-phase structures are still valid.
+        self._mutation_epoch = 0
         self.intermediate_tuples = 0
         self.intermediate_relations = 0
         self.pages_read = 0
@@ -101,6 +105,8 @@ class AccessStatistics:
         self.comparisons = 0
         self.reduced_tuples = 0
         self.reductions = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- phase management -----------------------------------------------------
 
@@ -133,9 +139,20 @@ class AccessStatistics:
 
     def record_insert(self, relation_name: str, count: int = 1) -> None:
         self._relations[relation_name].inserts += count
+        self._mutation_epoch += 1
 
     def record_delete(self, relation_name: str, count: int = 1) -> None:
         self._relations[relation_name].deletes += count
+        self._mutation_epoch += 1
+
+    def record_mutation(self) -> None:
+        """An untyped data mutation (e.g. a wholesale ``assign``) occurred."""
+        self._mutation_epoch += 1
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic count of data mutations; never reset."""
+        return self._mutation_epoch
 
     def record_intermediate(self, tuples: int, relations: int = 1) -> None:
         """An intermediate reference relation of ``tuples`` elements was built."""
@@ -153,6 +170,13 @@ class AccessStatistics:
     def record_comparison(self, count: int = 1) -> None:
         """``count`` join-term comparisons were evaluated."""
         self.comparisons += count
+
+    def record_plan_cache(self, hit: bool) -> None:
+        """A plan-cache lookup completed (service layer)."""
+        if hit:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
 
     def record_reduction(self, removed: int) -> None:
         """One semijoin application of the reducer removed ``removed`` tuples.
@@ -186,35 +210,39 @@ class AccessStatistics:
     def relation_names(self) -> Iterator[str]:
         return iter(sorted(self._relations))
 
+    def _scalar_counters(self) -> dict[str, int | float]:
+        """Every public numeric counter, by reflection.
+
+        Both :meth:`as_dict` and :meth:`reset` enumerate counters through
+        this helper, so a counter added to ``__init__`` can never be missing
+        from the snapshot or survive a reset (the reflection test in
+        ``tests/relational`` pins this invariant).
+        """
+        return {
+            name: value
+            for name, value in vars(self).items()
+            if not name.startswith("_")
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+
     def as_dict(self) -> dict:
         """A plain-dictionary snapshot suitable for reporting and assertions."""
-        return {
+        snapshot: dict = {
             "relations": {
                 name: counters.as_dict() for name, counters in sorted(self._relations.items())
             },
             "phase_elements": dict(self._phase_elements),
-            "intermediate_tuples": self.intermediate_tuples,
-            "intermediate_relations": self.intermediate_relations,
-            "pages_read": self.pages_read,
-            "page_hits": self.page_hits,
-            "page_misses": self.page_misses,
-            "comparisons": self.comparisons,
-            "reduced_tuples": self.reduced_tuples,
-            "reductions": self.reductions,
         }
+        snapshot.update(self._scalar_counters())
+        return snapshot
 
     def reset(self) -> None:
         """Forget all recorded counters."""
         self._relations.clear()
         self._phase_elements.clear()
-        self.intermediate_tuples = 0
-        self.intermediate_relations = 0
-        self.pages_read = 0
-        self.page_hits = 0
-        self.page_misses = 0
-        self.comparisons = 0
-        self.reduced_tuples = 0
-        self.reductions = 0
+        for name in self._scalar_counters():
+            setattr(self, name, 0)
 
     def summary(self) -> str:
         """A compact multi-line human readable summary."""

@@ -1,0 +1,35 @@
+"""The prepared-query service layer.
+
+The paper separates query processing into compile-time transformations
+(standard form, Lemma 1, Strategies 3-4 — Sections 2-4) and run-time
+evaluation (collection / combination / construction — Section 3.3).  This
+package exploits that separation operationally:
+
+* :class:`PreparedQuery` — compile once (parse, type check, transform),
+  execute many times with different parameter bindings (``$year``-style
+  placeholders, late-bound into the plan);
+* :class:`PlanCache` — an LRU cache of compiled plans keyed on normalized
+  query text, strategy options, schema version and relation-emptiness
+  signature, with hit/miss counters in the shared access statistics;
+* :class:`QueryService` — the thread-safe ``prepare`` / ``execute`` /
+  ``execute_batch`` facade, where batch execution shares Strategy 1
+  collection-phase scans across queries over the same relations.
+"""
+
+from repro.service.batch import execute_plans_batched
+from repro.service.binding import bind_plan, bind_selection, check_bindings, collect_parameters
+from repro.service.cache import PlanCache
+from repro.service.prepared import PreparedQuery
+from repro.service.service import QueryService, normalize_query_text
+
+__all__ = [
+    "PlanCache",
+    "PreparedQuery",
+    "QueryService",
+    "bind_plan",
+    "bind_selection",
+    "check_bindings",
+    "collect_parameters",
+    "execute_plans_batched",
+    "normalize_query_text",
+]

@@ -1,0 +1,272 @@
+"""Parameter collection and late binding.
+
+A parameterized selection contains :class:`~repro.calculus.ast.Param`
+operands (``$year``, ``$status``...).  The compile-time pipeline — parsing,
+type checking, the Section 2-3 transformations — runs once over the
+parameterized form; this module supplies the run-time half:
+
+* :func:`collect_parameters` walks a selection (or a compiled
+  :class:`~repro.transform.pipeline.QueryPlan`) and returns the declared
+  parameters with the scalar types the type checker attached to them;
+* :func:`bind_selection` substitutes concrete constants into a selection
+  (used for the naive ground-truth evaluation of a bound query);
+* :func:`bind_plan` substitutes concrete constants directly into a compiled
+  plan — bindings, quantifier prefix, matrix conjunctions and Strategy 4
+  derived predicates — so execution never re-runs the transformations.
+
+Values are coerced through the parameter's resolved scalar type, so an
+enumeration label bound as ``{"status": "professor"}`` becomes a proper
+``EnumValue`` exactly as a literal constant would.  Mismatched bindings
+(missing, unknown, or out-of-type values) raise
+:class:`~repro.errors.BindingError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.calculus.analysis import QuantifierSpec
+from repro.calculus.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    Const,
+    Formula,
+    Not,
+    Or,
+    Param,
+    Quantified,
+    RangeExpr,
+    Selection,
+    VariableBinding,
+)
+from repro.errors import BindingError, ValidationError
+from repro.transform.pipeline import QueryPlan
+from repro.transform.quantifier_pushdown import DerivedPredicate
+
+__all__ = [
+    "collect_parameters",
+    "referenced_relations",
+    "bind_selection",
+    "bind_plan",
+    "check_bindings",
+]
+
+
+def referenced_relations(selection: Selection) -> frozenset[str]:
+    """Every relation a selection ranges over (free bindings and quantifiers,
+    including ranges appearing inside extended-range restrictions)."""
+    names: set[str] = set()
+
+    def visit_range(range_expr: RangeExpr) -> None:
+        names.add(range_expr.relation)
+        if range_expr.restriction is not None:
+            visit_formula(range_expr.restriction)
+
+    def visit_formula(formula: Formula) -> None:
+        for node in formula.walk():
+            if isinstance(node, Quantified):
+                visit_range(node.range)
+
+    for binding in selection.bindings:
+        visit_range(binding.range)
+    visit_formula(selection.formula)
+    return frozenset(names)
+
+
+# ------------------------------------------------------------------ parameter discovery
+
+
+def _collect_from_operand(operand: Any, found: dict[str, Param]) -> None:
+    if isinstance(operand, Param):
+        known = found.get(operand.name)
+        # Prefer an occurrence that carries a resolved type.
+        if known is None or (known.type is None and operand.type is not None):
+            found[operand.name] = operand
+
+
+def _collect_from_formula(formula: Formula, found: dict[str, Param]) -> None:
+    if isinstance(formula, Comparison):
+        _collect_from_operand(formula.left, found)
+        _collect_from_operand(formula.right, found)
+        return
+    if isinstance(formula, Quantified):
+        _collect_from_range(formula.range, found)
+    for child in formula.children():
+        _collect_from_formula(child, found)
+
+
+def _collect_from_range(range_expr: RangeExpr, found: dict[str, Param]) -> None:
+    if range_expr.restriction is not None:
+        _collect_from_formula(range_expr.restriction, found)
+
+
+def collect_parameters(query: Selection | QueryPlan) -> dict[str, Param]:
+    """The parameters declared by ``query``, keyed by name.
+
+    Accepts either a (possibly resolved) selection or a compiled plan; the
+    returned :class:`Param` objects carry the scalar type the type checker
+    attached, when the query was resolved.  A plan's structures are all
+    derived from its stored original selection, so the plan case delegates
+    to the selection walk.
+    """
+    if isinstance(query, QueryPlan):
+        return collect_parameters(query.selection)
+    found: dict[str, Param] = {}
+    for binding in query.bindings:
+        _collect_from_range(binding.range, found)
+    _collect_from_formula(query.formula, found)
+    return found
+
+
+def check_bindings(
+    parameters: Mapping[str, Param], values: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Validate ``values`` against ``parameters`` and coerce them.
+
+    Returns the coerced value per parameter name; raises
+    :class:`BindingError` on missing or unknown parameters and on values
+    outside a parameter's resolved scalar type.
+    """
+    missing = sorted(set(parameters) - set(values))
+    if missing:
+        raise BindingError(
+            "missing value(s) for parameter(s): " + ", ".join(f"${name}" for name in missing)
+        )
+    unknown = sorted(set(values) - set(parameters))
+    if unknown:
+        raise BindingError(
+            "binding(s) for undeclared parameter(s): "
+            + ", ".join(f"${name}" for name in unknown)
+        )
+    coerced: dict[str, Any] = {}
+    for name, parameter in parameters.items():
+        value = values[name]
+        if parameter.type is not None:
+            try:
+                value = parameter.type.coerce(value)
+            except ValidationError as exc:
+                raise BindingError(
+                    f"value {values[name]!r} for parameter ${name} is not a value of "
+                    f"type {parameter.type.name!r}: {exc}"
+                ) from exc
+        coerced[name] = value
+    return coerced
+
+
+# ------------------------------------------------------------------------- substitution
+
+
+def _bind_operand(operand: Any, values: Mapping[str, Any]) -> Any:
+    if isinstance(operand, Param):
+        try:
+            value = values[operand.name]
+        except KeyError:
+            raise BindingError(f"no value bound for parameter ${operand.name}") from None
+        if operand.type is not None:
+            # A parameter may occur at several components with different
+            # (comparable) types; enforce EVERY occurrence's type, exactly
+            # like the literal-constant equivalent would at typecheck time.
+            try:
+                value = operand.type.coerce(value)
+            except ValidationError as exc:
+                raise BindingError(
+                    f"value {value!r} for parameter ${operand.name} is not a value "
+                    f"of type {operand.type.name!r}: {exc}"
+                ) from exc
+        return Const(value)
+    return operand
+
+
+def _bind_formula(formula: Formula, values: Mapping[str, Any]) -> Formula:
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Comparison):
+        left = _bind_operand(formula.left, values)
+        right = _bind_operand(formula.right, values)
+        if left is formula.left and right is formula.right:
+            return formula
+        return Comparison(left, formula.op, right)
+    if isinstance(formula, Not):
+        child = _bind_formula(formula.child, values)
+        return formula if child is formula.child else Not(child)
+    if isinstance(formula, And):
+        operands = tuple(_bind_formula(o, values) for o in formula.operands)
+        if all(new is old for new, old in zip(operands, formula.operands)):
+            return formula
+        return And(*operands)
+    if isinstance(formula, Or):
+        operands = tuple(_bind_formula(o, values) for o in formula.operands)
+        if all(new is old for new, old in zip(operands, formula.operands)):
+            return formula
+        return Or(*operands)
+    if isinstance(formula, Quantified):
+        range_expr = _bind_range(formula.range, values)
+        body = _bind_formula(formula.body, values)
+        if range_expr is formula.range and body is formula.body:
+            return formula
+        return Quantified(formula.kind, formula.var, range_expr, body)
+    raise BindingError(f"cannot bind parameters in {formula!r}")
+
+
+def _bind_range(range_expr: RangeExpr, values: Mapping[str, Any]) -> RangeExpr:
+    if range_expr.restriction is None:
+        return range_expr
+    restriction = _bind_formula(range_expr.restriction, values)
+    if restriction is range_expr.restriction:
+        return range_expr
+    return RangeExpr(range_expr.relation, restriction)
+
+
+def _bind_literal(literal: object, values: Mapping[str, Any]) -> object:
+    if isinstance(literal, Comparison):
+        return _bind_formula(literal, values)
+    if isinstance(literal, DerivedPredicate):
+        return DerivedPredicate(
+            outer_var=literal.outer_var,
+            quantifier=literal.quantifier,
+            inner_var=literal.inner_var,
+            inner_range=_bind_range(literal.inner_range, values),
+            connecting=tuple(_bind_formula(t, values) for t in literal.connecting),
+            inner_monadic=tuple(_bind_formula(t, values) for t in literal.inner_monadic),
+            inner_derived=tuple(_bind_literal(d, values) for d in literal.inner_derived),
+        )
+    return literal
+
+
+def bind_selection(selection: Selection, values: Mapping[str, Any]) -> Selection:
+    """``selection`` with every parameter replaced by a constant.
+
+    ``values`` must already be coerced (see :func:`check_bindings`); unknown
+    parameter occurrences raise :class:`BindingError`.
+    """
+    bindings = tuple(
+        VariableBinding(b.var, _bind_range(b.range, values)) for b in selection.bindings
+    )
+    return Selection(selection.columns, bindings, _bind_formula(selection.formula, values))
+
+
+def bind_plan(plan: QueryPlan, values: Mapping[str, Any]) -> QueryPlan:
+    """``plan`` with every parameter replaced by a constant — late binding.
+
+    The substitution is purely structural: bindings, quantifier prefix,
+    matrix literals and derived predicates are rewritten in place of their
+    parameters, so the transformations recorded in ``plan.trace`` are reused
+    verbatim and execution starts directly at the collection phase.
+    """
+    return QueryPlan(
+        selection=bind_selection(plan.selection, values),
+        bindings=tuple(
+            VariableBinding(b.var, _bind_range(b.range, values)) for b in plan.bindings
+        ),
+        prefix=tuple(
+            QuantifierSpec(s.kind, s.var, _bind_range(s.range, values)) for s in plan.prefix
+        ),
+        conjunctions=tuple(
+            tuple(_bind_literal(literal, values) for literal in conjunction)
+            for conjunction in plan.conjunctions
+        ),
+        options=plan.options,
+        trace=plan.trace,
+        constant=plan.constant,
+    )

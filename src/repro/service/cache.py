@@ -1,0 +1,171 @@
+"""A thread-safe LRU cache for compiled query plans.
+
+The cache amortizes the compile-time pipeline (lexing, parsing, type
+checking, the Section 2-3 transformations) across repeated executions of the
+same query text.  Keys are built by :class:`~repro.service.QueryService`
+from:
+
+* the *normalized* query text (token stream, so whitespace and comments do
+  not fragment the cache) or the calculus selection itself,
+* the :class:`~repro.config.StrategyOptions` the plan was prepared under,
+* the database's ``schema_version`` (bumped on every catalog mutation — the
+  invalidation rule: any ``create_relation`` / ``drop_relation`` /
+  ``create_index`` / ``drop_index`` orphans all older entries), and
+* the *emptiness signature* — the set of currently-empty relations.  The
+  Lemma 1 adaptation is the only part of plan compilation that depends on
+  the data, and it depends only on which range relations are empty, so a
+  plan is safely reusable until a relation transitions between empty and
+  non-empty.
+
+Hit/miss counts are recorded in the shared
+:class:`~repro.relational.statistics.AccessStatistics`
+(``plan_cache_hits`` / ``plan_cache_misses``), next to the paper's access
+counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.errors import PlanError
+
+__all__ = ["BoundedLRU", "PlanCache", "emptiness_signature"]
+
+
+def emptiness_signature(database) -> frozenset[str]:
+    """The currently-empty relations — the only data property plans depend on.
+
+    Plan compilation consults the data solely through the Lemma 1
+    empty-relation adaptation, so a compiled plan stays valid exactly until a
+    relation transitions between empty and non-empty.  Both the plan cache
+    key and :meth:`PreparedQuery.is_stale` compare this signature.
+    """
+    return frozenset(
+        relation.name for relation in database.relations() if len(relation) == 0
+    )
+
+
+class BoundedLRU:
+    """A small thread-safe bounded LRU mapping.
+
+    The single LRU implementation behind the plan cache, the per-prepared-
+    query binding/collection memos and the service's normalized-text memo —
+    so eviction and locking behave identically everywhere.  ``capacity`` 0
+    stores nothing (every put evicts immediately).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(capacity, 0)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, key: Hashable):
+        """The entry for ``key`` (refreshed as most recent), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Hashable, entry: object) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+class PlanCache:
+    """A bounded mapping from plan keys to prepared queries, LRU-evicted.
+
+    ``capacity`` 0 disables caching: every lookup misses and every store is
+    dropped (mirroring ``ServiceOptions.collection_cache_size`` semantics).
+    """
+
+    def __init__(self, capacity: int = 128, statistics=None) -> None:
+        if capacity < 0:
+            raise PlanError(f"plan cache capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.statistics = statistics
+        self._entries = BoundedLRU(capacity)
+        self._hits = 0
+        self._misses = 0
+        self._counter_lock = threading.Lock()
+
+    def lookup(self, key: Hashable, validate=None):
+        """The cached entry for ``key``, or ``None`` — recording hit or miss.
+
+        ``validate``, when given, is called with the found entry; a falsy
+        result treats the lookup as a miss (the caller will recompile and
+        overwrite the entry), e.g. the service validating a plan's
+        emptiness signature.
+
+        Counts go two places: the cache's own monotonic counters (reported
+        by :meth:`info`) and the shared access statistics, whose
+        ``plan_cache_hits`` / ``plan_cache_misses`` reset with the other
+        per-query counters so snapshots stay windowed like every other
+        counter.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and validate is not None and not validate(entry):
+            entry = None
+        with self._counter_lock:
+            if entry is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+            if self.statistics is not None:
+                self.statistics.record_plan_cache(hit=entry is not None)
+        return entry
+
+    def store(self, key: Hashable, entry: object) -> None:
+        """Insert ``entry`` under ``key``, evicting the least recently used."""
+        self._entries.put(key, entry)
+
+    def invalidate(self) -> None:
+        """Drop every cached entry (e.g. the version epoch moved on)."""
+        self._entries.clear()
+
+    @property
+    def evictions(self) -> int:
+        return self._entries.evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def info(self) -> dict:
+        """A snapshot for monitoring: size, capacity, hits, misses, evictions."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

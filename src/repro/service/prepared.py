@@ -1,0 +1,230 @@
+"""The service-level prepared query: compile once, execute many times.
+
+A :class:`PreparedQuery` captures everything the compile-time pipeline
+produced for one (possibly parameterized) query:
+
+* the resolved, type-checked calculus :class:`~repro.calculus.ast.Selection`,
+* the compiled :class:`~repro.transform.pipeline.QueryPlan` with its
+  :class:`~repro.transform.pipeline.TransformationTrace`,
+* the :class:`~repro.config.StrategyOptions` the plan was prepared under, and
+* the declared parameters with their resolved scalar types.
+
+Each :meth:`execute` call late-binds a set of parameter values into the plan
+(:func:`~repro.service.binding.bind_plan` — a structural substitution, no
+re-transformation) and hands the bound plan to
+:meth:`~repro.engine.evaluator.QueryEngine.execute_plan`, which starts
+directly at the collection phase.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.calculus.ast import Selection
+from repro.config import StrategyOptions
+from repro.engine.evaluator import QueryEngine, QueryResult
+from repro.errors import BindingError, PlanError
+from repro.service.binding import (
+    bind_plan,
+    check_bindings,
+    collect_parameters,
+    referenced_relations,
+)
+from repro.service.cache import BoundedLRU, emptiness_signature
+from repro.transform.pipeline import QueryPlan
+
+__all__ = ["PreparedQuery"]
+
+
+class PreparedQuery:
+    """A compiled query ready for repeated execution with parameter bindings."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        selection: Selection,
+        plan: QueryPlan,
+        options: StrategyOptions,
+        text: str | None = None,
+        schema_version: int | None = None,
+        collection_cache_size: int = 32,
+        lock: threading.RLock | None = None,
+    ) -> None:
+        self._engine = engine
+        self.selection = selection
+        self.plan = plan
+        self.options = options
+        self.text = text
+        self.parameters = collect_parameters(plan)
+        database = engine.database
+        self.schema_version = (
+            schema_version if schema_version is not None else database.schema_version
+        )
+        # The Lemma 1 adaptation baked into the plan depends on which of the
+        # relations *this query ranges over* were empty at prepare time;
+        # record that restricted signature so staleness covers exactly the
+        # empty <-> non-empty transitions that can change the plan, and no
+        # others (clearing an unrelated relation must not break this handle).
+        self.referenced_relations = referenced_relations(selection)
+        self.prepared_emptiness = (
+            emptiness_signature(database) & self.referenced_relations
+        )
+        # Per-binding memos, LRU-bounded.  ``_bound_plans`` skips the
+        # substitution walk for bindings seen before; ``_collections`` reuses
+        # whole collection-phase results while the data is provably unchanged
+        # (guarded by the database's schema and data versions).
+        self._cache_size = max(collection_cache_size, 0)
+        self._bound_plans = BoundedLRU(self._cache_size)
+        self._collections = BoundedLRU(self._cache_size)
+        # Executions serialize on this lock (the database's statistics,
+        # buffer pool and the memos above are unsynchronized hot paths).
+        # QueryService shares its own execution lock so direct
+        # ``prepared.execute`` calls and service calls exclude each other.
+        self._lock = lock if lock is not None else threading.RLock()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def trace(self):
+        """The transformation trace recorded at prepare time."""
+        return self.plan.trace
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """Declared parameter names, sorted."""
+        return tuple(sorted(self.parameters))
+
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    def is_stale(self) -> bool:
+        """Whether this plan no longer reflects the database.
+
+        True after a catalog change (``schema_version``) and after one of the
+        relations this query ranges over transitioned between empty and
+        non-empty (the compiled plan baked in the Lemma 1 adaptation for the
+        emptiness observed at prepare time).
+        """
+        database = self._engine.database
+        if database.schema_version != self.schema_version:
+            return True
+        current = emptiness_signature(database) & self.referenced_relations
+        return current != self.prepared_emptiness
+
+    def ensure_fresh(self) -> None:
+        """Raise :class:`PlanError` when :meth:`is_stale` — re-prepare instead."""
+        if self.is_stale():
+            raise PlanError(
+                "prepared query is stale: the database catalog or a relation's "
+                "emptiness changed since it was prepared "
+                f"(schema version {self.schema_version} -> "
+                f"{self._engine.database.schema_version}); prepare the query again"
+            )
+
+    # -- execution --------------------------------------------------------------------
+
+    def _coerce_bindings(self, values: Mapping[str, Any] | None) -> dict[str, Any]:
+        """Validate and coerce ``values`` (empty dict for a parameterless query)."""
+        values = dict(values or {})
+        if not self.parameters:
+            if values:
+                raise BindingError(
+                    "query declares no parameters but bindings were supplied: "
+                    + ", ".join(f"${name}" for name in sorted(values))
+                )
+            return {}
+        return check_bindings(self.parameters, values)
+
+    def bind(self, values: Mapping[str, Any] | None = None) -> QueryPlan:
+        """The plan with ``values`` substituted for the declared parameters.
+
+        Validates the bindings (missing, unknown, ill-typed values raise
+        :class:`~repro.errors.BindingError`), coerces each value through the
+        scalar type recorded at resolution time, and serves repeat binding
+        sets from the per-binding memo (batch execution binds through here).
+        """
+        coerced = self._coerce_bindings(values)
+        return self._bound_plan(coerced, self._bindings_key(coerced))
+
+    # -- per-binding memos --------------------------------------------------------------
+
+    @staticmethod
+    def _bindings_key(values: Mapping[str, Any] | None) -> tuple | None:
+        """A hashable memo key for one binding set, or ``None`` when unkeyable."""
+        try:
+            key = tuple(sorted((values or {}).items()))
+            hash(key)
+            return key
+        except TypeError:
+            return None
+
+    def _bound_plan(self, coerced: Mapping[str, Any], key: tuple | None) -> QueryPlan:
+        """The bound plan for already-validated, coerced values."""
+        if not self.parameters:
+            return self.plan
+        if key is None or self._cache_size == 0:
+            return bind_plan(self.plan, coerced)
+        plan = self._bound_plans.get(key)
+        if plan is None:
+            plan = bind_plan(self.plan, coerced)
+            self._bound_plans.put(key, plan)
+        return plan
+
+    def execute(
+        self,
+        values: Mapping[str, Any] | None = None,
+        reset_statistics: bool = True,
+    ) -> QueryResult:
+        """Run the prepared plan with ``values`` bound to its parameters.
+
+        Late binding: the parameter values are substituted into the cached
+        plan structure, and execution starts at the collection phase.  While
+        the database reports no schema or data changes, the collection-phase
+        structures for a binding set are additionally reused across
+        executions (see :attr:`~repro.relational.database.Database.data_version`
+        for the guard).
+
+        Raises :class:`~repro.errors.PlanError` when the catalog changed
+        since this query was prepared — re-prepare through the service
+        (its cache keys on the schema version, so that is cheap).
+        """
+        with self._lock:
+            self.ensure_fresh()
+            return self._execute_locked(values, reset_statistics)
+
+    def _execute_locked(
+        self, values: Mapping[str, Any] | None, reset_statistics: bool
+    ) -> QueryResult:
+        # Validate/coerce BEFORE consulting the memos, and key on the
+        # coerced values: a hash-equal but type-invalid binding (1977.0 for
+        # a subrange) must fail identically whether or not the memo is warm.
+        coerced = self._coerce_bindings(values)
+        key = self._bindings_key(coerced)
+        plan = self._bound_plan(coerced, key)
+        database = self._engine.database
+        options = self.options
+        if key is None or self._cache_size == 0:
+            return self._engine.execute_plan(plan, options, reset_statistics=reset_statistics)
+
+        # The versions the memoized collection would be valid under; read
+        # before execution (execution builds only untracked result relations,
+        # so it cannot move data_version itself).
+        versions = (database.schema_version, database.data_version)
+        cached = self._collections.get(key)
+        collection = cached[1] if cached is not None and cached[0] == versions else None
+        computed: list = []
+        result = self._engine.execute_plan(
+            plan,
+            options,
+            reset_statistics=reset_statistics,
+            collection=collection,
+            collection_sink=computed.append,
+        )
+        if collection is None and computed and not result.used_strategy3_fallback:
+            self._collections.put(key, (versions, computed[0]))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        parameters = ", ".join(f"${name}" for name in self.parameter_names) or "none"
+        return f"PreparedQuery(parameters=[{parameters}], options={self.options.describe()!r})"

@@ -1,0 +1,247 @@
+"""The query service: a thread-safe prepare/execute/execute_batch facade.
+
+:class:`QueryService` is the front door a long-running deployment would
+expose.  It wraps a :class:`~repro.engine.evaluator.QueryEngine` with:
+
+* **plan caching** — ``prepare`` keys compiled plans on the normalized query
+  token stream, the strategy options, the database's ``schema_version`` and
+  the emptiness signature (see :mod:`repro.service.cache` for the
+  invalidation rule), so a query seen a thousand times is lexed, type
+  checked and transformed once;
+* **parameterized execution** — ``execute(text, {"year": 1977})`` late-binds
+  values into the cached plan instead of recompiling;
+* **batch execution** — ``execute_batch`` groups queries that range over the
+  same relations and pays each Strategy 1 relation scan once per batch
+  (:mod:`repro.service.batch`);
+* **thread safety** — the cache takes its own lock, and executions are
+  serialized over the engine's database (whose access statistics, buffer
+  pool and intermediate bookkeeping are deliberately unsynchronized hot
+  paths), so concurrent callers see consistent results and counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.calculus.ast import Selection
+from repro.config import ServiceOptions, StrategyOptions
+from repro.engine.evaluator import QueryEngine, QueryResult
+from repro.errors import PlanError
+from repro.lang.lexer import tokenize
+from repro.service.batch import execute_plans_batched
+from repro.service.cache import BoundedLRU, PlanCache
+from repro.service.prepared import PreparedQuery
+from repro.transform.pipeline import prepare_query
+
+__all__ = ["QueryService", "normalize_query_text"]
+
+
+def normalize_query_text(text: str) -> tuple:
+    """A whitespace- and comment-insensitive cache key for query text.
+
+    Two texts that tokenize identically (keywords are case-insensitive, PASCAL
+    comments are trivia) share a plan-cache entry.
+    """
+    return tuple((token.type, token.value) for token in tokenize(text))
+
+
+class QueryService:
+    """Prepared-query service over one database."""
+
+    def __init__(
+        self,
+        database,
+        options: StrategyOptions | None = None,
+        cache_capacity: int | None = None,
+        service_options: ServiceOptions | None = None,
+    ) -> None:
+        self.database = database
+        self.options = options or StrategyOptions()
+        self.service_options = service_options or ServiceOptions()
+        if cache_capacity is not None:
+            self.service_options = self.service_options.with_(
+                plan_cache_capacity=cache_capacity
+            )
+        cache_capacity = self.service_options.plan_cache_capacity
+        self.engine = QueryEngine(database, self.options)
+        self.cache = PlanCache(cache_capacity, statistics=database.statistics)
+        self._execution_lock = threading.RLock()
+        # Raw text -> normalized token key.  Tokenizing dominates the cost of
+        # a cache hit, so repeated executions of the *same string* skip it;
+        # texts that differ only in trivia still meet at the normalized key.
+        self._text_keys = BoundedLRU(max(cache_capacity * 4, 16))
+        # The schema version the cached plans belong to; a catalog change
+        # makes every entry permanently unreachable (keys embed the version),
+        # so they are dropped eagerly instead of lingering until evicted.
+        # Emptiness transitions do NOT purge: those entries become reachable
+        # again when the signature flips back.
+        self._cache_schema_version: int | None = None
+        self._epoch_lock = threading.Lock()
+
+    # -- cache keys --------------------------------------------------------------------
+
+    def _normalized_key(self, text: str) -> tuple:
+        key = self._text_keys.get(text)
+        if key is None:
+            key = normalize_query_text(text)
+            self._text_keys.put(text, key)
+        return key
+
+    def _schema_epoch(self) -> int:
+        """The schema version cached plans are keyed on.
+
+        A catalog change makes every existing entry permanently dead, so the
+        cache is purged eagerly instead of letting those plans pin memory
+        until LRU eviction.  Emptiness transitions are NOT part of the key:
+        a cache hit is instead validated against the plan's own restricted
+        emptiness signature (``PreparedQuery.is_stale``), so flipping an
+        unrelated relation neither misses nor duplicates entries.
+        """
+        schema_version = self.database.schema_version
+        with self._epoch_lock:
+            if schema_version != self._cache_schema_version:
+                if self._cache_schema_version is not None:
+                    self.cache.invalidate()
+                self._cache_schema_version = schema_version
+        # A concurrent catalog change can still slip a store in under the
+        # old version; that entry is merely unreachable until LRU-evicted.
+        return schema_version
+
+    def _cache_key(self, query: str | Selection, options: StrategyOptions):
+        if isinstance(query, str):
+            normalized: object = self._normalized_key(query)
+        else:
+            normalized = query
+        return (normalized, options, self._schema_epoch())
+
+    # -- prepare / execute -------------------------------------------------------------
+
+    def _admit(
+        self,
+        query: str | Selection | "PreparedQuery",
+        options: StrategyOptions | None,
+    ) -> "PreparedQuery":
+        """Resolve a request into a PreparedQuery, rejecting conflicting options."""
+        if isinstance(query, PreparedQuery):
+            if options is not None and options != query.options:
+                raise PlanError(
+                    "a PreparedQuery carries its own strategy options; "
+                    "prepare the query again to execute under different options"
+                )
+            return query
+        return self.prepare(query, options)
+
+    def prepare(
+        self, query: str | Selection, options: StrategyOptions | None = None
+    ) -> PreparedQuery:
+        """Compile ``query`` once (or fetch it from the plan cache).
+
+        The returned :class:`PreparedQuery` captures the type-checked AST,
+        the transformation trace and the strategy configuration; execute it
+        repeatedly with different parameter bindings.
+        """
+        options = options or self.options
+        key = self._cache_key(query, options)
+        # A stale hit (a referenced relation flipped empty <-> non-empty
+        # since the plan was compiled) counts as a miss: the recompiled plan
+        # overwrites the entry under the same key.
+        prepared = self.cache.lookup(key, validate=lambda entry: not entry.is_stale())
+        if prepared is not None:
+            return prepared
+        selection = self.engine._admit(query)
+        # Deferring restricted-range adaptation is what makes the plan
+        # cacheable: compilation then reads the data only through
+        # whole-relation emptiness (the signature in the cache key), and an
+        # empty restricted range at execution takes the runtime fallback.
+        plan = prepare_query(
+            selection, self.database, options, resolve=False, defer_restricted_ranges=True
+        )
+        prepared = PreparedQuery(
+            engine=self.engine,
+            selection=selection,
+            plan=plan,
+            options=options,
+            text=query if isinstance(query, str) else None,
+            schema_version=self.database.schema_version,
+            collection_cache_size=self.service_options.collection_cache_size,
+            lock=self._execution_lock,
+        )
+        self.cache.store(key, prepared)
+        return prepared
+
+    def execute(
+        self,
+        query: str | Selection | PreparedQuery,
+        parameters: Mapping[str, Any] | None = None,
+        options: StrategyOptions | None = None,
+    ) -> QueryResult:
+        """Prepare (or reuse) and execute ``query`` with ``parameters``.
+
+        Statistics are reset before the plan-cache lookup, so the snapshot on
+        the returned result shows this request's ``plan_cache_hits`` /
+        ``plan_cache_misses`` next to its access counters.
+        """
+        with self._execution_lock:
+            self.database.reset_statistics()
+            prepared = self._admit(query, options)
+            return prepared.execute(parameters, reset_statistics=False)
+
+    # -- batch execution ---------------------------------------------------------------
+
+    def execute_batch(
+        self,
+        requests: Iterable[
+            str | Selection | PreparedQuery | tuple | Sequence
+        ],
+        options: StrategyOptions | None = None,
+    ) -> list[QueryResult]:
+        """Execute many queries, sharing collection-phase scans where possible.
+
+        Each request is a query (text, selection or :class:`PreparedQuery`)
+        or a ``(query, parameters)`` pair.  Queries whose plans range over
+        the same relations under the same options are grouped so every
+        Strategy 1 scan is paid once per batch; results come back in request
+        order and each equals what individual execution would return.
+        """
+        with self._execution_lock:
+            self.database.reset_statistics()
+            items = []
+            for request in requests:
+                if isinstance(request, (tuple, list)):
+                    query, parameters = request
+                else:
+                    query, parameters = request, None
+                prepared = self._admit(query, options)
+                prepared.ensure_fresh()
+                items.append((prepared.bind(parameters), prepared.options))
+            if not self.service_options.batching:
+                results = [
+                    self.engine.execute_plan(plan, options, reset_statistics=False)
+                    for plan, options in items
+                ]
+                # Same contract as the batched path: every result carries
+                # one uniform end-of-batch statistics snapshot.
+                snapshot = self.database.statistics.as_dict()
+                for result in results:
+                    result.statistics = snapshot
+                return results
+            return execute_plans_batched(self.engine, items, reset_statistics=False)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def invalidate_plans(self) -> None:
+        """Drop all cached plans.
+
+        This empties the service's own cache only.  Held
+        :class:`PreparedQuery` handles keep their per-binding memos, which
+        are guarded by ``schema_version`` / ``data_version`` — after a data
+        mutation that bypassed the tracked relation operations, call
+        :meth:`Database.bump_schema_version` instead: it invalidates the
+        cache keys *and* makes every held handle refuse to execute.
+        """
+        self.cache.invalidate()
+
+    def cache_info(self) -> dict:
+        """Plan-cache occupancy and hit/miss counters."""
+        return self.cache.info()

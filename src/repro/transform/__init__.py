@@ -17,6 +17,7 @@ from repro.transform.normalform import (
 )
 from repro.transform.pipeline import (
     PreparedQuery,
+    QueryPlan,
     TraceStep,
     TransformationTrace,
     prepare_query,
@@ -44,6 +45,7 @@ __all__ = [
     "EmptyRangeAdaptation",
     "Lemma1Result",
     "PreparedQuery",
+    "QueryPlan",
     "PushdownResult",
     "PushdownStep",
     "RangeExtensionResult",

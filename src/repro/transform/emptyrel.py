@@ -109,23 +109,46 @@ def adapt_formula(
     return EmptyRangeAdaptation(adapted, tuple(removed))
 
 
-def adapt_selection(selection: Selection, database) -> tuple[Selection, EmptyRangeAdaptation]:
+def adapt_selection(
+    selection: Selection, database, defer_restricted_ranges: bool = False
+) -> tuple[Selection, EmptyRangeAdaptation]:
     """Adapt a selection for the current contents of ``database``.
 
     Returns the (possibly unchanged) selection plus the adaptation record used
     in EXPLAIN output and the Lemma 1 experiments.
+
+    With ``defer_restricted_ranges=True``, a quantifier range with a
+    *restriction* is always assumed satisfiable: deciding it requires
+    scanning the data, which a cached plan cannot depend on.  The service
+    layer prepares plans this way — compilation then depends on the data
+    only through whole-relation emptiness — and the empty case is handled
+    at execution by the engine's Strategy 3 fallback
+    (:class:`~repro.engine.collection.ExtendedRangeEmptyError`), whose
+    re-prepare uses the default (data-scanning) mode and therefore
+    converges.
     """
 
     def relation_is_empty(name: str) -> bool:
         return database.relation(name).is_empty()
 
     def restriction_is_unsatisfied(range_expr: RangeExpr, var: str) -> bool:
+        from repro.calculus.ast import Param
         from repro.engine.naive import range_elements  # local import to avoid a cycle
 
+        # A parameterized restriction cannot be decided at prepare time:
+        # assume it is satisfiable and leave the empty case to the engine's
+        # runtime Strategy 3 fallback (ExtendedRangeEmptyError).
+        for node in range_expr.restriction.walk():
+            if isinstance(node, Comparison) and any(
+                isinstance(operand, Param) for operand in (node.left, node.right)
+            ):
+                return False
         return not any(True for _ in range_elements(database, range_expr, var))
 
     adaptation = adapt_formula(
-        selection.formula, relation_is_empty, restriction_is_unsatisfied
+        selection.formula,
+        relation_is_empty,
+        None if defer_restricted_ranges else restriction_is_unsatisfied,
     )
     if not adaptation.changed and adaptation.formula == selection.formula:
         return selection, adaptation

@@ -14,7 +14,7 @@ and records every step in a :class:`TransformationTrace` so EXPLAIN output,
 the examples, and the experiment scripts can show exactly what happened to a
 query — the reproduction of the paper's Examples 2.2, 4.5 and 4.7.
 
-The result is a :class:`PreparedQuery`: free-variable bindings with their
+The result is a :class:`QueryPlan`: free-variable bindings with their
 (possibly extended) ranges, the remaining quantifier prefix, and the matrix as
 a tuple of conjunctions whose literals are join terms or
 :class:`~repro.transform.quantifier_pushdown.DerivedPredicate` objects.
@@ -49,7 +49,7 @@ from repro.transform.quantifier_pushdown import (
 )
 from repro.transform.range_extension import extend_ranges
 
-__all__ = ["PreparedQuery", "TransformationTrace", "TraceStep", "prepare_query"]
+__all__ = ["QueryPlan", "PreparedQuery", "TransformationTrace", "TraceStep", "prepare_query"]
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,7 @@ class TransformationTrace:
 
 
 @dataclass
-class PreparedQuery:
+class QueryPlan:
     """A query after all logic-level transformations, ready for the engine.
 
     Attributes
@@ -144,16 +144,27 @@ class PreparedQuery:
         return found
 
 
+#: Backwards-compatible alias — the plan type was called ``PreparedQuery``
+#: before the service layer introduced a (parameterizable, re-executable)
+#: :class:`repro.service.PreparedQuery` on top of it.
+PreparedQuery = QueryPlan
+
+
 def prepare_query(
     selection: Selection,
     database,
     options: StrategyOptions | None = None,
     resolve: bool = True,
-) -> PreparedQuery:
+    defer_restricted_ranges: bool = False,
+) -> QueryPlan:
     """Run the full transformation pipeline on ``selection``.
 
     ``resolve=False`` skips type checking (used when the caller already
     resolved the selection, e.g. the engine's Strategy 3 fallback re-run).
+    ``defer_restricted_ranges=True`` makes the Lemma 1 adaptation depend on
+    the data only through whole-relation emptiness (see
+    :func:`repro.transform.emptyrel.adapt_selection`) — required for plans
+    that will be cached and re-executed (the service layer).
     """
     options = options or StrategyOptions()
     trace = TransformationTrace()
@@ -163,7 +174,9 @@ def prepare_query(
         trace.add("resolve", "scope and type checking against the catalog")
 
     # -- Lemma 1 runtime adaptation for empty base relations ----------------------------
-    adapted_selection, adaptation = adapt_selection(selection, database)
+    adapted_selection, adaptation = adapt_selection(
+        selection, database, defer_restricted_ranges=defer_restricted_ranges
+    )
     if adaptation.changed:
         removed = ", ".join(
             f"{kind} {var} IN {relation}" for kind, var, relation in adaptation.removed_quantifiers
@@ -228,7 +241,7 @@ def prepare_query(
         prefix = pushdown.prefix
         conjunctions = pushdown.conjunctions
 
-    return PreparedQuery(
+    return QueryPlan(
         selection=selection,
         bindings=tuple(standard_form.selection.bindings),
         prefix=tuple(prefix),

@@ -121,7 +121,9 @@ class IntegerType(ScalarType):
     def coerce(self, value: Any) -> int:
         if isinstance(value, bool) or not isinstance(value, int):
             raise ValidationError(f"{value!r} is not an integer")
-        return value
+        # Normalize int subclasses (IntEnum, user types) to plain int so
+        # coerced values are always hashable and compare canonically.
+        return value if type(value) is int else int(value)
 
     def is_comparable_with(self, other: ScalarType) -> bool:
         return isinstance(other, (IntegerType, Subrange))
@@ -155,7 +157,7 @@ class Subrange(ScalarType):
             raise ValidationError(f"{value!r} is not an integer in {self.name}")
         if not self.low <= value <= self.high:
             raise ValidationError(f"{value!r} outside subrange {self.name}")
-        return value
+        return value if type(value) is int else int(value)
 
     def is_comparable_with(self, other: ScalarType) -> bool:
         return isinstance(other, (IntegerType, Subrange))

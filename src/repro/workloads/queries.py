@@ -21,6 +21,10 @@ __all__ = [
     "SENIORITY_TEXT",
     "OTHERS_PUBLISHED_1977_TEXT",
     "PUBLISHING_TEACHERS_TEXT",
+    "STATUS_PARAM_TEXT",
+    "NO_PAPERS_IN_YEAR_PARAM_TEXT",
+    "RUNNING_QUERY_PARAM_TEXT",
+    "TEACHES_AT_LEVEL_PARAM_TEXT",
     "example_21",
     "example_45",
     "professors",
@@ -30,7 +34,29 @@ __all__ = [
     "others_published_1977",
     "publishing_teachers",
     "all_named_queries",
+    "parameterized_queries",
+    "inline_parameters",
 ]
+
+
+def inline_parameters(text: str, values: dict) -> str:
+    """Inline constants into a parameterized query text (a cold client's view).
+
+    Longest names substitute first so a parameter whose name prefixes
+    another's (``$level`` / ``$level2``) cannot corrupt it.  Identifier-like
+    strings (enumeration labels, simple char-array values) are inlined bare;
+    any other string becomes a quoted literal with doubled quotes.  Textual
+    substitution only — keep parameter-like ``$words`` out of string
+    literals in the template.
+    """
+    def render(value) -> str:
+        if isinstance(value, str) and not value.isidentifier():
+            return "'" + value.replace("'", "''") + "'"
+        return str(value)
+
+    for name in sorted(values, key=len, reverse=True):
+        text = text.replace(f"${name}", render(values[name]))
+    return text
 
 
 #: Example 2.1 — the running query of the paper: names of professors who did
@@ -127,6 +153,77 @@ PUBLISHING_TEACHERS_TEXT = """
         ((e.enr = p.penr) AND (c.clevel <= sophomore)
          AND (c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
 """
+
+
+# ------------------------------------------------------------- parameterized variants
+
+#: The monadic status query with the status as a parameter: one prepared plan
+#: serves lookups for professors, students, technicians and assistants.
+STATUS_PARAM_TEXT = """
+[<e.enr, e.ename> OF EACH e IN employees: (e.estatus = $status)]
+"""
+
+
+#: The universally quantified branch of the running query with the
+#: publication year as a parameter.
+NO_PAPERS_IN_YEAR_PARAM_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    ALL p IN papers ((p.pyear <> $year) OR (e.enr <> p.penr))]
+"""
+
+
+#: The full running query (Example 2.1) with its three selectivity knobs —
+#: employee status, publication year and course level — as parameters.
+RUNNING_QUERY_PARAM_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    (e.estatus = $status)
+    AND
+    (ALL p IN papers ((p.pyear <> $year) OR (e.enr <> p.penr))
+     OR
+     SOME c IN courses ((c.clevel <= $level)
+        AND
+        SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+"""
+
+
+#: The purely existential branch with the course level as a parameter.
+TEACHES_AT_LEVEL_PARAM_TEXT = """
+[<e.ename> OF EACH e IN employees:
+    SOME c IN courses ((c.clevel <= $level)
+        AND SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr)))]
+"""
+
+
+def parameterized_queries() -> dict[str, tuple[str, list[dict]]]:
+    """The parameterized paper workload: text plus representative bindings.
+
+    Keyed by a short identifier; each value is ``(query_text, bindings)``
+    where ``bindings`` lists several parameter assignments that together
+    cover the selectivities the paper's running query exercises.  Used by
+    the service-layer tests and ``benchmarks/bench_service_throughput.py``.
+    """
+    return {
+        "status_lookup": (
+            STATUS_PARAM_TEXT,
+            [{"status": "professor"}, {"status": "student"}, {"status": "assistant"}],
+        ),
+        "no_papers_in_year": (
+            NO_PAPERS_IN_YEAR_PARAM_TEXT,
+            [{"year": 1977}, {"year": 1975}, {"year": 1982}],
+        ),
+        "running_query": (
+            RUNNING_QUERY_PARAM_TEXT,
+            [
+                {"status": "professor", "year": 1977, "level": "sophomore"},
+                {"status": "student", "year": 1975, "level": "senior"},
+                {"status": "professor", "year": 1982, "level": "freshman"},
+            ],
+        ),
+        "teaches_at_level": (
+            TEACHES_AT_LEVEL_PARAM_TEXT,
+            [{"level": "sophomore"}, {"level": "senior"}],
+        ),
+    }
 
 
 def example_21() -> Selection:

@@ -1,10 +1,22 @@
-"""Cross-engine equivalence: the optimized combination phase vs. ground truth.
+"""Cross-engine, cross-backend equivalence: every optimized path vs. ground truth.
 
-For every query in :func:`repro.workloads.queries.all_named_queries`, the
-phase-structured engine must return exactly the relation computed by
-:func:`repro.engine.evaluator.execute_naive`, under every combination of the
-combination-phase optimizer flags (``join_ordering`` × ``semijoin_reduction``)
-crossed with the representative strategy configurations of ``conftest``.
+Three axes are crossed here:
+
+* **optimizer flags** — ``join_ordering`` × ``semijoin_reduction``;
+* **strategy configurations** — the representative configurations of
+  ``conftest`` (scale 1) and a reduced set (scale 2);
+* **storage backend** — the plain in-memory :class:`Relation` dictionary and
+  the paged :class:`StoredRelation` (heap file + buffer pool), which before
+  this matrix was only exercised by the isolated unit tests in
+  ``tests/storage/``.
+
+For every cell, the phase-structured engine must return exactly the relation
+computed by :func:`repro.engine.evaluator.execute_naive`, the two backends
+must agree with each other, and the page counters must be coherent: a paged
+database reads pages (with ``page_hits + page_misses == pages_read``), an
+in-memory database never does.  A final block extends the matrix to the
+service layer: prepared parameterized execution must be byte-identical to
+cold execution for every workload query, parameter binding and backend.
 """
 
 from __future__ import annotations
@@ -13,8 +25,13 @@ import itertools
 
 import pytest
 
-from repro import QueryEngine, StrategyOptions, execute_naive
-from repro.workloads.queries import all_named_queries
+from repro import QueryEngine, QueryService, StrategyOptions, execute_naive
+from repro.workloads.queries import (
+    all_named_queries,
+    inline_parameters,
+    parameterized_queries,
+)
+from repro.workloads.university import build_university_database, figure1_database
 
 SCALE2_CONFIGS = {
     "all": StrategyOptions.all_strategies(),
@@ -30,32 +47,102 @@ QUERIES = all_named_queries()
 
 OPTIMIZER_FLAGS = list(itertools.product((False, True), repeat=2))
 
+BACKENDS = ("memory", "paged")
+
 
 def _flag_id(flags: tuple[bool, bool]) -> str:
     ordering, reduction = flags
     return f"ordering={'on' if ordering else 'off'}-semijoin={'on' if reduction else 'off'}"
 
 
+@pytest.fixture(params=BACKENDS, scope="module")
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def figure1_backend(backend):
+    """The Figure 1 database on the requested storage backend.
+
+    Module-scoped: the tests below only read (every execution resets the
+    shared statistics itself).
+    """
+    return figure1_database(paged=(backend == "paged"))
+
+
+@pytest.fixture(scope="module")
+def scale2_backend(backend):
+    return build_university_database(scale=2, paged=(backend == "paged"))
+
+
+def _assert_page_counters_sane(database, backend: str) -> None:
+    snapshot = database.statistics.as_dict()
+    if backend == "paged":
+        total_scans = sum(c["scans"] for c in snapshot["relations"].values())
+        if total_scans > 0:
+            assert snapshot["pages_read"] > 0, snapshot
+        assert snapshot["page_hits"] + snapshot["page_misses"] == snapshot["pages_read"]
+        assert snapshot["page_hits"] >= 0 and snapshot["page_misses"] >= 0
+    else:
+        assert snapshot["pages_read"] == 0, snapshot
+        assert snapshot["page_hits"] == 0 and snapshot["page_misses"] == 0
+
+
 @pytest.mark.parametrize("flags", OPTIMIZER_FLAGS, ids=_flag_id)
 @pytest.mark.parametrize("query_name", sorted(QUERIES))
-def test_optimizer_flags_match_naive_on_figure1(figure1, query_name, flags, strategy_options):
-    """All optimizer flag combinations × strategy configs, on the Figure 1 data."""
+def test_optimizer_flags_match_naive_on_figure1(
+    figure1_backend, backend, query_name, flags, strategy_options
+):
+    """All optimizer flags × strategy configs × backends, on the Figure 1 data."""
     ordering, reduction = flags
     options = strategy_options.with_(join_ordering=ordering, semijoin_reduction=reduction)
-    expected = execute_naive(figure1, QUERIES[query_name])
-    result = QueryEngine(figure1, options).execute(QUERIES[query_name])
+    expected = execute_naive(figure1_backend, QUERIES[query_name])
+    result = QueryEngine(figure1_backend, options).execute(QUERIES[query_name])
     assert result.relation == expected
+    _assert_page_counters_sane(figure1_backend, backend)
 
 
 @pytest.mark.parametrize("flags", OPTIMIZER_FLAGS, ids=_flag_id)
 @pytest.mark.parametrize("config_name", sorted(SCALE2_CONFIGS))
-def test_optimizer_flags_match_naive_at_scale2(university_scale2, config_name, flags):
+def test_optimizer_flags_match_naive_at_scale2(scale2_backend, backend, config_name, flags):
     """A larger database catches size-dependent ordering bugs; one query per cell."""
     ordering, reduction = flags
     options = SCALE2_CONFIGS[config_name].with_(
         join_ordering=ordering, semijoin_reduction=reduction
     )
     for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
-        expected = execute_naive(university_scale2, QUERIES[query_name])
-        result = QueryEngine(university_scale2, options).execute(QUERIES[query_name])
+        expected = execute_naive(scale2_backend, QUERIES[query_name])
+        result = QueryEngine(scale2_backend, options).execute(QUERIES[query_name])
         assert result.relation == expected, (config_name, query_name)
+    _assert_page_counters_sane(scale2_backend, backend)
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_backends_agree_elementwise(query_name):
+    """The two backends return identical element sets for every named query."""
+    memory = figure1_database(paged=False)
+    paged = figure1_database(paged=True)
+    memory_result = QueryEngine(memory).execute(QUERIES[query_name])
+    paged_result = QueryEngine(paged).execute(QUERIES[query_name])
+    assert sorted(r.values for r in memory_result.relation) == sorted(
+        r.values for r in paged_result.relation
+    )
+
+
+class TestPreparedMatchesColdAcrossBackends:
+    """The service-layer acceptance row of the matrix."""
+
+    @pytest.mark.parametrize("workload_name", sorted(parameterized_queries()))
+    def test_prepared_byte_identical_to_cold(self, figure1_backend, backend, workload_name):
+        text, bindings = parameterized_queries()[workload_name]
+        engine = QueryEngine(figure1_backend)
+        service = QueryService(figure1_backend)
+        prepared = service.prepare(text)
+        for values in bindings:
+            expected = engine.execute(inline_parameters(text, values)).relation
+            for _ in range(2):  # the second run exercises the collection memo
+                result = prepared.execute(values)
+                assert sorted(r.values for r in result.relation) == sorted(
+                    r.values for r in expected
+                ), (workload_name, values, backend)
+        _assert_page_counters_sane(figure1_backend, backend)

@@ -13,12 +13,28 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import QueryEngine, StrategyOptions
+from repro import QueryEngine, QueryService, StrategyOptions
+from repro.calculus.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    Const,
+    Formula,
+    Not,
+    Or,
+    Param,
+    Quantified,
+    RangeExpr,
+    Selection,
+    VariableBinding,
+)
 from repro.calculus.typecheck import TypeChecker
 from repro.engine.naive import evaluate_selection_naive
 from repro.errors import PascalRError
+from repro.service import bind_selection
 from repro.transform.normalform import to_standard_form
 from repro.transform.range_extension import extend_ranges
+from repro.types.scalar import EnumValue, Enumeration, Subrange
 from repro.workloads.generator import random_workload
 
 CONFIGS = [
@@ -122,6 +138,129 @@ def test_range_extension_preserves_semantics_on_nonempty_extensions(seed):
     assert evaluate_selection_naive(rewritten, database) == evaluate_selection_naive(
         resolved, database
     )
+
+
+# --------------------------------------------------- prepared-query properties
+
+
+def _parameterize(selection: Selection):
+    """Replace every constant operand with a named parameter.
+
+    Returns the parameterized selection and the original values — the
+    bindings under which the parameterized query must behave exactly like
+    the original.
+    """
+    values: dict[str, object] = {}
+
+    def sub_operand(operand):
+        if isinstance(operand, Const):
+            name = f"p{len(values)}"
+            values[name] = operand.value
+            return Param(name)
+        return operand
+
+    def sub_formula(formula: Formula) -> Formula:
+        if isinstance(formula, BoolConst):
+            return formula
+        if isinstance(formula, Comparison):
+            return Comparison(sub_operand(formula.left), formula.op, sub_operand(formula.right))
+        if isinstance(formula, Not):
+            return Not(sub_formula(formula.child))
+        if isinstance(formula, And):
+            return And(*(sub_formula(o) for o in formula.operands))
+        if isinstance(formula, Or):
+            return Or(*(sub_formula(o) for o in formula.operands))
+        if isinstance(formula, Quantified):
+            return Quantified(
+                formula.kind, formula.var, sub_range(formula.range), sub_formula(formula.body)
+            )
+        raise AssertionError(f"unexpected node {formula!r}")
+
+    def sub_range(range_expr: RangeExpr) -> RangeExpr:
+        if range_expr.restriction is None:
+            return range_expr
+        return RangeExpr(range_expr.relation, sub_formula(range_expr.restriction))
+
+    bindings = tuple(
+        VariableBinding(b.var, sub_range(b.range)) for b in selection.bindings
+    )
+    return Selection(selection.columns, bindings, sub_formula(selection.formula)), values
+
+
+def _perturb(prepared, base_values: dict, delta: int) -> dict:
+    """A variant binding set: shift each value within its resolved type."""
+    if delta == 0:
+        return dict(base_values)
+    variant = {}
+    for name, value in base_values.items():
+        parameter = prepared.parameters.get(name)
+        scalar = parameter.type if parameter is not None else None
+        if isinstance(scalar, Subrange):
+            span = scalar.high - scalar.low + 1
+            variant[name] = scalar.low + (int(value) - scalar.low + delta) % span
+        elif isinstance(scalar, Enumeration) and isinstance(value, EnumValue):
+            labels = scalar.labels
+            position = (value.ordinal + delta) % len(labels)
+            variant[name] = labels[position]
+        else:
+            variant[name] = value
+    return variant
+
+
+@PROPERTY_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    delta=st.integers(min_value=0, max_value=5),
+)
+def test_prepared_parameterized_query_matches_fresh_evaluation(seed, delta):
+    """Prepare once, execute with several generated bindings: each run must
+    equal naive evaluation of a freshly bound copy of the query — catching
+    stale-plan and binding-leak bugs in the service layer."""
+    pair = workload(seed)
+    if pair is None:
+        return
+    database, resolved = pair
+    parameterized, base_values = _parameterize(resolved)
+    if not base_values:
+        return
+    service = QueryService(database)
+    try:
+        prepared = service.prepare(parameterized)
+    except PascalRError:
+        return  # e.g. the rewrite produced a parameter-only comparison
+    for values in (base_values, _perturb(prepared, base_values, delta), base_values):
+        coerced = {
+            name: (prepared.parameters[name].type.coerce(value)
+                   if prepared.parameters[name].type is not None else value)
+            for name, value in values.items()
+        }
+        expected = evaluate_selection_naive(
+            bind_selection(prepared.selection, coerced), database
+        )
+        result = prepared.execute(values)
+        assert result.relation == expected, (seed, values)
+
+
+@PROPERTY_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_prepared_base_binding_reproduces_the_original_query(seed):
+    """Binding the original constants back must reproduce the unparameterized
+    query's naive result exactly (plan reuse does not change semantics)."""
+    pair = workload(seed)
+    if pair is None:
+        return
+    database, resolved = pair
+    parameterized, base_values = _parameterize(resolved)
+    if not base_values:
+        return
+    expected = evaluate_selection_naive(resolved, database)
+    service = QueryService(database)
+    try:
+        prepared = service.prepare(parameterized)
+    except PascalRError:
+        return
+    for _ in range(2):  # the second run exercises the collection memo
+        assert prepared.execute(base_values).relation == expected, seed
 
 
 @pytest.mark.parametrize("base_seed", [0, 1000, 2000, 3000])

@@ -1,0 +1,88 @@
+"""Lexing, parsing and printing of ``$name`` query parameters."""
+
+import pytest
+
+from repro.calculus.ast import Comparison, FieldRef, Param
+from repro.calculus.printer import format_selection
+from repro.calculus import builder as q
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_selection
+from repro.lang.tokens import TokenType
+
+
+class TestLexer:
+    def test_parameter_token(self):
+        tokens = tokenize("$year")
+        assert tokens[0].type == TokenType.PARAM
+        assert tokens[0].value == "year"
+
+    def test_parameter_with_underscores_and_digits(self):
+        tokens = tokenize("$max_year_2")
+        assert tokens[0].value == "max_year_2"
+
+    def test_bare_dollar_is_an_error(self):
+        with pytest.raises(LexError):
+            tokenize("$ year")
+
+    def test_digit_initial_name_is_an_error(self):
+        with pytest.raises(LexError):
+            tokenize("$1year")
+
+    def test_parameter_inside_query_text(self):
+        tokens = tokenize("(p.pyear <> $year)")
+        assert [t.type for t in tokens[:7]] == [
+            TokenType.LPAREN,
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+            TokenType.OPERATOR,
+            TokenType.PARAM,
+            TokenType.RPAREN,
+        ]
+
+
+class TestParser:
+    def test_parameter_operand(self):
+        selection = parse_selection(
+            "[<e.ename> OF EACH e IN employees: (e.estatus = $status)]"
+        )
+        comparison = selection.formula
+        assert isinstance(comparison, Comparison)
+        assert comparison.left == FieldRef("e", "estatus")
+        assert comparison.right == Param("status")
+
+    def test_parameter_on_either_side(self):
+        selection = parse_selection(
+            "[<e.ename> OF EACH e IN employees: ($status = e.estatus)]"
+        )
+        assert selection.formula.left == Param("status")
+
+    def test_parameter_in_extended_range(self):
+        selection = parse_selection(
+            "[<p.ptitle> OF EACH p IN [EACH p IN papers: (p.pyear = $year)]: TRUE]"
+        )
+        restriction = selection.bindings[0].range.restriction
+        assert restriction.right == Param("year")
+
+
+class TestPrinterRoundTrip:
+    def test_parameters_print_and_reparse(self):
+        text = (
+            "[<e.ename> OF EACH e IN employees: "
+            "(e.estatus = $status) AND SOME p IN papers ((p.pyear <> $year) "
+            "AND (p.penr = e.enr))]"
+        )
+        selection = parse_selection(text)
+        printed = format_selection(selection)
+        assert "$status" in printed
+        assert parse_selection(printed) == selection
+
+
+class TestBuilder:
+    def test_param_helper(self):
+        comparison = q.eq(("e", "estatus"), q.param("status"))
+        assert comparison.right == Param("status")
+
+    def test_operand_passes_params_through(self):
+        assert q.operand(Param("x")) == Param("x")

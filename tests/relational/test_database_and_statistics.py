@@ -161,3 +161,95 @@ class TestStatistics:
         counters = database.statistics.as_dict()["relations"]["employees"]
         assert counters["inserts"] >= 1
         assert counters["deletes"] == 1
+
+
+class TestCounterReflection:
+    """reset() and as_dict() must cover every public numeric counter.
+
+    These tests enumerate the counters by reflection, so a counter added to
+    ``AccessStatistics.__init__`` (like the service layer's plan-cache
+    hits/misses) can never silently escape the reset or the snapshot.
+    """
+
+    @staticmethod
+    def _numeric_counters(stats: AccessStatistics) -> list[str]:
+        return [
+            name
+            for name, value in vars(stats).items()
+            if not name.startswith("_")
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        ]
+
+    def test_reset_zeroes_every_public_numeric_field(self):
+        stats = AccessStatistics()
+        names = self._numeric_counters(stats)
+        assert names, "expected public numeric counters"
+        for name in names:
+            setattr(stats, name, 7)
+        stats.record_scan("employees")
+        stats.reset()
+        for name in names:
+            assert getattr(stats, name) == 0, name
+        assert stats.as_dict()["relations"] == {}
+
+    def test_snapshot_covers_every_public_numeric_field(self):
+        stats = AccessStatistics()
+        snapshot = stats.as_dict()
+        for name in self._numeric_counters(stats):
+            assert name in snapshot, name
+
+    def test_plan_cache_counters_participate(self):
+        stats = AccessStatistics()
+        stats.record_plan_cache(hit=True)
+        stats.record_plan_cache(hit=False)
+        snapshot = stats.as_dict()
+        assert snapshot["plan_cache_hits"] == 1
+        assert snapshot["plan_cache_misses"] == 1
+        stats.reset()
+        assert stats.plan_cache_hits == 0
+        assert stats.plan_cache_misses == 0
+
+    def test_mutation_epoch_survives_reset(self):
+        stats = AccessStatistics()
+        epoch = stats.mutation_epoch
+        stats.record_insert("employees")
+        stats.record_delete("employees")
+        stats.record_mutation()
+        assert stats.mutation_epoch == epoch + 3
+        stats.reset()
+        assert stats.mutation_epoch == epoch + 3
+        assert "mutation_epoch" not in stats.as_dict()
+
+
+class TestVersioning:
+    def test_schema_version_bumps_on_catalog_mutations(self, database):
+        version = database.schema_version
+        database.create_relation("audit", [("anr", INTEGER)], key=["anr"])
+        assert database.schema_version > version
+        version = database.schema_version
+        database.create_index("audit", "anr")
+        assert database.schema_version > version
+        version = database.schema_version
+        database.drop_index("audit", "anr")
+        assert database.schema_version > version
+        version = database.schema_version
+        database.drop_relation("audit")
+        assert database.schema_version > version
+
+    def test_dropping_a_missing_index_does_not_bump(self, database):
+        version = database.schema_version
+        database.drop_index("employees", "nonexistent")
+        assert database.schema_version == version
+
+    def test_data_version_tracks_relation_mutations(self, database):
+        employees = database.relation("employees")
+        version = database.data_version
+        employees.insert({"enr": 77, "boss": 1})
+        assert database.data_version > version
+        version = database.data_version
+        employees.delete_key(77)
+        assert database.data_version > version
+        version = database.data_version
+        employees.assign(list(employees.elements()))
+        assert database.data_version > version

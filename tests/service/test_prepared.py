@@ -1,0 +1,287 @@
+"""The service-level PreparedQuery: lifecycle, late binding, memo safety."""
+
+import pytest
+
+from repro import QueryService, StrategyOptions, build_university_database, execute_naive
+from repro.calculus.typecheck import resolve_selection
+from repro.errors import BindingError
+from repro.lang.parser import parse_selection
+from repro.service import bind_selection, check_bindings, collect_parameters
+from repro.workloads.queries import (
+    NO_PAPERS_IN_YEAR_PARAM_TEXT,
+    RUNNING_QUERY_PARAM_TEXT,
+    STATUS_PARAM_TEXT,
+    parameterized_queries,
+)
+
+
+def naive_reference(database, text, values):
+    """Ground truth: bind into a freshly parsed query, evaluate naively."""
+    selection = resolve_selection(parse_selection(text), database)
+    coerced = check_bindings(collect_parameters(selection), values)
+    return execute_naive(database, bind_selection(selection, coerced))
+
+
+class TestLifecycle:
+    def test_prepare_records_the_transformation_trace(self, figure1):
+        service = QueryService(figure1)
+        prepared = service.prepare(RUNNING_QUERY_PARAM_TEXT)
+        assert prepared.trace.names()  # resolve happened before prepare_query
+        assert prepared.is_parameterized()
+        assert prepared.parameter_names == ("level", "status", "year")
+
+    def test_every_workload_binding_matches_fresh_naive_evaluation(self, figure1):
+        service = QueryService(figure1)
+        for name, (text, bindings) in parameterized_queries().items():
+            prepared = service.prepare(text)
+            for values in bindings:
+                result = prepared.execute(values)
+                assert result.relation == naive_reference(figure1, text, values), (
+                    name,
+                    values,
+                )
+
+    def test_repeated_execution_uses_the_collection_memo(self, figure1):
+        service = QueryService(figure1)
+        prepared = service.prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
+        first = prepared.execute({"year": 1977})
+        second = prepared.execute({"year": 1977})
+        assert second.relation == first.relation
+        # The second run reused the collected structures: no relation scans.
+        assert sum(
+            counters["scans"] for counters in second.statistics["relations"].values()
+        ) < sum(counters["scans"] for counters in first.statistics["relations"].values())
+
+    def test_distinct_bindings_never_share_collection_structures(self, figure1):
+        """The binding-leak regression: each binding set gets its own result."""
+        service = QueryService(figure1)
+        prepared = service.prepare(STATUS_PARAM_TEXT)
+        professors = prepared.execute({"status": "professor"}).relation
+        students = prepared.execute({"status": "student"}).relation
+        professors_again = prepared.execute({"status": "professor"}).relation
+        assert professors == naive_reference(figure1, STATUS_PARAM_TEXT, {"status": "professor"})
+        assert students == naive_reference(figure1, STATUS_PARAM_TEXT, {"status": "student"})
+        assert professors_again == professors
+        assert professors != students
+
+    def test_data_mutation_invalidates_the_collection_memo(self, figure1):
+        service = QueryService(figure1)
+        prepared = service.prepare(STATUS_PARAM_TEXT)
+        before = prepared.execute({"status": "professor"}).relation
+        figure1.relation("employees").insert(
+            {"enr": 9001, "ename": "NewProf", "estatus": "professor"}
+        )
+        after = prepared.execute({"status": "professor"}).relation
+        assert len(after) == len(before) + 1
+        assert after == naive_reference(figure1, STATUS_PARAM_TEXT, {"status": "professor"})
+
+    def test_stale_detection_after_catalog_change(self, figure1):
+        service = QueryService(figure1)
+        prepared = service.prepare(STATUS_PARAM_TEXT)
+        assert not prepared.is_stale()
+        figure1.create_index("employees", "enr")
+        assert prepared.is_stale()
+
+    def test_stale_prepared_query_refuses_to_execute(self, figure1):
+        from repro.errors import PlanError
+
+        service = QueryService(figure1)
+        prepared = service.prepare(STATUS_PARAM_TEXT)
+        figure1.create_index("employees", "enr")
+        with pytest.raises(PlanError, match="stale"):
+            prepared.execute({"status": "professor"})
+        # Re-preparing through the service picks up the new catalog version.
+        fresh = service.prepare(STATUS_PARAM_TEXT)
+        assert fresh.execute({"status": "professor"}).relation == naive_reference(
+            figure1, STATUS_PARAM_TEXT, {"status": "professor"}
+        )
+
+    def test_emptiness_transition_staleness_on_held_handles(self, figure1):
+        """A plan compiled while a relation was empty baked in the Lemma 1
+        adaptation; when the relation refills, the held handle must refuse to
+        run the now-wrong constant plan."""
+        from repro.errors import PlanError
+
+        papers = figure1.relation("papers")
+        saved = list(papers.elements())
+        papers.assign([])
+        service = QueryService(figure1)
+        text = "[<e.ename> OF EACH e IN employees: ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))]"
+        prepared = service.prepare(text)
+        assert prepared.execute().relation == execute_naive(figure1, text)
+        papers.assign(saved)  # papers: empty -> non-empty
+        assert prepared.is_stale()
+        with pytest.raises(PlanError, match="stale"):
+            prepared.execute()
+        # Re-preparing through the service is keyed on the emptiness signature:
+        assert service.execute(text).relation == execute_naive(figure1, text)
+
+    def test_unrelated_emptiness_transition_does_not_stale_the_handle(self, figure1):
+        """Clearing a relation the query never ranges over must not break a
+        held prepared handle (staleness is restricted to referenced ranges)."""
+        service = QueryService(figure1)
+        prepared = service.prepare(STATUS_PARAM_TEXT)  # ranges over employees only
+        assert prepared.referenced_relations == frozenset({"employees"})
+        courses = figure1.relation("courses")
+        saved = list(courses.elements())
+        courses.assign([])
+        assert not prepared.is_stale()
+        assert prepared.execute({"status": "professor"}).relation == naive_reference(
+            figure1, STATUS_PARAM_TEXT, {"status": "professor"}
+        )
+        courses.assign(saved)
+
+    def test_batch_refuses_stale_prepared_handles(self, figure1):
+        from repro.errors import PlanError
+
+        service = QueryService(figure1)
+        prepared = service.prepare(STATUS_PARAM_TEXT)
+        figure1.create_index("employees", "enr")
+        with pytest.raises(PlanError, match="stale"):
+            service.execute_batch([(prepared, {"status": "professor"})])
+
+    def test_warm_memo_does_not_bypass_binding_validation(self, figure1):
+        """1977.0 == 1977 with equal hashes; validation must still reject it
+        even when the 1977 memo entry is warm."""
+        prepared = QueryService(figure1).prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
+        prepared.execute({"year": 1977})
+        with pytest.raises(BindingError):
+            prepared.execute({"year": 1977.0})
+        with pytest.raises(BindingError):
+            prepared.execute({"year": True})
+
+    def test_every_occurrence_type_is_enforced(self, figure1):
+        """A parameter shared by comparably-typed components must satisfy the
+        type of each occurrence, like the literal-constant equivalent."""
+        text = """
+        [<e.ename> OF EACH e IN employees:
+            (e.enr = $n) AND SOME p IN papers ((p.pyear = $n))]
+        """
+        prepared = QueryService(figure1).prepare(text)
+        with pytest.raises(BindingError, match="yeartype"):
+            prepared.execute({"n": 3})  # valid enumbertype, outside yeartype
+        result = prepared.execute({"n": 1977})  # hits no employee, but valid
+        assert result.relation == naive_reference(figure1, text, {"n": 1977})
+
+    def test_restricted_range_satisfiability_changes_stay_correct(self, figure1):
+        """A cached plan must not bake in restricted-range satisfiability:
+        the service defers that decision to the runtime fallback, so data
+        changes inside a non-empty relation cannot stale the plan."""
+        text = (
+            "[<e.ename> OF EACH e IN employees: "
+            "ALL p IN [EACH p IN papers: (p.pyear = 1990)] (e.enr <> p.penr)]"
+        )
+        service = QueryService(figure1)
+        prepared = service.prepare(text)
+        # No 1990 papers: the runtime fallback handles the empty instantiation.
+        empty = prepared.execute()
+        assert empty.used_strategy3_fallback
+        assert empty.relation == execute_naive(figure1, text)
+        # Insert a matching paper (papers stays non-empty, catalog unchanged).
+        record = figure1.relation("papers").insert(
+            {"penr": 1, "pyear": 1990, "ptitle": "On Staleness"}
+        )
+        assert not prepared.is_stale()
+        assert prepared.execute().relation == execute_naive(figure1, text)
+        # And back out again.
+        assert figure1.relation("papers").delete(record)
+        assert prepared.execute().relation == execute_naive(figure1, text)
+
+    def test_parameterized_extended_range_uses_runtime_fallback(self, figure1):
+        """A $param inside a user-written extended range cannot be decided at
+        prepare time; an empty instantiation must take the Strategy 3
+        fallback at execution instead of failing at prepare."""
+        text = """
+        [<e.ename> OF EACH e IN employees:
+            ALL p IN [EACH p IN papers: (p.pyear = $year)] (e.enr <> p.penr)]
+        """
+        prepared = QueryService(figure1).prepare(text)
+        empty_year = prepared.execute({"year": 1901})  # no 1901 papers
+        assert empty_year.used_strategy3_fallback
+        assert empty_year.relation == naive_reference(figure1, text, {"year": 1901})
+        assert prepared.execute({"year": 1977}).relation == naive_reference(
+            figure1, text, {"year": 1977}
+        )
+
+    def test_service_execute_snapshots_plan_cache_counters(self, figure1):
+        """The hit/miss of this very request survives into result.statistics."""
+        service = QueryService(figure1)
+        first = service.execute(STATUS_PARAM_TEXT, {"status": "professor"})
+        assert first.statistics["plan_cache_misses"] == 1
+        assert first.statistics["plan_cache_hits"] == 0
+        second = service.execute(STATUS_PARAM_TEXT, {"status": "student"})
+        assert second.statistics["plan_cache_hits"] == 1
+        assert second.statistics["plan_cache_misses"] == 0
+
+
+class TestBindingValidation:
+    def test_missing_binding_raises(self, figure1):
+        prepared = QueryService(figure1).prepare(RUNNING_QUERY_PARAM_TEXT)
+        with pytest.raises(BindingError):
+            prepared.execute({"status": "professor"})
+
+    def test_binding_for_parameterless_query_raises(self, figure1):
+        prepared = QueryService(figure1).prepare(
+            "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
+        )
+        with pytest.raises(BindingError):
+            prepared.execute({"status": "professor"})
+
+    def test_parameterless_query_executes_without_bindings(self, figure1):
+        prepared = QueryService(figure1).prepare(
+            "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
+        )
+        expected = execute_naive(
+            figure1,
+            "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]",
+        )
+        assert prepared.execute().relation == expected
+
+    def test_unhashable_binding_values_still_execute(self, figure1):
+        """Unkeyable bindings skip the memos but must stay correct."""
+
+        class OddInt(int):
+            __hash__ = None  # type: ignore[assignment]
+
+        prepared = QueryService(figure1).prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
+        result = prepared.execute({"year": OddInt(1977)})
+        assert result.relation == naive_reference(
+            figure1, NO_PAPERS_IN_YEAR_PARAM_TEXT, {"year": 1977}
+        )
+
+
+class TestStrategyIndependence:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            StrategyOptions.all_strategies(),
+            StrategyOptions.none(),
+            StrategyOptions.only(parallel_collection=True, one_step_nested=True),
+            StrategyOptions(separate_existential_conjunctions=True),
+        ],
+        ids=["all", "none", "s1+s2", "separated"],
+    )
+    def test_prepared_execution_matches_naive_under_every_configuration(
+        self, figure1, options
+    ):
+        service = QueryService(figure1, options=options)
+        for name, (text, bindings) in parameterized_queries().items():
+            prepared = service.prepare(text)
+            for values in bindings:
+                for _ in range(2):
+                    assert prepared.execute(values).relation == naive_reference(
+                        figure1, text, values
+                    ), (name, values)
+
+    def test_collection_memo_disabled_still_matches(self):
+        database = build_university_database(scale=1)
+        from repro.config import ServiceOptions
+
+        service = QueryService(
+            database, service_options=ServiceOptions(collection_cache_size=0)
+        )
+        prepared = service.prepare(STATUS_PARAM_TEXT)
+        for _ in range(2):
+            assert prepared.execute({"status": "professor"}).relation == naive_reference(
+                database, STATUS_PARAM_TEXT, {"status": "professor"}
+            )

@@ -1,0 +1,203 @@
+"""The QueryService facade: caching, invalidation, batching, thread safety."""
+
+import threading
+
+import pytest
+
+from repro import QueryEngine, QueryService, StrategyOptions, build_university_database, execute_naive
+from repro.config import ServiceOptions
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    PROFESSORS_TEXT,
+    STATUS_PARAM_TEXT,
+    TEACHES_AT_LEVEL_PARAM_TEXT,
+    parameterized_queries,
+)
+
+
+class TestPlanCaching:
+    def test_same_text_hits_the_cache(self, figure1):
+        service = QueryService(figure1)
+        first = service.prepare(PROFESSORS_TEXT)
+        second = service.prepare(PROFESSORS_TEXT)
+        assert second is first
+        assert service.cache_info()["hits"] == 1
+
+    def test_normalization_ignores_whitespace_comments_and_keyword_case(self, figure1):
+        service = QueryService(figure1)
+        first = service.prepare(PROFESSORS_TEXT)
+        variant = (
+            "  [<e.enr, e.ename> OF each e IN employees:  {paper query}\n"
+            "      (e.estatus = professor)]  (* trailing *)"
+        )
+        assert service.prepare(variant) is first
+
+    def test_different_options_get_different_plans(self, figure1):
+        service = QueryService(figure1)
+        default = service.prepare(EXAMPLE_21_TEXT)
+        legacy = service.prepare(EXAMPLE_21_TEXT, options=StrategyOptions.none())
+        assert legacy is not default
+        assert len(service.cache) == 2
+
+    def test_catalog_change_invalidates_cached_plans(self, figure1):
+        service = QueryService(figure1)
+        before = service.prepare(PROFESSORS_TEXT)
+        figure1.create_index("employees", "enr")
+        after = service.prepare(PROFESSORS_TEXT)
+        assert after is not before
+
+    def test_emptiness_transition_invalidates_cached_plans(self):
+        """Lemma 1 is the only data dependency of compilation: plans are keyed
+        on which relations are empty."""
+        database = build_university_database(scale=1)
+        service = QueryService(database)
+        before = service.prepare(EXAMPLE_21_TEXT)
+        papers = database.relation("papers")
+        saved = list(papers.elements())
+        papers.assign([])
+        adapted = service.prepare(EXAMPLE_21_TEXT)
+        assert adapted is not before
+        assert "empty-relation adaptation" in adapted.trace.names()
+        assert service.execute(EXAMPLE_21_TEXT).relation == execute_naive(
+            database, EXAMPLE_21_TEXT
+        )
+        papers.assign(saved)
+        assert service.execute(EXAMPLE_21_TEXT).relation == execute_naive(
+            database, EXAMPLE_21_TEXT
+        )
+
+    def test_unrelated_emptiness_flip_keeps_cached_plans(self, figure1):
+        """The cache key ignores emptiness; a hit is validated against the
+        plan's own referenced relations, so flipping an unrelated relation
+        neither orphans nor duplicates entries."""
+        from repro.types.scalar import INTEGER
+
+        figure1.create_relation("audit_log", [("anr", INTEGER)], key=["anr"])
+        service = QueryService(figure1)
+        first = service.prepare(PROFESSORS_TEXT)
+        figure1.relation("audit_log").insert({"anr": 1})  # empty -> non-empty
+        assert service.prepare(PROFESSORS_TEXT) is first
+        assert len(service.cache) == 1
+
+    def test_lru_eviction_respects_capacity(self, figure1):
+        service = QueryService(figure1, cache_capacity=1)
+        service.prepare(PROFESSORS_TEXT)
+        service.prepare(EXAMPLE_21_TEXT)
+        assert len(service.cache) == 1
+
+    def test_selection_objects_are_cacheable_keys(self, figure1):
+        from repro.workloads.queries import example_21
+
+        service = QueryService(figure1)
+        first = service.prepare(example_21())
+        second = service.prepare(example_21())
+        assert second is first
+
+
+class TestExecuteBatch:
+    def test_batch_results_equal_individual_execution(self, figure1):
+        service = QueryService(figure1)
+        requests = [
+            (STATUS_PARAM_TEXT, {"status": "professor"}),
+            (STATUS_PARAM_TEXT, {"status": "student"}),
+            (TEACHES_AT_LEVEL_PARAM_TEXT, {"level": "sophomore"}),
+            EXAMPLE_21_TEXT,
+            PROFESSORS_TEXT,
+        ]
+        batch = service.execute_batch(requests)
+        assert len(batch) == len(requests)
+        for request, result in zip(requests, batch):
+            query, parameters = request if isinstance(request, tuple) else (request, None)
+            individual = service.execute(query, parameters)
+            assert result.relation == individual.relation, query
+
+    def test_batch_shares_relation_scans(self, figure1):
+        """Queries over the same unrestricted ranges share one scan.
+
+        Strategy 4 is switched off so the quantifiers reach the collection
+        phase as indirect joins (a Strategy 4 value list always scans its
+        inner relation itself); with plain Strategy 1, the merged collection
+        phase serves all three queries from one scan per relation.
+        """
+        options = StrategyOptions.only(parallel_collection=True)
+        service = QueryService(figure1, options=options)
+        queries = [
+            "[<e.ename> OF EACH e IN employees: SOME t IN timetable ((e.enr = t.tenr))]",
+            "[<e.ename> OF EACH e IN employees: SOME t IN timetable ((e.enr = t.tcnr))]",
+            "[<e.enr> OF EACH e IN employees: SOME t IN timetable ((e.enr < t.tenr))]",
+        ]
+        batch = service.execute_batch(queries)
+        for query, result in zip(queries, batch):
+            assert result.relation == execute_naive(figure1, query), query
+        scans = {
+            name: counters["scans"]
+            for name, counters in batch[-1].statistics["relations"].items()
+        }
+        assert scans["employees"] == 1
+        assert scans["timetable"] == 1
+
+    def test_batch_groups_only_compatible_ranges(self, figure1):
+        """Conflicting variable ranges must not be merged into one group."""
+        service = QueryService(figure1)
+        queries = [
+            "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]",
+            "[<e.ctitle> OF EACH e IN courses: (e.clevel = senior)]",  # same var, other relation
+        ]
+        batch = service.execute_batch(queries)
+        for query, result in zip(queries, batch):
+            assert result.relation == execute_naive(figure1, query), query
+
+    def test_batch_handles_parameterized_workload(self, university_scale2):
+        service = QueryService(university_scale2)
+        requests = [
+            (text, values)
+            for _, (text, bindings) in parameterized_queries().items()
+            for values in bindings
+        ]
+        batch = service.execute_batch(requests)
+        for (text, values), result in zip(requests, batch):
+            assert result.relation == service.execute(text, values).relation, (text, values)
+
+    def test_batching_can_be_disabled(self, figure1):
+        service = QueryService(
+            figure1, service_options=ServiceOptions(batching=False)
+        )
+        batch = service.execute_batch([PROFESSORS_TEXT, EXAMPLE_21_TEXT])
+        assert [len(r) for r in batch] == [
+            len(service.execute(PROFESSORS_TEXT)),
+            len(service.execute(EXAMPLE_21_TEXT)),
+        ]
+
+
+class TestThreadSafety:
+    def test_concurrent_prepare_and_execute(self):
+        database = build_university_database(scale=1)
+        service = QueryService(database)
+        requests = [
+            (text, values)
+            for _, (text, bindings) in parameterized_queries().items()
+            for values in bindings
+        ]
+        expected = {
+            index: service.execute(text, values).relation
+            for index, (text, values) in enumerate(requests)
+        }
+        failures: list = []
+
+        def worker(worker_index: int) -> None:
+            try:
+                for round_index in range(4):
+                    index = (worker_index + round_index) % len(requests)
+                    text, values = requests[index]
+                    result = service.execute(text, values)
+                    if result.relation != expected[index]:
+                        failures.append((worker_index, index))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append((worker_index, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
