@@ -46,6 +46,14 @@ class StrategyOptions:
     use_permanent_indexes:
         Skip the index-construction step of the collection phase when the
         database holds a matching permanent index (Section 3.2).
+    use_index_paths:
+        Index-driven access paths — per variable, let a cost-based selector
+        replace the collection-phase relation scan with a permanent-index
+        probe (range restrictions, monadic terms and derived-predicate
+        outer loops answered directly from index references, sub-linearly),
+        or with a zone-map pruned page scan on the paged backend when no
+        index applies.  Late-bound ``$param`` values bind into the probe at
+        execution time; the chosen path itself depends only on the catalog.
     join_ordering:
         Combination-phase optimizer — order the joins of each conjunction by
         estimated cardinality (smallest structure first, then the connected
@@ -66,6 +74,7 @@ class StrategyOptions:
     general_range_extensions: bool = False
     separate_existential_conjunctions: bool = False
     use_permanent_indexes: bool = True
+    use_index_paths: bool = True
     join_ordering: bool = True
     semijoin_reduction: bool = True
 
@@ -85,6 +94,7 @@ class StrategyOptions:
             extended_ranges=False,
             collection_phase_quantifiers=False,
             use_permanent_indexes=False,
+            use_index_paths=False,
             join_ordering=False,
             semijoin_reduction=False,
         )
@@ -108,6 +118,7 @@ class StrategyOptions:
             "general_range_extensions": "S3+ general extensions",
             "separate_existential_conjunctions": "separate conjunctions",
             "use_permanent_indexes": "permanent indexes",
+            "use_index_paths": "index access paths",
             "join_ordering": "cost-ordered joins",
             "semijoin_reduction": "semijoin reduction",
         }

@@ -34,6 +34,14 @@ from typing import Any, Iterable
 from repro.calculus.analysis import QuantifierSpec
 from repro.calculus.ast import BoolConst, Comparison, FieldRef, RangeExpr
 from repro.config import StrategyOptions
+from repro.engine.access import (
+    PROBE,
+    PRUNED_SCAN,
+    SCAN,
+    AccessPath,
+    iter_access,
+    select_access_path,
+)
 from repro.engine.naive import evaluate_formula
 from repro.errors import EvaluationError, PascalRError
 from repro.relational.index import HashIndex, SortedIndex, ValueList
@@ -100,6 +108,9 @@ class CollectionResult:
     conjunction contained a FALSE literal and was dropped."""
     scans_performed: int = 0
     structures_built: int = 0
+    access_paths: dict[str, str] = field(default_factory=dict)
+    """Per variable: a human-readable description of the chosen access path
+    (scan, zone-map pruned scan, or permanent-index probe)."""
 
 
 # --------------------------------------------------------------------- derived predicates
@@ -136,11 +147,12 @@ class DerivedEvaluator:
         relation = database.relation(predicate.inner_range.relation)
         base_count = len(relation)
         restriction = predicate.inner_range.restriction
-        for record in relation.scan():
-            if restriction is not None and not evaluate_formula(
-                restriction, {predicate.inner_var: record}, database
-            ):
-                continue
+        # The inner (restricted) range is enumerated through the same
+        # access-path selector as the collection phase proper, so a permanent
+        # index on the restricted component turns the value-list build into
+        # an index probe instead of a relation scan.
+        path = select_access_path(database, predicate.inner_var, predicate.inner_range, options)
+        for _, record in iter_access(database, path, predicate.inner_var):
             self._restricted_count += 1
             passes = all(
                 evaluate_formula(term, {predicate.inner_var: record}, database)
@@ -302,6 +314,45 @@ class CollectionPhase:
             relation = self._var_relation[var]
             if relation not in self._scan_order:
                 self._scan_order.append(relation)
+        # Access-path selection per variable.  The decision reads only the
+        # catalog (indexes, cardinalities) and the plan structure, so it is
+        # identical for every execution of a cached plan; the probe *value*
+        # comes from the (late-bound) constant in the plan's restriction.
+        self._access: dict[str, AccessPath] = {
+            var: select_access_path(database, var, self._var_range[var], options)
+            for var in prepared.variables
+        }
+        if options.parallel_collection:
+            self._demote_probes_riding_shared_scans()
+
+    def _demote_probes_riding_shared_scans(self) -> None:
+        """Drop a probe when its relation is shared-scanned for another variable.
+
+        Under Strategy 1, a relation with any scan-path variable is read in
+        full regardless, so a sibling variable's index probe would only *add*
+        cost (probe + per-reference fetches) on top of the scan that already
+        passes every element by.  Riding the shared scan is free: demote the
+        probe to a scan path (the full restriction is evaluated per element,
+        exactly as for any scan variable).
+        """
+        vars_by_relation: dict[str, list[str]] = {}
+        for var in self.prepared.variables:
+            vars_by_relation.setdefault(self._var_relation[var], []).append(var)
+        for relation_name, variables in vars_by_relation.items():
+            kinds = {self._access[var].kind for var in variables}
+            if PROBE not in kinds or kinds == {PROBE}:
+                continue
+            for var in variables:
+                path = self._access[var]
+                if path.kind == PROBE:
+                    self._access[var] = AccessPath(
+                        var,
+                        relation_name,
+                        SCAN,
+                        restriction=path.restriction,
+                        scan_cost=path.scan_cost,
+                        note="shared scan already required",
+                    )
 
     # -- public API ------------------------------------------------------------------
 
@@ -313,7 +364,12 @@ class CollectionPhase:
             needs = self._analyze_conjunctions()
             result = self._execute(needs, evaluators)
             result.scans_performed = self.statistics.total_scans() - scans_before
+            result.access_paths = self.access_paths()
             return result
+
+    def access_paths(self) -> dict[str, str]:
+        """Human-readable access-path decision per variable (for EXPLAIN)."""
+        return {var: path.describe() for var, path in self._access.items()}
 
     # -- derived predicates (Strategy 4 execution) ------------------------------------------
 
@@ -493,33 +549,91 @@ class CollectionPhase:
                         indexes[key] = self._make_index(ij_specs[key])
             deferred_probes: list[tuple[tuple, Ref, Record]] = []
 
-            for record in relation.scan():
-                ref = relation.ref_of(record)
-                for var in variables_here:
-                    if not self._in_range(var, record):
-                        continue
-                    range_refs[var].append(ref)
-                    for term, rows in single_terms.items():
-                        if term.variables()[0] == var and self._term_holds(term, var, record):
-                            rows.add((ref,))
-                    for predicate, rows in derived_singles.items():
-                        if predicate.outer_var == var and evaluators[predicate].matches(record):
-                            rows.add((ref,))
-                    for key in builds_for_var[var]:
-                        spec = ij_specs[key]
-                        indexes[key].add_ref(record[spec.build_field], ref)
-                    for key in probes_for_var[var]:
-                        spec = ij_specs[key]
-                        if not self._passes_folds(spec, record, evaluators):
-                            continue
-                        if self._var_relation[spec.build_var] == relation_name:
-                            deferred_probes.append((key, ref, record))
-                        else:
-                            self._probe(key, spec, ref, record, indexes, indirect_joins)
+            # Variables answered by a permanent-index probe leave the shared
+            # scan: their (exact) in-range elements are enumerated from index
+            # references instead, so a relation all of whose variables probe
+            # is not scanned at all.
+            probe_vars = [v for v in variables_here if self._access[v].kind == PROBE]
+            scan_vars = [v for v in variables_here if self._access[v].kind != PROBE]
 
-            # Self-join probes wait until the shared scan has filled the index.
+            if scan_vars:
+                for record in self._shared_scan(relation, scan_vars):
+                    ref = relation.ref_of(record)
+                    for var in scan_vars:
+                        if not self._in_range(var, record):
+                            continue
+                        self._serve_variable(
+                            var, ref, record, relation_name, range_refs,
+                            single_terms, derived_singles, builds_for_var,
+                            probes_for_var, ij_specs, indexes, indirect_joins,
+                            evaluators, deferred_probes,
+                        )
+            for var in probe_vars:
+                for ref, record in iter_access(self.database, self._access[var], var):
+                    self._serve_variable(
+                        var, ref, record, relation_name, range_refs,
+                        single_terms, derived_singles, builds_for_var,
+                        probes_for_var, ij_specs, indexes, indirect_joins,
+                        evaluators, deferred_probes,
+                    )
+
+            # Self-join probes wait until the whole relation pass (shared
+            # scan plus probe-path enumerations) has filled the index.
             for key, ref, record in deferred_probes:
                 self._probe(key, ij_specs[key], ref, record, indexes, indirect_joins)
+
+    def _shared_scan(self, relation, scan_vars: list[str]):
+        """The Strategy 1 shared scan, zone-map pruned when provably safe.
+
+        Pruning keys on one variable's restriction conjunct, so it is only
+        applied when that variable is the *sole* scan consumer of the
+        relation — every skipped page then contains only elements outside
+        that variable's range.
+        """
+        if len(scan_vars) == 1:
+            path = self._access[scan_vars[0]]
+            if path.kind == PRUNED_SCAN and path.probe is not None:
+                bound, value = path.probe.bound_value()
+                if bound:
+                    return relation.scan_pruned(path.probe.field, path.probe.op, value)
+        return relation.scan()
+
+    def _serve_variable(
+        self,
+        var: str,
+        ref: Ref,
+        record: Record,
+        relation_name: str,
+        range_refs: dict[str, list[Ref]],
+        single_terms: dict[Comparison, set],
+        derived_singles: dict[DerivedPredicate, set],
+        builds_for_var: dict[str, list[tuple]],
+        probes_for_var: dict[str, list[tuple]],
+        ij_specs: dict[tuple, _IndirectJoinSpec],
+        indexes: dict[tuple, HashIndex | SortedIndex],
+        indirect_joins: dict[tuple, set],
+        evaluators: dict[DerivedPredicate, DerivedEvaluator],
+        deferred_probes: list[tuple[tuple, Ref, Record]],
+    ) -> None:
+        """All per-element work for one in-range element of ``var``."""
+        range_refs[var].append(ref)
+        for term, rows in single_terms.items():
+            if term.variables()[0] == var and self._term_holds(term, var, record):
+                rows.add((ref,))
+        for predicate, rows in derived_singles.items():
+            if predicate.outer_var == var and evaluators[predicate].matches(record):
+                rows.add((ref,))
+        for key in builds_for_var[var]:
+            spec = ij_specs[key]
+            indexes[key].add_ref(record[spec.build_field], ref)
+        for key in probes_for_var[var]:
+            spec = ij_specs[key]
+            if not self._passes_folds(spec, record, evaluators):
+                continue
+            if self._var_relation[spec.build_var] == relation_name:
+                deferred_probes.append((key, ref, record))
+            else:
+                self._probe(key, spec, ref, record, indexes, indirect_joins)
 
     # -- no strategy 1: one scan per structure ---------------------------------------------------------
 
@@ -532,51 +646,50 @@ class CollectionPhase:
         ij_specs: dict[tuple, _IndirectJoinSpec],
         evaluators: dict[DerivedPredicate, DerivedEvaluator],
     ) -> None:
-        # Range expressions: one scan per variable.
+        # Range expressions: one range enumeration (scan or probe) per variable.
         for var in range_refs:
-            relation = self.database.relation(self._var_relation[var])
-            for record in relation.scan():
-                if self._in_range(var, record):
-                    range_refs[var].append(relation.ref_of(record))
+            for ref, _ in self._iter_var(var):
+                range_refs[var].append(ref)
 
-        # Single lists: one scan per monadic term.
+        # Single lists: one range enumeration per monadic term.
         for term, rows in single_terms.items():
             var = term.variables()[0]
-            relation = self.database.relation(self._var_relation[var])
-            for record in relation.scan():
-                if self._in_range(var, record) and self._term_holds(term, var, record):
-                    rows.add((relation.ref_of(record),))
+            for ref, record in self._iter_var(var):
+                if self._term_holds(term, var, record):
+                    rows.add((ref,))
 
-        # Derived single lists: one scan per literal predicate.
+        # Derived single lists: one range enumeration per literal predicate.
         for predicate, rows in derived_singles.items():
             var = predicate.outer_var
-            relation = self.database.relation(self._var_relation[var])
-            for record in relation.scan():
-                if self._in_range(var, record) and evaluators[predicate].matches(record):
-                    rows.add((relation.ref_of(record),))
+            for ref, record in self._iter_var(var):
+                if evaluators[predicate].matches(record):
+                    rows.add((ref,))
 
-        # Indirect joins: one scan to build the index, one scan to probe it.
+        # Indirect joins: one pass to build the index, one pass to probe it.
         # The index-building scan is skipped when a permanent index applies
         # ("The first step can be omitted, if permanent indexes exist").
         for key, spec in ij_specs.items():
             index = self._permanent_index(spec)
             if index is None:
                 index = self._make_index(spec)
-                build_relation = self.database.relation(self._var_relation[spec.build_var])
-                for record in build_relation.scan():
-                    if self._in_range(spec.build_var, record):
-                        index.add_ref(record[spec.build_field], build_relation.ref_of(record))
-            probe_relation = self.database.relation(self._var_relation[spec.probe_var])
-            for record in probe_relation.scan():
-                if not self._in_range(spec.probe_var, record):
-                    continue
+                for ref, record in self._iter_var(spec.build_var):
+                    index.add_ref(record[spec.build_field], ref)
+            for ref, record in self._iter_var(spec.probe_var):
                 if not self._passes_folds(spec, record, evaluators):
                     continue
-                self._probe(
-                    key, spec, probe_relation.ref_of(record), record, {key: index}, indirect_joins
-                )
+                self._probe(key, spec, ref, record, {key: index}, indirect_joins)
 
     # -- shared helpers --------------------------------------------------------------------------------
+
+    def _iter_var(self, var: str):
+        """Enumerate the in-range ``(ref, record)`` pairs of one variable.
+
+        Routed through the variable's selected access path: an index probe,
+        a zone-map pruned scan, or the classic scan-and-filter — each call
+        is one enumeration (one scan for the scan kinds), preserving the
+        per-structure access accounting of the unoptimised engine.
+        """
+        return iter_access(self.database, self._access[var], var)
 
     def _permanent_index(self, spec: _IndirectJoinSpec) -> HashIndex | SortedIndex | None:
         """A usable permanent index for the build side of ``spec``, if any.

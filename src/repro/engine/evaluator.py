@@ -28,10 +28,11 @@ from repro.calculus.analysis import has_universal_quantifier
 from repro.calculus.ast import Selection
 from repro.calculus.typecheck import TypeChecker
 from repro.config import StrategyOptions
+from repro.engine.access import iter_access, select_access_path
 from repro.engine.collection import CollectionPhase, CollectionResult, ExtendedRangeEmptyError
 from repro.engine.combination import CombinationPhase, CombinationResult
 from repro.engine.construction import ConstructionPhase
-from repro.engine.naive import evaluate_selection_naive, range_elements
+from repro.engine.naive import evaluate_selection_naive
 from repro.engine.result import project_environment, result_relation_for
 from repro.lang.parser import parse_selection
 from repro.relational.record import Record
@@ -55,6 +56,9 @@ class QueryResult:
     elapsed_seconds: float = 0.0
     used_strategy3_fallback: bool = False
     subqueries: int = 1
+    access_paths: dict[str, str] = field(default_factory=dict)
+    """Per variable: the access path actually used (scan / pruned scan /
+    index probe), for EXPLAIN ANALYZE."""
 
     @property
     def rows(self) -> list:
@@ -214,9 +218,17 @@ class QueryEngine:
             # The constant-matrix shortcut still relies on the non-empty-range
             # assumption behind Strategy 3: verify it before skipping the
             # phases, and fall back like the collection phase would.
-            self._check_extended_prefix_ranges(prepared)
-            relation = self._evaluate_constant_matrix(selection, prepared)
-            return QueryResult(relation=relation, prepared=prepared, statistics={})
+            self._check_extended_prefix_ranges(prepared, options)
+            access_paths: dict[str, str] = {}
+            relation = self._evaluate_constant_matrix(
+                selection, prepared, options, access_paths
+            )
+            return QueryResult(
+                relation=relation,
+                prepared=prepared,
+                statistics={},
+                access_paths=access_paths,
+            )
         if collection is None:
             collection = CollectionPhase(prepared, self.database, options).run()
             if collection_sink is not None:
@@ -229,9 +241,12 @@ class QueryEngine:
             statistics={},
             collection=collection,
             combination=combination,
+            access_paths=dict(collection.access_paths),
         )
 
-    def _check_extended_prefix_ranges(self, prepared: QueryPlan) -> None:
+    def _check_extended_prefix_ranges(
+        self, prepared: QueryPlan, options: StrategyOptions
+    ) -> None:
         """Raise :class:`ExtendedRangeEmptyError` when an extended quantifier range is empty."""
         for spec in prepared.prefix:
             if spec.range.restriction is None:
@@ -239,14 +254,34 @@ class QueryEngine:
             relation = self.database.relation(spec.range.relation)
             if len(relation) == 0:
                 continue
-            if not any(True for _ in range_elements(self.database, spec.range, spec.var)):
+            path = select_access_path(self.database, spec.var, spec.range, options)
+            if not any(True for _ in iter_access(self.database, path, spec.var)):
                 raise ExtendedRangeEmptyError(spec.var, spec.range.relation)
 
-    def _evaluate_constant_matrix(self, selection: Selection, prepared: QueryPlan) -> Relation:
-        """Evaluate a query whose matrix collapsed to TRUE or FALSE."""
+    def _evaluate_constant_matrix(
+        self,
+        selection: Selection,
+        prepared: QueryPlan,
+        options: StrategyOptions,
+        access_paths: dict[str, str],
+    ) -> Relation:
+        """Evaluate a query whose matrix collapsed to TRUE or FALSE.
+
+        This is the path every Strategy 3 point query takes (the monadic
+        restriction moved into the range, the matrix collapsed to TRUE), so
+        the free ranges are enumerated through the access-path selector: a
+        permanent index turns the whole query into a probe plus construction.
+        """
         result = result_relation_for(selection, self.database)
         if not prepared.constant:
-            return result
+            return result  # FALSE matrix: nothing is enumerated, no paths
+        paths = {
+            binding.var: select_access_path(
+                self.database, binding.var, binding.range, options
+            )
+            for binding in prepared.bindings
+        }
+        access_paths.update({var: path.describe() for var, path in paths.items()})
 
         def recurse(index: int, environment: dict[str, Record]) -> None:
             if index == len(prepared.bindings):
@@ -255,7 +290,7 @@ class QueryEngine:
                     result.insert(record)
                 return
             binding = prepared.bindings[index]
-            for record in range_elements(self.database, binding.range, binding.var):
+            for _, record in iter_access(self.database, paths[binding.var], binding.var):
                 environment[binding.var] = record
                 recurse(index + 1, environment)
             environment.pop(binding.var, None)
@@ -380,6 +415,18 @@ class QueryEngine:
             report = explain_prepared(result.prepared, self.database, effective)
             if result.combination is not None:
                 report += "\n" + explain_combination(result.combination)
+            if result.access_paths:
+                lines = ["access paths (analyzed):"]
+                for var, description in result.access_paths.items():
+                    lines.append(f"  {var}: {description}")
+                lines.append(
+                    "  index probes="
+                    f"{result.statistics.get('index_probes', 0)}, "
+                    f"pages skipped={result.statistics.get('pages_skipped', 0)}, "
+                    "index maintenance ops="
+                    f"{result.statistics.get('index_maintenance_ops', 0)}"
+                )
+                report += "\n" + "\n".join(lines)
             return report
         prepared = self.prepare(query, options)
         return explain_prepared(prepared, self.database, options)

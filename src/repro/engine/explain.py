@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.calculus.ast import BoolConst, Comparison
 from repro.calculus.printer import format_formula, format_range, format_selection
 from repro.config import StrategyOptions
+from repro.engine.access import select_access_path
 from repro.engine.combination import CombinationResult
 from repro.transform.pipeline import QueryPlan
 from repro.transform.quantifier_pushdown import DerivedPredicate
@@ -61,6 +62,10 @@ def explain_prepared(prepared: QueryPlan, database, options: StrategyOptions) ->
             if relation not in order:
                 order.append(relation)
         lines.append("collection-phase scan order: " + ", ".join(order))
+        lines.append("access paths:")
+        for var in prepared.variables:
+            path = select_access_path(database, var, prepared.range_of(var), options)
+            lines.append(f"  {var}: {path.describe()}")
         cardinalities = database.cardinalities()
         lines.append(
             "relation cardinalities: "
@@ -72,6 +77,11 @@ def explain_prepared(prepared: QueryPlan, database, options: StrategyOptions) ->
             + ("TRUE — the result is the projection of the free ranges" if prepared.constant
                else "FALSE — the result is empty")
         )
+        if prepared.constant:
+            lines.append("access paths:")
+            for binding in prepared.bindings:
+                path = select_access_path(database, binding.var, binding.range, options)
+                lines.append(f"  {binding.var}: {path.describe()}")
     return "\n".join(lines)
 
 

@@ -157,14 +157,19 @@ def join(
     right_fields = [pair[1] for pair in on]
     schema = left.schema.concat(right.schema, name or f"{left.name}_join_{right.name}")
     result = Relation(schema.name, schema)
-    buckets: dict[tuple, list[Record]] = {}
+    right_key = _values_getter(right.schema, right_fields)
+    left_key = _values_getter(left.schema, left_fields)
+    buckets: dict[tuple, list[tuple]] = {}
     for right_record in right:
-        key = right_record.project_values(tuple(right_fields))
-        buckets.setdefault(key, []).append(right_record)
+        buckets.setdefault(right_key(right_record.values), []).append(right_record.values)
+    raw = Record.raw
+    get_bucket = buckets.get
     for left_record in left:
-        key = left_record.project_values(tuple(left_fields))
-        for right_record in buckets.get(key, ()):
-            result.insert(Record.raw(schema, left_record.values + right_record.values))
+        values = left_record.values
+        partners = get_bucket(left_key(values))
+        if partners:
+            for right_values in partners:
+                result.insert(raw(schema, values + right_values))
     return result
 
 
@@ -392,12 +397,16 @@ def theta_semijoin(
     when the connecting join term is not an equality.
     """
     result = Relation(name or f"{left.name}_tsemijoin_{right.name}", left.schema)
-    right_records = right.elements()
+    left_getter = _values_getter(left.schema, [lf for lf, _, _ in on])
+    right_getter = _values_getter(right.schema, [rf for _, _, rf in on])
+    operators = [op for _, op, _ in on]
+    right_tuples = [right_getter(record.values) for record in right]
     for left_record in left:
-        for right_record in right_records:
+        left_values = left_getter(left_record.values)
+        for right_values in right_tuples:
             if all(
-                compare_values(op, left_record[lf], right_record[rf])
-                for lf, op, rf in on
+                compare_values(op, lv, rv)
+                for op, lv, rv in zip(operators, left_values, right_values)
             ):
                 result.insert(left_record)
                 break

@@ -110,12 +110,16 @@ class Database:
         return name in self._relations
 
     def drop_relation(self, name: str) -> None:
-        """Remove a relation and any indexes built over it."""
+        """Remove a relation and any indexes built over it.
+
+        One catalog change, one ``schema_version`` bump — however many
+        indexes die with the relation.
+        """
         if name not in self._relations:
             raise CatalogError(f"no relation {name!r} in database {self.name!r}")
-        del self._relations[name]
+        relation = self._relations.pop(name)
         for index_key in [k for k in self._indexes if k[0] == name]:
-            del self._indexes[index_key]
+            relation.detach_index(self._indexes.pop(index_key))
         self.bump_schema_version()
 
     def relations(self) -> Iterator[Relation]:
@@ -140,15 +144,28 @@ class Database:
     def create_index(
         self, relation_name: str, field_name: str, operator: str = "="
     ) -> HashIndex | SortedIndex:
-        """Build (or rebuild) a permanent index like ``enrindex`` of Example 3.1.
+        """Build a permanent index like ``enrindex`` of Example 3.1.
 
         The collection phase consults :meth:`index_for` and skips the index
         construction step when a permanent index already exists — "The first
-        step can be omitted, if permanent indexes exist" (Section 3.2).
+        step can be omitted, if permanent indexes exist" (Section 3.2) — and
+        the access-path selector probes it in place of whole-relation scans.
+        The index is registered with its relation and from then on maintained
+        *incrementally* on every insert/delete/assign/clear; no rebuild is
+        ever needed while the relation is mutated through its operators.
+
+        Exactly one ``schema_version`` bump per call: creating (or replacing)
+        an index is one catalog change, so every cached plan — which may have
+        baked an access-path choice against the old catalog — is invalidated
+        exactly once.
         """
         relation = self.relation(relation_name)
         index = build_index(relation, field_name, operator, tracker=self.statistics)
+        previous = self._indexes.get((relation_name, field_name))
+        if previous is not None:
+            relation.detach_index(previous)
         self._indexes[(relation_name, field_name)] = index
+        relation.attach_index(index)
         self.bump_schema_version()
         return index
 
@@ -157,7 +174,10 @@ class Database:
         return self._indexes.get((relation_name, field_name))
 
     def drop_index(self, relation_name: str, field_name: str) -> None:
-        if self._indexes.pop((relation_name, field_name), None) is not None:
+        index = self._indexes.pop((relation_name, field_name), None)
+        if index is not None:
+            if relation_name in self._relations:
+                self._relations[relation_name].detach_index(index)
             self.bump_schema_version()
 
     def indexes(self) -> Iterator[tuple[str, str]]:
@@ -165,9 +185,18 @@ class Database:
         return iter(self._indexes.keys())
 
     def refresh_indexes(self) -> None:
-        """Rebuild every permanent index from the current relation contents."""
-        for (relation_name, field_name) in list(self._indexes):
-            self.create_index(relation_name, field_name)
+        """Rebuild every permanent index in place from the relation contents.
+
+        Permanent indexes are maintained incrementally, so this is only
+        needed after *out-of-band* mutations that bypassed the relation
+        operators.  Rebuilding is not a catalog change: the set of indexes is
+        unchanged, so ``schema_version`` is deliberately NOT bumped (cached
+        plans stay valid — the rebuilt index answers probes identically).
+        """
+        for (relation_name, field_name), index in self._indexes.items():
+            index.clear()
+            for record in self._relations[relation_name]:
+                index.add(record)
 
     # -- statistics ------------------------------------------------------------------------
 

@@ -33,7 +33,7 @@ from repro.relational.record import Record
 from repro.relational.reference import Ref
 from repro.relational.relation import Relation
 from repro.relational.statistics import AccessStatistics
-from repro.types.scalar import compare_values
+from repro.types.scalar import compare_values, sort_key as _sort_key
 
 __all__ = ["HashIndex", "SortedIndex", "ValueList", "build_index"]
 
@@ -97,6 +97,11 @@ class HashIndex:
                 break
         if not refs and value in self._entries:
             del self._entries[value]
+
+    def clear(self) -> None:
+        """Drop every entry (the indexed relation was cleared or reassigned)."""
+        self._entries.clear()
+        self._size = 0
 
     # -- probing -----------------------------------------------------------------
 
@@ -194,14 +199,50 @@ class SortedIndex:
         self._sorted = True
 
     def add(self, record: Record) -> None:
-        """Add one element of the indexed relation."""
-        self._pairs.append((record[self.field_name], self.relation.ref_of(record)))
-        self._sorted = False
+        """Add one element of the indexed relation.
+
+        When the pair list is currently sorted the entry is placed with one
+        bisection (incremental permanent-index maintenance); during bulk
+        loading the list is left unsorted and ordered once on first probe.
+        """
+        self.add_ref(record[self.field_name], self.relation.ref_of(record))
 
     def add_ref(self, value: Any, ref: Ref) -> None:
         """Add a pre-built ``(value, reference)`` entry."""
-        self._pairs.append((value, ref))
-        self._sorted = False
+        if self._pairs and self._sorted:
+            bisect.insort(self._pairs, (value, ref), key=lambda pair: _sort_key(pair[0]))
+        else:
+            # Bulk loading (including the first element): append unsorted and
+            # pay one sort on the first probe, keeping builds O(n log n).
+            self._pairs.append((value, ref))
+            self._sorted = False
+
+    def remove(self, record: Record) -> None:
+        """Remove one element's entry (used by permanent index maintenance)."""
+        value = record[self.field_name]
+        target = (value, self.relation.ref_of(record))
+        if self._sorted:
+            key = _sort_key(value)
+            position = bisect.bisect_left(
+                self._pairs, key, key=lambda pair: _sort_key(pair[0])
+            )
+            while position < len(self._pairs) and _sort_key(
+                self._pairs[position][0]
+            ) == key:
+                if self._pairs[position] == target:
+                    del self._pairs[position]
+                    return
+                position += 1
+        else:
+            for position, pair in enumerate(self._pairs):
+                if pair == target:
+                    del self._pairs[position]
+                    return
+
+    def clear(self) -> None:
+        """Drop every entry (the indexed relation was cleared or reassigned)."""
+        self._pairs.clear()
+        self._sorted = True
 
     def build(self) -> "SortedIndex":
         """Populate by scanning the indexed relation once, then sort."""
@@ -370,16 +411,6 @@ class ValueList:
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"ValueList({sorted(self._values, key=_sort_key)!r})"
-
-
-def _sort_key(value: Any):
-    """A total order over heterogeneous-but-comparable index values."""
-    ordinal = getattr(value, "ordinal", None)
-    if ordinal is not None:
-        return ordinal
-    if isinstance(value, str):
-        return value.rstrip()
-    return value
 
 
 def build_index(

@@ -63,6 +63,11 @@ class Relation:
         self.schema = schema
         self.tracker = tracker
         self._elements: dict[tuple, Record] = {}
+        # Permanent indexes maintained incrementally alongside this relation
+        # (registered by Database.create_index).  Base relations of a
+        # database may carry observers; intermediate result relations never
+        # do, so the per-mutation check is one truthiness test.
+        self._observers: list = []
         # Intermediate (reference) relations use key = all components, in
         # which case the key tuple *is* the value tuple — the algebra kernels
         # exploit this to skip key extraction entirely.
@@ -93,11 +98,47 @@ class Relation:
         clone._elements = dict(self._elements)
         return clone
 
+    # -- incremental index maintenance ---------------------------------------------
+
+    def attach_index(self, index) -> None:
+        """Register a permanent index to be maintained on every mutation."""
+        if index not in self._observers:
+            self._observers.append(index)
+
+    def detach_index(self, index) -> None:
+        """Stop maintaining ``index`` (it was dropped or replaced)."""
+        if index in self._observers:
+            self._observers.remove(index)
+
+    def maintained_indexes(self) -> list:
+        """The permanent indexes incrementally maintained with this relation."""
+        return list(self._observers)
+
+    def _index_added(self, record: Record) -> None:
+        for index in self._observers:
+            index.add(record)
+        if self.tracker is not None:
+            self.tracker.record_index_maintenance(len(self._observers))
+
+    def _index_removed(self, record: Record) -> None:
+        for index in self._observers:
+            index.remove(record)
+        if self.tracker is not None:
+            self.tracker.record_index_maintenance(len(self._observers))
+
+    def _index_cleared(self) -> None:
+        for index in self._observers:
+            index.clear()
+        if self.tracker is not None and self._observers:
+            self.tracker.record_index_maintenance(len(self._observers))
+
     # -- update operators --------------------------------------------------------
 
     def assign(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> "Relation":
         """The PASCAL/R assignment ``rel := [...]`` — replace all elements."""
         self._elements = {}
+        if self._observers:
+            self._index_cleared()
         if self.tracker is not None:
             self.tracker.record_mutation()
         self.insert_all(elements)
@@ -120,6 +161,8 @@ class Relation:
                 f"relation {self.name!r} already holds a different element with key {key}"
             )
         self._elements[key] = record
+        if self._observers:
+            self._index_added(record)
         if self.tracker is not None:
             self.tracker.record_insert(self.name)
         return record
@@ -140,11 +183,21 @@ class Relation:
         """
         values = record.values
         key = values if self._key_is_all else self.schema.key_of(values)
+        if self._observers:
+            existing = self._elements.get(key)
+            if existing is not None and existing != record:
+                self._index_removed(existing)
+            if existing != record:
+                self._index_added(record)
         self._elements[key] = record
         return record
 
     def bulk_insert_raw(self, records: Iterable[Record]) -> None:
         """Insert many already-validated records through the raw fast path."""
+        if self._observers:
+            for record in records:
+                self.insert_raw(record)
+            return
         elements = self._elements
         if self._key_is_all:
             for record in records:
@@ -164,23 +217,26 @@ class Relation:
             key = self.schema.key_of(record.values)
         else:
             key = tuple(element)
-        removed = self._elements.pop(key, None) is not None
-        if removed and self.tracker is not None:
-            self.tracker.record_delete(self.name)
-        return removed
+        return self.delete_key(key)
 
     def delete_key(self, key: tuple | Any) -> bool:
         """Remove the element identified by ``key``; return ``True`` if present."""
         if not isinstance(key, tuple):
             key = (key,)
-        removed = self._elements.pop(key, None) is not None
-        if removed and self.tracker is not None:
-            self.tracker.record_delete(self.name)
+        removed_record = self._elements.pop(key, None)
+        removed = removed_record is not None
+        if removed:
+            if self._observers:
+                self._index_removed(removed_record)
+            if self.tracker is not None:
+                self.tracker.record_delete(self.name)
         return removed
 
     def clear(self) -> None:
         """Remove every element."""
         self._elements.clear()
+        if self._observers:
+            self._index_cleared()
         if self.tracker is not None:
             self.tracker.record_mutation()
 
@@ -191,6 +247,18 @@ class Relation:
         if not isinstance(key, tuple):
             key = (key,)
         return self._elements.get(key)
+
+    def fetch(self, key: tuple | Any) -> Record | None:
+        """Fetch one element by key with access accounting.
+
+        The in-memory pendant of :meth:`StoredRelation.fetch`: the index-probe
+        access path dereferences qualifying references through this method so
+        element reads are charged identically on both backends.
+        """
+        record = self.find(key)
+        if record is not None and self.tracker is not None:
+            self.tracker.record_element_read(self.name)
+        return record
 
     def __getitem__(self, key: tuple | Any) -> Record:
         """The *selected variable* ``rel[keyval]`` of Section 3.1."""
@@ -239,6 +307,16 @@ class Relation:
                 yield record
         else:
             yield from list(self._elements.values())
+
+    def scan_pruned(self, field_name: str, op: str, value: Any) -> Iterator[Record]:
+        """A scan that *may* skip storage units refuted by ``field_name op value``.
+
+        The in-memory backend has no pages, so this is a plain :meth:`scan`;
+        the paged backend overrides it with a zone-map pruned page walk.
+        Pruning is conservative — callers must still test every yielded
+        record against the full restriction.
+        """
+        return self.scan()
 
     def elements(self) -> list[Record]:
         """All elements as a list (untracked)."""

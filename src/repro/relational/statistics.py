@@ -102,6 +102,9 @@ class AccessStatistics:
         self.pages_read = 0
         self.page_hits = 0
         self.page_misses = 0
+        self.pages_skipped = 0
+        self.index_probes = 0
+        self.index_maintenance_ops = 0
         self.comparisons = 0
         self.reduced_tuples = 0
         self.reductions = 0
@@ -136,6 +139,15 @@ class AccessStatistics:
         counters = self._relations[relation_name]
         counters.index_probes += 1
         counters.index_entries_read += entries
+        self.index_probes += 1
+
+    def record_index_maintenance(self, count: int = 1) -> None:
+        """``count`` incremental permanent-index updates were applied."""
+        self.index_maintenance_ops += count
+
+    def record_pages_skipped(self, count: int = 1) -> None:
+        """``count`` pages were pruned by a zone map during a residual scan."""
+        self.pages_skipped += count
 
     def record_insert(self, relation_name: str, count: int = 1) -> None:
         self._relations[relation_name].inserts += count
@@ -258,7 +270,12 @@ class AccessStatistics:
             f"tuples={self.intermediate_tuples}"
         )
         lines.append(
-            f"pages: read={self.pages_read} hits={self.page_hits} misses={self.page_misses}"
+            f"pages: read={self.pages_read} hits={self.page_hits} "
+            f"misses={self.page_misses} skipped={self.pages_skipped}"
+        )
+        lines.append(
+            f"indexes: probes={self.index_probes} "
+            f"maintenance ops={self.index_maintenance_ops}"
         )
         lines.append(
             f"semijoin reducer: reducing semijoins={self.reductions} "

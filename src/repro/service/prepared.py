@@ -95,6 +95,25 @@ class PreparedQuery:
         """Declared parameter names, sorted."""
         return tuple(sorted(self.parameters))
 
+    def access_paths(self) -> dict[str, str]:
+        """The access path each variable's range will use, per the current catalog.
+
+        The selector's decision depends only on the catalog and the plan
+        structure — never on parameter values — so this is exactly the path
+        every ``execute`` takes until a catalog change (which stales this
+        handle anyway).  Unbound ``$parameters`` show up in the probe
+        description; the concrete value binds per execution.
+        """
+        from repro.engine.access import select_access_path  # cycle-free, lazy
+
+        database = self._engine.database
+        return {
+            var: select_access_path(
+                database, var, self.plan.range_of(var), self.options
+            ).describe()
+            for var in self.plan.variables
+        }
+
     def is_parameterized(self) -> bool:
         return bool(self.parameters)
 

@@ -9,10 +9,11 @@ and buffer-pool hit rates alongside the element counts the paper argues with.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 from repro.errors import StorageError
 from repro.relational.record import Record
+from repro.types.scalar import sort_key
 
 __all__ = ["Page", "DEFAULT_PAGE_CAPACITY"]
 
@@ -34,6 +35,9 @@ class Page:
         self.page_number = page_number
         self.capacity = capacity
         self._slots: list[Optional[Record]] = []
+        # Zone map: per-component (min, max) sort keys over the live records,
+        # computed lazily and invalidated wholesale on any page mutation.
+        self._zones: dict[str, tuple | None] | None = None
 
     def is_full(self) -> bool:
         """Whether every slot has been allocated."""
@@ -44,6 +48,7 @@ class Page:
         if self.is_full():
             raise StorageError(f"page {self.page_number} is full")
         self._slots.append(record)
+        self._zones = None
         return len(self._slots) - 1
 
     def read(self, slot: int) -> Optional[Record]:
@@ -61,6 +66,55 @@ class Page:
         if slot < 0 or slot >= len(self._slots):
             raise StorageError(f"cannot tombstone unallocated slot {slot}")
         self._slots[slot] = None
+        self._zones = None
+
+    # -- zone map -------------------------------------------------------------
+
+    def zone(self, field_name: str) -> tuple | None:
+        """The ``(min, max)`` sort-key bounds of ``field_name`` on this page.
+
+        ``None`` when the page holds no live records or the component does not
+        exist.  The bounds are cached per page and dropped wholesale whenever
+        the page mutates (append or tombstone), so a stale zone can never
+        over-prune — the map is recomputed from the live records on the next
+        lookup.
+        """
+        zones = self._zones
+        if zones is None:
+            zones = self._zones = {}
+        if field_name not in zones:
+            keys = []
+            for record in self._slots:
+                if record is not None and record.schema.has_field(field_name):
+                    keys.append(sort_key(record[field_name]))
+            zones[field_name] = (min(keys), max(keys)) if keys else None
+        return zones[field_name]
+
+    def may_contain(self, field_name: str, op: str, value: Any) -> bool:
+        """Whether some live record *could* satisfy ``field_name op value``.
+
+        Conservative: ``True`` unless the zone map proves no record on this
+        page can match.  Used by the pruned residual scan of the access-path
+        layer; callers still test each record individually.
+        """
+        zone = self.zone(field_name)
+        if zone is None:
+            return False  # no live record can match anything
+        low, high = zone
+        target = sort_key(value)
+        if op == "=":
+            return low <= target <= high
+        if op == "<":
+            return low < target
+        if op == "<=":
+            return low <= target
+        if op == ">":
+            return high > target
+        if op == ">=":
+            return high >= target
+        if op == "<>":
+            return not (low == high == target)
+        return True  # unknown operator: never prune
 
     def records(self) -> Iterator[Record]:
         """The live (non-tombstoned) records on this page."""

@@ -50,21 +50,33 @@ class StoredRelation(Relation):
             self._rids[key] = self._heap.append(record)
         return record
 
-    def delete(self, element: Record | Mapping[str, Any] | tuple) -> bool:
-        if isinstance(element, (Record, Mapping)):
-            record = self._as_record(element)
-            key = self.schema.key_of(record.values)
-        else:
-            key = tuple(element)
-        return self._delete_by_key(key, lambda: super(StoredRelation, self).delete(element))
+    def insert_raw(self, record: Record) -> Record:
+        # Keep the heap file coherent for raw inserts too: a key overwrite
+        # tombstones the old slot, a fresh key appends.  (Hot algebra paths
+        # never hit this — intermediate result relations are in-memory.)
+        record = super().insert_raw(record)
+        key = record.values if self._key_is_all else self.schema.key_of(record.values)
+        rid = self._rids.get(key)
+        if rid is not None:
+            stored = self._heap.read(rid)
+            if stored is record or stored == record:
+                return record
+            self._heap.delete(rid)
+        self._rids[key] = self._heap.append(record)
+        return record
+
+    def bulk_insert_raw(self, records) -> None:
+        for record in records:
+            self.insert_raw(record)
 
     def delete_key(self, key: tuple | Any) -> bool:
+        # Relation.delete normalizes elements to keys and routes through
+        # delete_key, so overriding this single method keeps the heap file
+        # (and the incremental index maintenance in the superclass) in step
+        # for both delete entry points.
         if not isinstance(key, tuple):
             key = (key,)
-        return self._delete_by_key(key, lambda: super(StoredRelation, self).delete_key(key))
-
-    def _delete_by_key(self, key: tuple, remover) -> bool:
-        removed = remover()
+        removed = super().delete_key(key)
         if removed:
             rid = self._rids.pop(key, None)
             if rid is not None:
@@ -89,6 +101,28 @@ class StoredRelation(Relation):
         if self.tracker is not None:
             self.tracker.record_scan(self.name)
         for page_number in range(self._heap.page_count):
+            page = self._pool.get_page(self._heap, page_number)
+            for record in page.records():
+                if self.tracker is not None:
+                    self.tracker.record_element_read(self.name)
+                yield record
+
+    def scan_pruned(self, field_name: str, op: str, value: Any) -> Iterator[Record]:
+        """Sequential scan skipping pages whose zone map refutes the predicate.
+
+        The zone test consults page metadata only — a skipped page is neither
+        fetched through the buffer pool nor charged as a page read; it is
+        counted in ``pages_skipped`` instead.  Yielded records are NOT
+        filtered here (the zone map is conservative); the caller applies the
+        full restriction.
+        """
+        if self.tracker is not None:
+            self.tracker.record_scan(self.name)
+        for page_number in range(self._heap.page_count):
+            if not self._heap.page(page_number).may_contain(field_name, op, value):
+                if self.tracker is not None:
+                    self.tracker.record_pages_skipped()
+                continue
             page = self._pool.get_page(self._heap, page_number)
             for record in page.records():
                 if self.tracker is not None:

@@ -43,6 +43,7 @@ __all__ = [
     "compare_values",
     "negate_operator",
     "swap_operator",
+    "sort_key",
 ]
 
 #: The six comparison operators of the paper's join terms.
@@ -370,3 +371,20 @@ def compare_values(op: str, left: Any, right: Any) -> bool:
     if op == ">=":
         return left >= right
     raise TypeSystemError(f"unknown comparison operator: {op!r}")
+
+
+def sort_key(value: Any):
+    """A total-order key over the scalar values one component can hold.
+
+    Enumeration values order by their ordinal, strings by their
+    blank-stripped text (matching :func:`compare_values`), numbers by
+    themselves.  Sorted indexes and page zone maps both order through this
+    key, so an index probe and a zone-map page test agree exactly with the
+    join-term comparison semantics.
+    """
+    ordinal = getattr(value, "ordinal", None)
+    if ordinal is not None:
+        return ordinal
+    if isinstance(value, str):
+        return value.rstrip()
+    return value

@@ -202,7 +202,9 @@ def build_university_database(
             "ttime": rng.choice((9001000, 10001100, 11001200, 14001500, 15001600)),
             "troom": f"R{rng.randint(1, 99):02d}",
         }
-        key = (entry["tenr"], entry["tcnr"], entry["tday"])
+        # Coerce the day label: stored keys hold EnumValues, so a raw string
+        # key would never match and a colliding draw would raise on insert.
+        key = (entry["tenr"], entry["tcnr"], DAY_TYPE.value(entry["tday"]))
         if timetable.find(key) is None:
             timetable.insert(entry)
 

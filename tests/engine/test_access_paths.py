@@ -1,0 +1,282 @@
+"""Unit tests for the cost-based access-path selector and its execution.
+
+Covers the selector's decision rule (probe / pruned scan / scan), the
+late-binding contract (the chosen path is structural, the probe value comes
+from the bound plan), freshness across mutations (incrementally maintained
+indexes keep prepared queries exact without any rebuild), and the EXPLAIN
+surfaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryEngine, QueryService, StrategyOptions, execute_naive
+from repro.calculus import builder as q
+from repro.engine.access import (
+    PROBE,
+    PRUNED_SCAN,
+    SCAN,
+    iter_access,
+    select_access_path,
+)
+from repro.workloads.university import build_university_database
+
+
+@pytest.fixture(params=("memory", "paged"))
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def database(backend):
+    return build_university_database(scale=2, paged=(backend == "paged"))
+
+
+def _range(relation: str, restriction):
+    from repro.calculus.ast import RangeExpr
+
+    return RangeExpr(relation, restriction)
+
+
+ALL = StrategyOptions.all_strategies()
+
+
+class TestSelector:
+    def test_unrestricted_range_scans(self, database):
+        path = select_access_path(database, "e", _range("employees", None), ALL)
+        assert path.kind == SCAN
+
+    def test_flag_off_scans(self, database):
+        database.create_index("employees", "enr")
+        path = select_access_path(
+            database,
+            "e",
+            _range("employees", q.eq(("e", "enr"), 3)),
+            ALL.with_(use_index_paths=False),
+        )
+        assert path.kind == SCAN
+
+    def test_hash_index_probes_equality(self, database):
+        database.create_index("employees", "enr")
+        path = select_access_path(
+            database, "e", _range("employees", q.eq(("e", "enr"), 3)), ALL
+        )
+        assert path.kind == PROBE
+        assert path.index_name == "ind_employees_enr"
+        assert path.residual is None
+
+    def test_hash_index_refuses_range_operator(self, database, backend):
+        database.create_index("employees", "enr")
+        path = select_access_path(
+            database, "e", _range("employees", q.comp(("e", "enr"), "<", 3)), ALL
+        )
+        # No sub-linear hash probe for "<": paged databases fall back to the
+        # zone-map pruned scan, in-memory ones to the plain scan.
+        assert path.kind == (PRUNED_SCAN if backend == "paged" else SCAN)
+
+    def test_sorted_index_probes_range_operator(self, database):
+        database.create_index("papers", "pyear", operator="<=")
+        path = select_access_path(
+            database, "p", _range("papers", q.comp(("p", "pyear"), "<=", 1977)), ALL
+        )
+        assert path.kind == PROBE
+        assert path.index_name == "sorted_papers_pyear"
+
+    def test_swapped_operand_orientation(self, database):
+        database.create_index("employees", "enr")
+        path = select_access_path(
+            database, "e", _range("employees", q.comp(1977, "=", ("e", "enr"))), ALL
+        )
+        assert path.kind == PROBE
+
+    def test_residual_conjunct_survives(self, database):
+        database.create_index("employees", "enr")
+        restriction = q.and_(
+            q.eq(("e", "enr"), 3), q.eq(("e", "estatus"), "professor")
+        )
+        path = select_access_path(database, "e", _range("employees", restriction), ALL)
+        assert path.kind == PROBE
+        assert path.residual is not None
+        rows = list(iter_access(database, path, "e"))
+        expected = [
+            record
+            for record in database.relation("employees").elements()
+            if record["enr"] == 3 and str(record["estatus"]) == "professor"
+        ]
+        assert [record for _, record in rows] == expected
+
+    def test_probe_enumerates_exactly_the_range(self, database):
+        database.create_index("employees", "enr")
+        path = select_access_path(
+            database, "e", _range("employees", q.eq(("e", "enr"), 3)), ALL
+        )
+        rows = [record for _, record in iter_access(database, path, "e")]
+        assert [record["enr"] for record in rows] == [3]
+        assert database.statistics.index_probes > 0
+
+
+class TestQueriesThroughIndexPaths:
+    POINT = "[<e.ename> OF EACH e IN employees : (e.enr = $enr)]"
+
+    def test_point_query_skips_the_scan(self, database):
+        database.create_index("employees", "enr")
+        service = QueryService(database)
+        prepared = service.prepare(self.POINT)
+        result = prepared.execute({"enr": 5})
+        assert result.statistics["relations"]["employees"]["scans"] == 0
+        assert result.statistics["index_probes"] > 0
+        assert "probe ind_employees_enr" in result.access_paths["e"]
+
+    def test_late_binding_probes_fresh_value_per_execution(self, database):
+        database.create_index("employees", "enr")
+        service = QueryService(database)
+        prepared = service.prepare(self.POINT)
+        engine = QueryEngine(database)
+        for enr in (1, 5, 9):
+            got = prepared.execute({"enr": enr}).relation
+            expected = engine.execute(
+                f"[<e.ename> OF EACH e IN employees : (e.enr = {enr})]"
+            ).relation
+            assert sorted(r.values for r in got) == sorted(r.values for r in expected)
+
+    def test_mutations_keep_prepared_results_fresh_without_rebuild(self, database):
+        """Insert/delete after prepare: the incrementally maintained index
+        answers the next execution exactly — no refresh_indexes needed."""
+        database.create_index("employees", "enr")
+        service = QueryService(database)
+        prepared = service.prepare(self.POINT)
+        assert len(prepared.execute({"enr": 999}).relation) == 0
+        employees = database.relation("employees")
+        employees.insert({"enr": 999, "ename": "Newcomer", "estatus": "professor"})
+        assert len(prepared.execute({"enr": 999}).relation) == 1
+        employees.delete_key(999)
+        assert len(prepared.execute({"enr": 999}).relation) == 0
+
+    def test_derived_predicate_inner_range_probes(self, database):
+        """A Strategy 4 value-list build over a restricted inner range uses
+        the index instead of scanning the inner relation.
+
+        Executed through the service (deferred Lemma 1 adaptation) so the
+        compile-time emptiness check does not scan papers either: execution
+        must not touch the inner relation beyond the probed matches.
+        """
+        database.create_index("papers", "pyear")
+        text = (
+            "[<e.ename> OF EACH e IN employees: "
+            "SOME p IN [EACH p IN papers: (p.pyear = 1977)] (p.penr = e.enr)]"
+        )
+        result = QueryService(database).execute(text)
+        assert result.statistics["relations"]["papers"]["scans"] == 0
+        assert result.statistics["index_probes"] > 0
+        expected = execute_naive(database, text)
+        assert result.relation == expected
+
+    def test_zone_map_pruning_skips_pages_on_paged_backend(self, backend, database):
+        result = QueryEngine(database).execute(
+            "[<c.ctitle> OF EACH c IN courses : (c.cnr <= 2)]"
+        )
+        expected = execute_naive(
+            database, "[<c.ctitle> OF EACH c IN courses : (c.cnr <= 2)]"
+        )
+        assert result.relation == expected
+        if backend == "paged":
+            assert "zone-map pruned scan" in result.access_paths["c"]
+        else:
+            assert result.statistics["pages_skipped"] == 0
+
+    def test_probe_demoted_when_relation_is_shared_scanned_anyway(self, database):
+        """Two variables over one relation, only one probe-able: under
+        Strategy 1 the relation is scanned in full for the other variable,
+        so probing would only add cost — the probe rides the shared scan."""
+        database.create_index("employees", "enr")
+        text = (
+            "[<e.ename, m.ename> OF EACH e IN employees, EACH m IN employees : "
+            "(e.enr = 5) AND (e.estatus = m.estatus)]"
+        )
+        result = QueryEngine(database).execute(text)
+        assert result.relation == execute_naive(database, text)
+        assert "shared scan already required" in result.access_paths["e"]
+        assert result.statistics["relations"]["employees"]["scans"] == 1
+        # Without Strategy 1 each structure enumerates on its own, so the
+        # probe is worth it again and stays a probe.
+        sequential = QueryEngine(
+            database, StrategyOptions.only(use_index_paths=True, extended_ranges=True)
+        ).execute(text)
+        assert sequential.relation == execute_naive(database, text)
+        assert "probe ind_employees_enr" in sequential.access_paths["e"]
+
+    def test_false_matrix_reports_no_access_paths(self, database):
+        # Lemma 1: SOME over an empty relation collapses the matrix to FALSE.
+        database.relation("papers").clear()
+        result = QueryEngine(database).execute(
+            "[<e.ename> OF EACH e IN employees : SOME p IN papers ((p.penr = e.enr))]"
+        )
+        assert len(result.relation) == 0
+        assert result.access_paths == {}
+
+    def test_unoptimised_engine_keeps_scanning(self, database):
+        database.create_index("employees", "enr")
+        result = QueryEngine(database, StrategyOptions.none()).execute(
+            "[<e.ename> OF EACH e IN employees : (e.enr = 5)]"
+        )
+        assert result.statistics["relations"]["employees"]["scans"] >= 1
+        expected = execute_naive(
+            database, "[<e.ename> OF EACH e IN employees : (e.enr = 5)]"
+        )
+        assert result.relation == expected
+
+
+class TestExplainSurfaces:
+    def test_static_explain_shows_chosen_path(self, database):
+        database.create_index("employees", "enr")
+        report = QueryEngine(database).explain(
+            "[<e.ename> OF EACH e IN employees : (e.enr = 5)]"
+        )
+        assert "access paths:" in report
+        assert "probe ind_employees_enr" in report
+
+    def test_analyze_shows_counters(self, database):
+        database.create_index("employees", "enr")
+        report = QueryEngine(database).explain(
+            "[<e.ename> OF EACH e IN employees : (e.enr = 5)]", analyze=True
+        )
+        assert "access paths (analyzed):" in report
+        assert "index probes=" in report
+        assert "pages skipped=" in report
+
+    def test_unbound_parameter_shown_in_static_explain(self, database):
+        database.create_index("employees", "enr")
+        service = QueryService(database)
+        prepared = service.prepare("[<e.ename> OF EACH e IN employees : (e.enr = $x)]")
+        from repro.engine.explain import explain_prepared
+
+        report = explain_prepared(prepared.plan, database, prepared.options)
+        assert "$x" in report and "probe ind_employees_enr" in report
+
+    def test_prepared_query_exposes_access_paths(self, database):
+        database.create_index("employees", "enr")
+        service = QueryService(database)
+        prepared = service.prepare("[<e.ename> OF EACH e IN employees : (e.enr = $x)]")
+        paths = prepared.access_paths()
+        assert "probe ind_employees_enr" in paths["e"]
+        assert "$x" in paths["e"]
+        scan_plan = service.prepare(
+            "[<e.ename> OF EACH e IN employees : (e.enr = $x)]",
+            StrategyOptions().with_(use_index_paths=False),
+        )
+        assert scan_plan.access_paths()["e"] == "scan employees"
+
+
+class TestStatisticsCounters:
+    def test_new_counters_snapshot_and_reset(self, database):
+        stats = database.statistics
+        stats.record_index_maintenance(3)
+        stats.record_pages_skipped(2)
+        snapshot = stats.as_dict()
+        assert snapshot["index_maintenance_ops"] == 3
+        assert snapshot["pages_skipped"] == 2
+        stats.reset()
+        assert stats.index_maintenance_ops == 0
+        assert stats.pages_skipped == 0
+        assert stats.index_probes == 0

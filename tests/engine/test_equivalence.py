@@ -129,6 +129,82 @@ def test_backends_agree_elementwise(query_name):
     )
 
 
+INDEX_SPECS = (
+    ("employees", "enr", "="),
+    ("papers", "penr", "="),
+    ("papers", "pyear", "<="),
+    ("courses", "clevel", "<="),
+    ("courses", "cnr", "="),
+    ("timetable", "tenr", "="),
+)
+
+
+@pytest.fixture(scope="module")
+def indexed_backend(backend):
+    """The Figure 1 database with permanent indexes on every probe-able
+    component, so the access-path selector actually has paths to choose."""
+    database = figure1_database(paged=(backend == "paged"))
+    for relation_name, field_name, operator in INDEX_SPECS:
+        database.create_index(relation_name, field_name, operator=operator)
+    return database
+
+
+class TestIndexAccessPathEquivalence:
+    """``use_index_paths`` on/off × queries × backends, on indexed data."""
+
+    @pytest.mark.parametrize(
+        "index_paths", (False, True), ids=("indexpaths=off", "indexpaths=on")
+    )
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_matches_naive_with_permanent_indexes(
+        self, indexed_backend, backend, query_name, index_paths
+    ):
+        options = StrategyOptions().with_(use_index_paths=index_paths)
+        expected = execute_naive(indexed_backend, QUERIES[query_name])
+        result = QueryEngine(indexed_backend, options).execute(QUERIES[query_name])
+        assert result.relation == expected, query_name
+        _assert_page_counters_sane(indexed_backend, backend)
+
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_on_off_byte_identical(self, indexed_backend, query_name):
+        on = QueryEngine(
+            indexed_backend, StrategyOptions().with_(use_index_paths=True)
+        ).execute(QUERIES[query_name])
+        off = QueryEngine(
+            indexed_backend, StrategyOptions().with_(use_index_paths=False)
+        ).execute(QUERIES[query_name])
+        assert sorted(r.values for r in on.relation) == sorted(
+            r.values for r in off.relation
+        )
+
+    @pytest.mark.parametrize("config_name", sorted(SCALE2_CONFIGS))
+    def test_strategy_configs_with_index_paths_at_scale2(self, config_name):
+        database = build_university_database(scale=2, paged=True)
+        for relation_name, field_name, operator in INDEX_SPECS:
+            database.create_index(relation_name, field_name, operator=operator)
+        options = SCALE2_CONFIGS[config_name].with_(use_index_paths=True)
+        for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
+            expected = execute_naive(database, QUERIES[query_name])
+            result = QueryEngine(database, options).execute(QUERIES[query_name])
+            assert result.relation == expected, (config_name, query_name)
+
+    @pytest.mark.parametrize("workload_name", sorted(parameterized_queries()))
+    def test_prepared_on_off_byte_identical(self, indexed_backend, workload_name):
+        text, bindings = parameterized_queries()[workload_name]
+        service = QueryService(indexed_backend)
+        prepared_on = service.prepare(text)
+        prepared_off = service.prepare(
+            text, StrategyOptions().with_(use_index_paths=False)
+        )
+        for values in bindings:
+            for _ in range(2):  # the second run exercises the collection memo
+                on = prepared_on.execute(values).relation
+                off = prepared_off.execute(values).relation
+                assert sorted(r.values for r in on) == sorted(
+                    r.values for r in off
+                ), (workload_name, values)
+
+
 class TestPreparedMatchesColdAcrossBackends:
     """The service-layer acceptance row of the matrix."""
 

@@ -242,6 +242,28 @@ class TestVersioning:
         database.drop_index("employees", "nonexistent")
         assert database.schema_version == version
 
+    def test_exactly_one_bump_per_catalog_change(self, database):
+        """Regression: each catalog operation bumps ``schema_version`` by
+        exactly 1, including dropping a relation that carries indexes."""
+        database.create_relation("audit", [("anr", INTEGER), ("ax", INTEGER)], key=["anr"])
+        version = database.schema_version
+        database.create_index("audit", "anr")
+        assert database.schema_version == version + 1
+        database.create_index("audit", "ax")
+        assert database.schema_version == version + 2
+        database.create_index("audit", "anr")  # re-create: one change again
+        assert database.schema_version == version + 3
+        database.drop_relation("audit")  # relation + two indexes: ONE change
+        assert database.schema_version == version + 4
+
+    def test_refresh_indexes_is_not_a_catalog_change(self, database):
+        """Rebuilding index contents must not invalidate cached plans."""
+        database.create_index("employees", "boss")
+        version = database.schema_version
+        database.refresh_indexes()
+        assert database.schema_version == version
+        assert len(database.index_for("employees", "boss").probe(1)) == 2
+
     def test_data_version_tracks_relation_mutations(self, database):
         employees = database.relation("employees")
         version = database.data_version

@@ -106,6 +106,32 @@ class TestSortedIndex:
         with pytest.raises(RelationError):
             index.probe_operator("!=", 10)
 
+    def test_incremental_add_after_build_keeps_sorted(self, timetable):
+        index = SortedIndex(timetable, "tcnr").build()
+        extra = timetable.insert({"tenr": 9, "tcnr": 15})
+        index.add(extra)
+        assert [v for v, _ in index._pairs] == sorted(v for v, _ in index._pairs)
+        assert len(index.probe_operator("<=", 15)) == 3
+
+    def test_remove_on_sorted_and_unsorted_lists(self, timetable):
+        records = list(timetable)
+        index = SortedIndex(timetable, "tcnr")
+        for record in records:
+            index.add(record)  # bulk load: unsorted until first probe
+        index.remove(records[0])
+        assert len(index) == len(records) - 1
+        index.probe_operator("<=", 99)  # forces the sort
+        index.remove(records[1])
+        assert len(index) == len(records) - 2
+        index.remove(records[1])  # absent: no-op
+        assert len(index) == len(records) - 2
+
+    def test_clear(self, timetable):
+        index = SortedIndex(timetable, "tcnr").build()
+        index.clear()
+        assert len(index) == 0
+        assert index.probe_operator("<=", 99) == []
+
 
 class TestBuildIndex:
     def test_equality_gets_hash_index(self, timetable):

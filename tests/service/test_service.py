@@ -46,6 +46,25 @@ class TestPlanCaching:
         after = service.prepare(PROFESSORS_TEXT)
         assert after is not before
 
+    def test_dropped_then_recreated_index_invalidates_cached_plans(self, figure1):
+        """Regression: every index drop AND re-create is its own catalog
+        change, so a plan cached against the intermediate (index-less)
+        catalog cannot be served once the index is back — the re-created
+        index may change the chosen access path."""
+        figure1.create_index("employees", "enr")
+        service = QueryService(figure1)
+        with_index = service.prepare(PROFESSORS_TEXT)
+        figure1.drop_index("employees", "enr")
+        assert with_index.is_stale()
+        without_index = service.prepare(PROFESSORS_TEXT)
+        assert without_index is not with_index
+        figure1.create_index("employees", "enr")
+        assert without_index.is_stale()
+        recreated = service.prepare(PROFESSORS_TEXT)
+        assert recreated is not without_index and recreated is not with_index
+        assert not recreated.is_stale()
+        recreated.execute()  # and the fresh plan executes
+
     def test_emptiness_transition_invalidates_cached_plans(self):
         """Lemma 1 is the only data dependency of compilation: plans are keyed
         on which relations are empty."""

@@ -192,3 +192,73 @@ class TestStoredRelation:
         relation.clear()
         assert relation.is_empty()
         assert relation.page_count == 0
+
+
+class TestZoneMaps:
+    def test_zone_bounds_and_invalidations(self):
+        page = Page(0, capacity=4)
+        page.append(record(5))
+        page.append(record(9))
+        assert page.zone("n") == (5, 9)
+        page.append(record(1))
+        assert page.zone("n") == (1, 9)  # append invalidates the cache
+        page.tombstone(2)
+        assert page.zone("n") == (5, 9)  # tombstone invalidates it too
+
+    def test_zone_of_empty_or_unknown_component(self):
+        page = Page(0, capacity=4)
+        assert page.zone("n") is None
+        page.append(record(3))
+        assert page.zone("nonexistent") is None
+        assert not page.may_contain("n", "=", 99) or page.may_contain("n", "=", 3)
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 7, True), ("=", 3, False), ("=", 20, False),
+            ("<", 6, True), ("<", 5, False),
+            ("<=", 5, True), ("<=", 4, False),
+            (">", 9, True), (">", 10, False),
+            (">=", 10, True), (">=", 11, False),
+            ("<>", 7, True),
+        ],
+    )
+    def test_may_contain(self, op, value, expected):
+        page = Page(0, capacity=4)
+        page.append(record(5))
+        page.append(record(10))
+        assert page.may_contain("n", op, value) is expected
+
+    def test_not_equal_prunes_single_value_pages(self):
+        page = Page(0, capacity=4)
+        page.append(record(5))
+        page.append(record(5))
+        assert not page.may_contain("n", "<>", 5)
+        assert page.may_contain("n", "<>", 6)
+
+    def test_scan_pruned_skips_and_counts(self):
+        stats = AccessStatistics()
+        relation = StoredRelation("numbers", SCHEMA, tracker=stats, page_capacity=8)
+        for i in range(40):  # five pages: 0-7, 8-15, ..., 32-39
+            relation.insert({"n": i})
+        rows = [r.n for r in relation.scan_pruned("n", "<=", 10)]
+        # Conservative: the two pages that may contain matches are yielded
+        # in full (0-7 and 8-15); the caller filters records.
+        assert rows == list(range(16))
+        assert stats.pages_skipped == 3
+        assert stats.pages_read == 2
+        # Pruning never loses rows: filtering the pruned scan equals a scan.
+        full = [r.n for r in relation.scan() if r.n <= 10]
+        assert [n for n in rows if n <= 10] == full
+
+    def test_scan_pruned_reflects_mutations(self):
+        stats = AccessStatistics()
+        relation = StoredRelation("numbers", SCHEMA, tracker=stats, page_capacity=4)
+        for i in range(8):
+            relation.insert({"n": i})
+        assert [r.n for r in relation.scan_pruned("n", ">=", 6)] == [4, 5, 6, 7]
+        relation.delete_key((6,))
+        relation.delete_key((7,))
+        assert [r.n for r in relation.scan_pruned("n", ">=", 6)] == []
+        relation.insert({"n": 9})
+        assert 9 in [r.n for r in relation.scan_pruned("n", ">=", 6)]
