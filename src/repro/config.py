@@ -65,6 +65,16 @@ class StrategyOptions:
         conjunction that share a variable column (Bernstein & Chiu's
         technique, which Section 4.4 relates to collection-phase
         quantifiers), so dyadic structures shrink before they enter a join.
+    streaming_execution:
+        Run the combination and construction phases as one pull-based
+        operator pipeline instead of materialising every intermediate
+        n-tuple reference relation: per-conjunction join chains stream
+        tuple-by-tuple in cost order, innermost SOME quantifiers are
+        eliminated inside each conjunction's pipeline (short-circuiting to
+        a semijoin where their columns are no longer needed), and the
+        construction phase dereferences directly from the final stream.
+        Only pipeline breakers (division, union dedup state) buffer tuples,
+        so ``peak_tuples`` reports the true live-tuple high-water mark.
     """
 
     parallel_collection: bool = True
@@ -77,6 +87,7 @@ class StrategyOptions:
     use_index_paths: bool = True
     join_ordering: bool = True
     semijoin_reduction: bool = True
+    streaming_execution: bool = True
 
     # -- presets -----------------------------------------------------------------
 
@@ -97,6 +108,7 @@ class StrategyOptions:
             use_index_paths=False,
             join_ordering=False,
             semijoin_reduction=False,
+            streaming_execution=False,
         )
 
     @classmethod
@@ -121,6 +133,7 @@ class StrategyOptions:
             "use_index_paths": "index access paths",
             "join_ordering": "cost-ordered joins",
             "semijoin_reduction": "semijoin reduction",
+            "streaming_execution": "streaming pipeline",
         }
         enabled = [label for attr, label in names.items() if getattr(self, attr)]
         return ", ".join(enabled) if enabled else "no strategies"

@@ -7,10 +7,11 @@ from repro.engine.collection import (
     DerivedEvaluator,
     ExtendedRangeEmptyError,
 )
-from repro.engine.combination import CombinationPhase, CombinationResult
+from repro.engine.combination import CombinationPhase, CombinationResult, OperatorNote
 from repro.engine.construction import ConstructionPhase
 from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
 from repro.engine.explain import explain_prepared
+from repro.engine.stream import LiveTupleTracker, RowStream
 from repro.engine.naive import (
     evaluate_formula,
     evaluate_selection_naive,
@@ -28,8 +29,11 @@ __all__ = [
     "ConstructionPhase",
     "DerivedEvaluator",
     "ExtendedRangeEmptyError",
+    "LiveTupleTracker",
+    "OperatorNote",
     "QueryEngine",
     "QueryResult",
+    "RowStream",
     "evaluate_formula",
     "evaluate_selection_naive",
     "execute_naive",

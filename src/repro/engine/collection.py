@@ -97,6 +97,30 @@ class ConjunctStructure:
     def cardinality(self) -> int:
         return len(self.rows)
 
+    def to_relation(self, name: str, relation_name_of) -> Relation:
+        """Materialise the structure as a reference relation.
+
+        ``relation_name_of`` maps a variable name to the name of its range
+        relation (the reference target).  Both the materialised and the
+        streaming combination phase start from these relations: they are the
+        Figure 2 structures, whose cost is charged to the collection phase.
+        """
+        from repro.relational.refrelation import ReferenceType, ref_field_name
+        from repro.types.schema import Field, RelationSchema
+
+        schema = RelationSchema(
+            name,
+            [
+                Field(ref_field_name(var), ReferenceType(relation_name_of(var)))
+                for var in self.variables
+            ],
+            key=None,
+        )
+        relation = Relation(schema.name, schema)
+        raw = Record.raw
+        relation.bulk_insert_raw(raw(schema, tuple(row)) for row in self.rows)
+        return relation
+
 
 @dataclass
 class CollectionResult:

@@ -1,4 +1,4 @@
-"""The combination phase (Section 3.3, step 2) and its optimizer.
+"""The combination phase (Section 3.3, step 2), its optimizer, and the pipeline.
 
 "The COMBINATION PHASE manipulates only reference relations; it evaluates
 logical operators and quantifiers in three steps:
@@ -18,7 +18,7 @@ cost — the size of the n-tuple relations it builds — is the quantity
 Strategies 3 and 4 attack, and it is reported through the shared
 :class:`~repro.relational.statistics.AccessStatistics`.
 
-Two combination-phase optimizations (switchable through
+Three combination-phase optimizations (switchable through
 :class:`~repro.config.StrategyOptions`) attack the same cost *inside* the
 phase:
 
@@ -32,10 +32,23 @@ phase:
   the conjunction sharing a variable column (Bernstein & Chiu's technique,
   which the paper relates to its collection-phase quantifier evaluation), so
   dyadic structures shrink before they ever enter a join.
+* ``streaming_execution`` — the whole phase runs as one pull-based operator
+  pipeline of :class:`~repro.engine.stream.RowStream` values instead of
+  materialising every intermediate n-tuple relation.  Per-conjunction join
+  chains stream tuple-by-tuple in cost order; the innermost run of SOME
+  quantifiers is eliminated *inside* each conjunction's pipeline (projection
+  distributes over union), which lets a join whose new columns are all
+  SOME-bound short-circuit into a semijoin — each witness is emitted once
+  and the partner group is never enumerated; ALL quantifiers stream
+  group-wise through a division breaker; and the construction phase
+  dereferences directly from the final stream.  Only pipeline breakers
+  (division group tables, union/projection dedup state) buffer tuples, so
+  ``peak_tuples`` reports the true live-tuple high-water mark.
 
-Both default to on; ``StrategyOptions.none()`` (or the individual flags)
-restores the literal Section 3.3 behaviour.  The chosen join order and the
-per-structure reduction sizes are recorded on :class:`CombinationResult` so
+All default to on; ``StrategyOptions.none()`` (or the individual flags)
+restores the literal Section 3.3 behaviour.  The chosen join order, the
+per-structure reduction sizes and a streamed/materialized annotation per
+operator are recorded on :class:`CombinationResult` so
 ``explain(..., analyze=True)`` can show them.
 """
 
@@ -47,8 +60,20 @@ from repro.calculus.analysis import QuantifierSpec
 from repro.calculus.ast import ALL, SOME
 from repro.config import StrategyOptions
 from repro.engine.collection import CollectionResult, ConjunctStructure
+from repro.engine.stream import LiveTupleTracker, RowStream
 from repro.errors import EvaluationError
-from repro.relational.algebra import divide, natural_join, project, semijoin, union
+from repro.relational.algebra import (
+    divide,
+    natural_join,
+    project,
+    semijoin,
+    stream_divide,
+    stream_natural_join,
+    stream_project,
+    stream_semijoin,
+    stream_union,
+    union,
+)
 from repro.relational.record import Record
 from repro.relational.refrelation import ReferenceType, ref_field_name
 from repro.relational.relation import Relation
@@ -56,7 +81,27 @@ from repro.relational.statistics import COMBINATION, estimate_join_cardinality
 from repro.transform.pipeline import QueryPlan
 from repro.types.schema import Field, RelationSchema
 
-__all__ = ["CombinationResult", "CombinationPhase"]
+__all__ = ["CombinationResult", "CombinationPhase", "OperatorNote"]
+
+
+@dataclass
+class OperatorNote:
+    """One operator of the combination pipeline, annotated for EXPLAIN.
+
+    ``mode`` is ``"streamed"`` for operators that pass tuples through without
+    materialising a result relation, ``"materialized"`` for operators that
+    buffer their whole input or output (the legacy kernels, and the division
+    pipeline breaker); ``reason`` says why.
+    """
+
+    conjunction: int | None
+    op: str
+    mode: str
+    reason: str
+
+    def describe(self) -> str:
+        scope = f"[conjunction {self.conjunction + 1}] " if self.conjunction is not None else ""
+        return f"{scope}{self.op}: {self.mode} — {self.reason}"
 
 
 @dataclass
@@ -64,12 +109,34 @@ class CombinationResult:
     """The outcome of the combination phase."""
 
     tuples: Relation
-    """Reference tuples over the free variables that satisfy the query."""
+    """Reference tuples over the free variables that satisfy the query.
+
+    Under streaming execution this relation is filled lazily, one row at a
+    time, while :attr:`stream` is consumed (normally by the construction
+    phase); it holds the full result once the stream is exhausted."""
+
+    stream: RowStream | None = None
+    """The live pipeline producing the free-variable reference tuples, when
+    the phase ran with ``streaming_execution`` (``None`` otherwise).  The
+    construction phase consumes it; every row it yields is also recorded
+    into :attr:`tuples`, so draining the stream materialises the classic
+    result as a side effect."""
+
+    streamed: bool = False
+    """Whether the phase ran as a streaming pipeline."""
 
     conjunction_sizes: list[int] = field(default_factory=list)
+    """Per evaluated conjunction: the size of its n-tuple relation
+    (materialised mode) or the number of rows its pipeline emitted into the
+    union stage, filled in as the pipeline drains (streaming mode)."""
+
     union_size: int = 0
     after_quantifiers_size: int = 0
     peak_tuples: int = 0
+    """Materialised mode: the largest intermediate n-tuple relation built.
+    Streaming mode: the live-tuple high-water mark of pipeline-breaker state
+    (division group tables, union/projection dedup sets) — finalised when
+    the stream is exhausted."""
 
     conjunction_indexes: list[int] = field(default_factory=list)
     """Positions (0-based, into the prepared matrix) of the conjunctions
@@ -83,6 +150,9 @@ class CombinationResult:
     reductions: list[list[tuple[str, int, int]]] = field(default_factory=list)
     """Per evaluated conjunction: ``(structure description, size before,
     size after)`` for every structure touched by the semijoin reducer."""
+
+    operator_notes: list[OperatorNote] = field(default_factory=list)
+    """Every operator applied, annotated streamed/materialized with reason."""
 
 
 class CombinationPhase:
@@ -106,7 +176,9 @@ class CombinationPhase:
 
     def run(self) -> CombinationResult:
         with self.statistics.phase(COMBINATION):
-            return self._run()
+            if self.options.streaming_execution:
+                return self._run_streaming()
+            return self._run_materialized()
 
     def _note(self, relation: Relation) -> Relation:
         """Track the peak intermediate n-tuple relation size."""
@@ -115,7 +187,9 @@ class CombinationPhase:
             self._peak = size
         return relation
 
-    def _run(self) -> CombinationResult:
+    # ================================================================= materialised mode
+
+    def _run_materialized(self) -> CombinationResult:
         variables = list(self.prepared.variables)
         result = CombinationResult(tuples=self._empty_tuple_relation(variables))
         self._peak = 0
@@ -135,6 +209,9 @@ class CombinationPhase:
                     union(combined, conjunction_relation, name="matrix_union",
                           tracker=self.statistics)
                 )
+                result.operator_notes.append(
+                    OperatorNote(None, "union", "materialized", "streaming_execution off")
+                )
         if combined is None:
             # Every conjunction was dropped: the matrix is unsatisfiable.
             result.union_size = 0
@@ -148,6 +225,14 @@ class CombinationPhase:
         current = combined
         for spec in reversed(self.prepared.prefix):
             current = self._note(self._eliminate_quantifier(current, spec))
+            label = (
+                f"SOME elimination of {spec.var}"
+                if spec.kind == SOME
+                else f"ALL division by {spec.var}"
+            )
+            result.operator_notes.append(
+                OperatorNote(None, label, "materialized", "streaming_execution off")
+            )
 
         result.tuples = self._project_to_free_variables(current)
         result.after_quantifiers_size = len(result.tuples)
@@ -194,6 +279,11 @@ class CombinationPhase:
                                  tracker=self.statistics)
                 )
         result.join_orders.append(order)
+        for step, (description, _) in enumerate(order):
+            op = "scan" if step == 0 else "join"
+            result.operator_notes.append(
+                OperatorNote(index, f"{op} {description}", "materialized", "streaming_execution off")
+            )
         return project(
             current,
             [ref_field_name(var) for var in variables],
@@ -346,18 +436,7 @@ class CombinationPhase:
         ]
 
     def _structure_relation(self, index: int, structure: ConjunctStructure) -> Relation:
-        schema = RelationSchema(
-            f"structure_{index}",
-            [
-                Field(ref_field_name(var), ReferenceType(self._relation_of(var)))
-                for var in structure.variables
-            ],
-            key=None,
-        )
-        relation = Relation(schema.name, schema)
-        raw = Record.raw
-        relation.bulk_insert_raw(raw(schema, tuple(row)) for row in structure.rows)
-        return relation
+        return structure.to_relation(f"structure_{index}", self._relation_of)
 
     def _range_relation(self, var: str) -> Relation:
         schema = RelationSchema(
@@ -391,6 +470,413 @@ class CombinationPhase:
                 tracker=self.statistics,
             )
         raise EvaluationError(f"unknown quantifier kind {spec.kind!r}")
+
+    # ==================================================================== streaming mode
+
+    def _run_streaming(self) -> CombinationResult:
+        """Build the combination pipeline; execution happens when it is drained.
+
+        The method decides join orders, applies the semijoin reducer and
+        wires the operator graph eagerly (so ``join_orders``/``reductions``
+        and the operator annotations are complete on return), but no tuple
+        flows until the returned :attr:`CombinationResult.stream` is
+        consumed — normally by the construction phase.  ``union_size``,
+        ``after_quantifiers_size``, ``conjunction_sizes`` and
+        ``peak_tuples`` are finalised as the stream drains.
+        """
+        variables = list(self.prepared.variables)
+        result = CombinationResult(tuples=self._empty_tuple_relation(variables))
+        result.streamed = True
+        live = LiveTupleTracker()
+        notes = result.operator_notes
+
+        # The innermost (trailing) run of SOME quantifiers is eliminated
+        # inside each conjunction's pipeline: projection distributes over
+        # union, so dropping those columns before the union stage is exact —
+        # and it is what enables the semijoin short-circuit in the chains.
+        prefix = list(self.prepared.prefix)
+        split = len(prefix)
+        while split > 0 and prefix[split - 1].kind == SOME:
+            split -= 1
+        head, trailing = prefix[:split], prefix[split:]
+        drop_columns = {ref_field_name(spec.var) for spec in trailing}
+        kept_vars = [v for v in variables if ref_field_name(v) not in drop_columns]
+        kept_schema = RelationSchema(
+            "matrix_tuples",
+            [Field(ref_field_name(v), ReferenceType(self._relation_of(v))) for v in kept_vars],
+            key=None,
+        )
+
+        members: list[RowStream] = []
+        for index, structures in enumerate(self.collection.conjunctions):
+            if structures is None:
+                continue
+            position = len(result.conjunction_indexes)
+            result.conjunction_indexes.append(index)
+            result.conjunction_sizes.append(0)
+            stream = self._conjunction_stream(
+                index, structures, variables, drop_columns, kept_schema, result, live
+            )
+            members.append(self._counted_member(stream, result, position))
+
+        if not members:
+            # Every conjunction was dropped: the matrix is unsatisfiable.
+            notes.append(OperatorNote(
+                None, "union", "streamed", "no satisfiable conjunction — empty pipeline"
+            ))
+            result.stream = RowStream.empty(result.tuples.schema, label="free_tuples")
+            return result
+
+        dedup = len(members) > 1 or bool(trailing)
+        if dedup:
+            reason = (
+                "breaker state: dedup set over the kept columns"
+                if len(members) > 1
+                else "breaker state: dedup set (innermost SOME columns dropped in-pipeline)"
+            )
+        else:
+            reason = "single conjunction with distinct rows — pass-through"
+        notes.append(OperatorNote(
+            None, f"union of {len(members)} conjunction pipeline(s)", "streamed", reason
+        ))
+        pipeline = self._pipelined(stream_union(
+            members,
+            schema=kept_schema,
+            name="matrix_union",
+            tracker=self.statistics,
+            live=live,
+            dedup=dedup,
+        ))
+        pipeline = self._counted_union(pipeline, result)
+
+        if trailing:
+            dropped = ", ".join(spec.var for spec in reversed(trailing))
+            notes.append(OperatorNote(
+                None,
+                f"SOME elimination of {dropped}",
+                "streamed",
+                "eliminated inside the conjunction pipelines: each witness emitted once",
+            ))
+
+        # Remaining (outer) quantifiers, right to left over the unioned
+        # stream: runs of SOME become one dedup projection, ALL becomes the
+        # group-wise division breaker.
+        columns = list(kept_schema.field_names)
+        specs = list(reversed(head))
+        j = 0
+        while j < len(specs):
+            if specs[j].kind == SOME:
+                run: list[QuantifierSpec] = []
+                while j < len(specs) and specs[j].kind == SOME:
+                    run.append(specs[j])
+                    j += 1
+                run_columns = {ref_field_name(s.var) for s in run}
+                for spec in run:
+                    if ref_field_name(spec.var) not in columns:
+                        raise EvaluationError(
+                            f"combination tuples lack a column for quantified variable {spec.var!r}"
+                        )
+                columns = [c for c in columns if c not in run_columns]
+                run_vars = ", ".join(s.var for s in run)
+                pipeline = self._pipelined(stream_project(
+                    pipeline, columns, name=f"exists_{'_'.join(s.var for s in run)}",
+                    dedup=True, live=live,
+                ))
+                notes.append(OperatorNote(
+                    None, f"SOME elimination of {run_vars}", "streamed",
+                    "dedup projection: the first witness is emitted, later ones are dropped",
+                ))
+            elif specs[j].kind == ALL:
+                spec = specs[j]
+                j += 1
+                column = ref_field_name(spec.var)
+                if column not in columns:
+                    raise EvaluationError(
+                        f"combination tuples lack a column for quantified variable {spec.var!r}"
+                    )
+                divisor = self._range_relation(spec.var)
+                pipeline = self._pipelined(stream_divide(
+                    pipeline, divisor, by=[(column, column)],
+                    name=f"forall_{spec.var}", tracker=self.statistics, live=live,
+                ))
+                columns = [c for c in columns if c != column]
+                notes.append(OperatorNote(
+                    None, f"ALL division by {spec.var}", "materialized",
+                    "pipeline breaker: buffers per-group match sets, then emits group-wise",
+                ))
+            else:
+                raise EvaluationError(f"unknown quantifier kind {specs[j].kind!r}")
+
+        free_columns = self._free_columns()
+        if columns != free_columns:
+            pipeline = self._pipelined(stream_project(pipeline, free_columns, name="free_tuples"))
+            notes.append(OperatorNote(
+                None, "projection to free variables", "streamed", "pure column reorder"
+            ))
+
+        notes.append(OperatorNote(
+            None, "construction feed", "streamed",
+            "the construction phase dereferences row-by-row from the pipeline",
+        ))
+        result.stream = self._finalized(pipeline, result, live)
+        return result
+
+    def _conjunction_stream(
+        self,
+        index: int,
+        structures: list[ConjunctStructure],
+        variables: list[str],
+        drop_columns: set[str],
+        kept_schema: RelationSchema,
+        result: CombinationResult,
+        live: LiveTupleTracker,
+    ) -> RowStream:
+        """The pipeline producing one conjunction's (kept-column) tuples."""
+        stats = self.statistics
+        notes = result.operator_notes
+        entries: list[tuple[str, Relation]] = [
+            (structure.description, self._structure_relation(index, structure))
+            for structure in structures
+        ]
+        if self.options.semijoin_reduction and len(entries) > 1:
+            result.reductions.append(self._reduce_structures(entries))
+        else:
+            result.reductions.append([])
+
+        order: list[tuple[str, int]] = []
+        stream: RowStream | None = None
+        covered: set[str] = set()
+        empty = False
+
+        pending = list(entries)
+        if pending:
+            if self.options.join_ordering:
+                start = min(range(len(pending)), key=lambda i: len(pending[i][1]))
+            else:
+                start = 0
+            description, current = pending.pop(start)
+            order.append((description, len(current)))
+            covered = set(current.schema.field_names)
+            est_size = float(len(current))
+            stream = self._pipelined(RowStream.from_relation(current))
+            notes.append(OperatorNote(index, f"scan {description}", "streamed", "pipeline source"))
+            distinct_cache: dict[tuple[int, tuple[str, ...]], int] = {}
+            while pending:
+                pick = self._pick_next_stream(est_size, covered, pending, distinct_cache)
+                description, relation = pending.pop(pick)
+                order.append((description, len(relation)))
+                names = relation.schema.field_names
+                shared = [f for f in names if f in covered]
+                new_columns = [f for f in names if f not in covered]
+                later: set[str] = set()
+                for _, other in pending:
+                    later.update(other.schema.field_names)
+                short_circuit = (
+                    bool(new_columns)
+                    and all(c in drop_columns for c in new_columns)
+                    and not any(c in later for c in new_columns)
+                )
+                if short_circuit and shared:
+                    # project(A ⋈ B) with B's new columns all dropped is A ⋉ B:
+                    # one membership probe per row, never enumerate the group.
+                    stream = self._pipelined(stream_semijoin(
+                        stream, relation, on=[(f, f) for f in shared],
+                        name=f"conj{index}", tracker=stats,
+                    ))
+                    notes.append(OperatorNote(
+                        index, f"semijoin {description}", "streamed",
+                        "short-circuit: SOME-bound columns unused downstream — "
+                        "stops probing each group at the first witness",
+                    ))
+                elif short_circuit:
+                    # Disconnected and fully SOME-bound: a non-emptiness gate.
+                    if len(relation) == 0:
+                        empty = True
+                    notes.append(OperatorNote(
+                        index, f"existence gate {description}", "streamed",
+                        "disconnected SOME-bound structure reduces to a non-emptiness test",
+                    ))
+                else:
+                    stream = self._pipelined(stream_natural_join(
+                        stream, relation, name=f"conj{index}", tracker=stats,
+                    ))
+                    if shared:
+                        est_size = estimate_join_cardinality(
+                            max(int(est_size), 1) if est_size > 0 else 0,
+                            len(relation),
+                            max(int(est_size), 1),
+                            self._cached_distinct(relation, shared, distinct_cache),
+                        )
+                    else:
+                        est_size = est_size * len(relation)
+                    covered.update(names)
+                    notes.append(OperatorNote(
+                        index, f"join {description}", "streamed",
+                        "pipelined hash join (build side: collection structure)",
+                    ))
+        if stream is None:
+            # No structures: the conjunction is TRUE — start from the first
+            # variable's range (a free variable, hence never dropped).
+            var = variables[0]
+            relation = self._range_relation(var)
+            order.append((f"range of {var}", len(relation)))
+            covered = set(relation.schema.field_names)
+            stream = self._pipelined(RowStream.from_relation(relation))
+            notes.append(OperatorNote(
+                index, f"scan range of {var}", "streamed",
+                "TRUE conjunction: enumerate the first range",
+            ))
+
+        # Ranges of the variables the conjunction does not mention.  A
+        # SOME-bound unmentioned variable never reaches the output: joining
+        # its full range and projecting it away is the identity when the
+        # range is non-empty, and annihilates the conjunction when empty.
+        for var in variables:
+            column = ref_field_name(var)
+            if column in covered:
+                continue
+            refs = self.collection.range_refs[var]
+            order.append((f"range of {var}", len(refs)))
+            if column in drop_columns:
+                if not refs:
+                    empty = True
+                    notes.append(OperatorNote(
+                        index, f"range gate {var}", "streamed",
+                        "SOME-quantified range is empty — the conjunction yields nothing",
+                    ))
+                else:
+                    notes.append(OperatorNote(
+                        index, f"range extension {var}", "streamed",
+                        "skipped: SOME-quantified, unmentioned, non-empty range — "
+                        "extend-then-project is the identity",
+                    ))
+                continue
+            extension = self._range_relation(var)
+            stream = self._pipelined(stream_natural_join(
+                stream, extension, name=f"conj{index}_x_{var}", tracker=stats,
+            ))
+            covered.add(column)
+            notes.append(OperatorNote(
+                index, f"range extension {var}", "streamed", "streaming Cartesian extension"
+            ))
+        result.join_orders.append(order)
+
+        if empty:
+            return RowStream.empty(kept_schema, label=f"conjunction_{index}")
+
+        out_columns = list(kept_schema.field_names)
+        if list(stream.schema.field_names) != out_columns:
+            stream = self._pipelined(
+                stream_project(stream, out_columns, name=f"conjunction_{index}")
+            )
+            notes.append(OperatorNote(
+                index, "projection to kept columns", "streamed",
+                "drops innermost SOME columns / reorders; dedup happens in the union stage",
+            ))
+        return stream
+
+    def _pick_next_stream(
+        self,
+        est_size: float,
+        covered: set[str],
+        pending: list[tuple[str, Relation]],
+        distinct_cache: dict[tuple[int, tuple[str, ...]], int],
+    ) -> int:
+        """Position of the next structure to join into the running stream.
+
+        The streaming chain cannot count its own rows (they have not flowed
+        yet), so the cost estimate carries the running size forward from the
+        structure statistics instead of measuring the materialised
+        intermediate the way :meth:`_pick_next` does.  Any order is correct;
+        this one keeps the greedy smallest-estimated-join policy.
+        """
+        if not self.options.join_ordering:
+            for position, (_, relation) in enumerate(pending):
+                if covered & set(relation.schema.field_names):
+                    return position
+            return 0
+        est = max(int(est_size), 1) if est_size > 0 else 0
+        best_connected: int | None = None
+        best_connected_cost = 0.0
+        best_disconnected: int | None = None
+        best_disconnected_size = 0
+        for position, (_, relation) in enumerate(pending):
+            shared = [f for f in relation.schema.field_names if f in covered]
+            if shared:
+                cost = estimate_join_cardinality(
+                    est, len(relation), est,
+                    self._cached_distinct(relation, shared, distinct_cache),
+                )
+                if best_connected is None or cost < best_connected_cost:
+                    best_connected, best_connected_cost = position, cost
+            else:
+                size = len(relation)
+                if best_disconnected is None or size < best_disconnected_size:
+                    best_disconnected, best_disconnected_size = position, size
+        if best_connected is not None:
+            return best_connected
+        assert best_disconnected is not None
+        return best_disconnected
+
+    # -- pipeline bookkeeping -------------------------------------------------------------
+
+    def _pipelined(self, stream: RowStream) -> RowStream:
+        """Count the operator and its row throughput into the shared statistics."""
+        self.statistics.record_operator_pipelined()
+        return RowStream(stream.schema, iter(stream), tracker=self.statistics, label=stream.label)
+
+    @staticmethod
+    def _counted_member(stream: RowStream, result: CombinationResult, position: int) -> RowStream:
+        """Record how many rows one conjunction's pipeline emitted."""
+
+        def rows():
+            count = 0
+            try:
+                for row in stream:
+                    count += 1
+                    yield row
+            finally:
+                result.conjunction_sizes[position] = count
+
+        return RowStream(stream.schema, rows(), label=stream.label)
+
+    @staticmethod
+    def _counted_union(stream: RowStream, result: CombinationResult) -> RowStream:
+        """Count the distinct matrix tuples leaving the union stage."""
+
+        def rows():
+            for row in stream:
+                result.union_size += 1
+                yield row
+
+        return RowStream(stream.schema, rows(), label=stream.label)
+
+    def _finalized(
+        self, stream: RowStream, result: CombinationResult, live: LiveTupleTracker
+    ) -> RowStream:
+        """The outermost stage: record every row into ``result.tuples`` and
+        finalise the size/peak accounting when the pipeline closes."""
+        tuples = result.tuples
+        schema = tuples.schema
+
+        def rows():
+            raw = Record.raw
+            insert = tuples.insert_raw
+            try:
+                for row in stream:
+                    insert(raw(schema, row))
+                    yield row
+            finally:
+                result.after_quantifiers_size = len(tuples)
+                result.peak_tuples = live.peak
+            # Reached only on complete exhaustion (an early close raises
+            # GeneratorExit inside the loop): ``tuples`` now holds the whole
+            # result, so consumers may safely fall back to it.  A partially
+            # drained stream leaves ``result.stream`` set — and consumed —
+            # which the construction phase rejects loudly.
+            result.stream = None
+
+        return RowStream(schema, rows(), label="free_tuples")
 
     # -- output shaping ----------------------------------------------------------------------
 

@@ -2,6 +2,15 @@
 
 "The CONSTRUCTION PHASE dereferences the results obtained by the combination
 phase and projects on the components specified in the component selection."
+
+Under ``streaming_execution`` the phase is the pipeline sink: it pulls
+free-variable reference tuples straight out of the combination phase's
+:class:`~repro.engine.stream.RowStream` and dereferences row-by-row, so no
+intermediate reference relation is ever materialised between the two phases.
+Draining the stream also fills ``combination.tuples`` (the combination phase
+records every row it hands over), so running the construction phase a second
+time on the same result falls back to the materialised tuples and returns
+the identical relation.
 """
 
 from __future__ import annotations
@@ -9,6 +18,7 @@ from __future__ import annotations
 from repro.calculus.ast import Selection
 from repro.engine.combination import CombinationResult
 from repro.engine.result import project_environment, result_relation_for
+from repro.errors import StreamError
 from repro.relational.record import Record
 from repro.relational.refrelation import ref_field_name
 from repro.relational.relation import Relation
@@ -29,6 +39,20 @@ class ConstructionPhase:
         """Dereference and project the combination-phase tuples."""
         with self.statistics.phase(CONSTRUCTION):
             result = result_relation_for(self.selection, self.database)
+            stream = combination.stream
+            if stream is not None:
+                if stream.consumed:
+                    # Someone pulled rows from the pipeline and stopped:
+                    # ``tuples`` holds only the drained prefix, so falling
+                    # back to it would silently truncate the result.  (A
+                    # *complete* external drain clears ``combination.stream``
+                    # itself, making the tuples fallback safe.)
+                    raise StreamError(
+                        "combination stream was partially consumed before the "
+                        "construction phase; re-run the combination phase"
+                    )
+                self._drain_stream(stream, result)
+                return result
             columns = {
                 binding.var: ref_field_name(binding.var) for binding in self.selection.bindings
             }
@@ -40,3 +64,20 @@ class ConstructionPhase:
                 if result.find(result.schema.key_of(record.values)) is None:
                     result.insert(record)
             return result
+
+    def _drain_stream(self, stream, result: Relation) -> None:
+        """Pipelined dereference: one environment per row, straight off the stream."""
+        positions = [
+            (binding.var, stream.schema.field_position(ref_field_name(binding.var)))
+            for binding in self.selection.bindings
+        ]
+        schema = result.schema
+        key_of = schema.key_of
+        find = result.find
+        insert = result.insert
+        selection = self.selection
+        for row in stream:
+            environment = {var: row[position].deref() for var, position in positions}
+            record = project_environment(selection, environment, schema)
+            if find(key_of(record.values)) is None:
+                insert(record)

@@ -8,7 +8,10 @@
   Strategies 3 and 4) according to the configured
   :class:`~repro.config.StrategyOptions`,
 * it executes the three-phase evaluation procedure (collection, combination,
-  construction) with Strategies 1 and 2 applied inside the collection phase,
+  construction) with Strategies 1 and 2 applied inside the collection phase —
+  by default the combination and construction phases run as one streaming
+  operator pipeline (``StrategyOptions.streaming_execution``), so only
+  pipeline breakers buffer reference tuples,
 * it falls back gracefully when the non-empty-range assumption behind
   Strategy 3 fails at runtime, and
 * it returns a :class:`QueryResult` bundling the result relation with the
@@ -374,10 +377,12 @@ class QueryEngine:
         if combined is None:
             combined = CombinationResult(tuples=partial.tuples)
         combined.tuples = partial.tuples
+        combined.streamed = combined.streamed or partial.streamed
         combined.conjunction_sizes.extend(partial.conjunction_sizes)
         combined.conjunction_indexes.extend(position for _ in partial.conjunction_indexes)
         combined.join_orders.extend(partial.join_orders)
         combined.reductions.extend(partial.reductions)
+        combined.operator_notes.extend(partial.operator_notes)
         combined.union_size += partial.union_size
         combined.after_quantifiers_size += partial.after_quantifiers_size
         combined.peak_tuples = max(combined.peak_tuples, partial.peak_tuples)

@@ -90,8 +90,12 @@ def explain_combination(combination: CombinationResult) -> str:
 
     Conjunction numbers match the ``matrix:`` section of
     :func:`explain_prepared` — dropped conjunctions keep their position.
+    Each operator of the (streamed or materialised) execution is annotated
+    ``streamed`` or ``materialized`` with the pipeline-breaker reason, so
+    ``EXPLAIN ANALYZE`` shows exactly where tuples were buffered.
     """
-    lines: list[str] = ["combination phase:"]
+    mode = "streaming pipeline" if combination.streamed else "materialized"
+    lines: list[str] = ["combination phase:", f"  execution: {mode}"]
     # conjunction_indexes, join_orders and reductions are appended in
     # lockstep by CombinationPhase — index directly so a broken invariant
     # fails loudly instead of mislabelling conjunctions.
@@ -109,10 +113,15 @@ def explain_combination(combination: CombinationResult) -> str:
                 lines.append(f"    {description}: {before} -> {after} tuples")
         elif reductions:
             lines.append(f"  conjunction {number} semijoin reductions: (nothing removed)")
+    if combination.operator_notes:
+        lines.append("  operators:")
+        for note in combination.operator_notes:
+            lines.append(f"    {note.describe()}")
+    peak_label = "peak live tuples" if combination.streamed else "peak n-tuples"
     lines.append(
         f"  conjunction sizes: {combination.conjunction_sizes}, "
         f"union {combination.union_size}, "
         f"after quantifiers {combination.after_quantifiers_size}, "
-        f"peak n-tuples {combination.peak_tuples}"
+        f"{peak_label} {combination.peak_tuples}"
     )
     return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""The streaming operator protocol of the pipelined execution core.
+
+Section 3.3's evaluation procedure materialises every intermediate n-tuple
+reference relation, and the paper's cost model identifies exactly those
+relations as the dominant cost of the combination phase.  The streaming
+executor replaces the materialise-everything discipline with a pull-based
+operator pipeline: each relational-algebra kernel offers a variant that
+consumes and produces :class:`RowStream` values, so a conjunction's join
+chain, its quantifier eliminations and the construction-phase dereference
+run tuple-at-a-time and only *pipeline breakers* (division, union dedup
+state) ever buffer tuples.
+
+A :class:`RowStream` is deliberately tiny: a
+:class:`~repro.types.schema.RelationSchema` plus a single-use iterator of
+raw value tuples (the storage representation of
+:class:`~repro.relational.record.Record`), with :meth:`RowStream.materialize`
+as the escape hatch back into a :class:`~repro.relational.relation.Relation`.
+Keeping rows as bare tuples lets the streaming kernels reuse the
+once-per-call position-resolution pattern (``_values_getter``) of the
+materialised kernels without building record objects between operators.
+
+:class:`LiveTupleTracker` is the accounting companion: breaker state
+(division group tables, union dedup sets) acquires live tuples as it grows
+and releases them when the operator's generator is closed, so
+``CombinationResult.peak_tuples`` reports the true live-tuple high-water
+mark of a pipelined execution instead of the sum of materialised
+intermediate sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import StreamError
+from repro.relational.record import Record
+from repro.relational.relation import Relation
+from repro.relational.statistics import AccessStatistics
+from repro.types.schema import RelationSchema
+
+__all__ = ["RowStream", "LiveTupleTracker"]
+
+
+class LiveTupleTracker:
+    """High-water accounting for tuples buffered in pipeline-breaker state.
+
+    Streaming operators :meth:`acquire` as their internal state grows (one
+    call per tuple newly buffered) and :meth:`release` when the state dies
+    (normally from the generator's ``finally`` clause, so early pipeline
+    shutdown releases too).  ``peak`` is monotone and survives releases.
+    """
+
+    __slots__ = ("current", "peak")
+
+    def __init__(self) -> None:
+        self.current = 0
+        self.peak = 0
+
+    def acquire(self, count: int = 1) -> None:
+        self.current += count
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def release(self, count: int = 1) -> None:
+        self.current -= count
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"LiveTupleTracker(current={self.current}, peak={self.peak})"
+
+
+class RowStream:
+    """A schema plus a single-use stream of raw value tuples.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`RelationSchema` every yielded tuple conforms to
+        (values in declaration order, already coerced).
+    rows:
+        The underlying iterable.  It is consumed exactly once; iterating a
+        second time raises :class:`~repro.errors.StreamError` rather than
+        silently yielding nothing.
+    tracker:
+        Optional :class:`AccessStatistics`; when given, every yielded row is
+        counted into ``rows_streamed`` (flushed in one batch when the
+        stream is exhausted or closed).
+    label:
+        Diagnostic name used by :meth:`materialize` and ``repr``.
+    """
+
+    __slots__ = ("schema", "tracker", "label", "_rows")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[tuple],
+        tracker: AccessStatistics | None = None,
+        label: str = "",
+    ) -> None:
+        self.schema = schema
+        self.tracker = tracker
+        self.label = label or schema.name
+        self._rows: Iterable[tuple] | None = rows
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, tracker: AccessStatistics | None = None
+    ) -> "RowStream":
+        """Stream an existing relation's value tuples (untracked iteration)."""
+        return cls(
+            relation.schema,
+            (record.values for record in relation),
+            tracker=tracker,
+            label=relation.name,
+        )
+
+    @classmethod
+    def empty(cls, schema: RelationSchema, label: str = "") -> "RowStream":
+        """A stream over ``schema`` that yields nothing."""
+        return cls(schema, iter(()), label=label)
+
+    # -- consumption ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple]:
+        rows = self._rows
+        if rows is None:
+            raise StreamError(
+                f"row stream {self.label!r} was already consumed; streams are single-use"
+            )
+        self._rows = None
+        if self.tracker is None:
+            yield from rows
+            return
+        count = 0
+        try:
+            for row in rows:
+                count += 1
+                yield row
+        finally:
+            self.tracker.record_rows_streamed(count)
+
+    @property
+    def consumed(self) -> bool:
+        """Whether iteration has started (streams are single-use)."""
+        return self._rows is None
+
+    def map_rows(
+        self, function: Callable[[tuple], tuple], schema: RelationSchema | None = None
+    ) -> "RowStream":
+        """A derived stream applying ``function`` to every row (pure, unbuffered)."""
+        source = self
+
+        def rows() -> Iterator[tuple]:
+            for row in source:
+                yield function(row)
+
+        return RowStream(schema or self.schema, rows(), label=self.label)
+
+    def materialize(self, name: str | None = None) -> Relation:
+        """The escape hatch: drain the stream into a fresh relation.
+
+        The result schema is the stream schema, so for intermediate
+        reference relations (key = all components) duplicate rows collapse
+        through the relation's key dictionary exactly as the materialised
+        kernels' results do.
+        """
+        result = Relation(name or self.label, self.schema)
+        raw = Record.raw
+        schema = self.schema
+        result.bulk_insert_raw(raw(schema, row) for row in self)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "consumed" if self.consumed else "pending"
+        return f"RowStream({self.label!r}, {len(self.schema)} columns, {state})"

@@ -29,6 +29,7 @@ __all__ = [
     "PlanError",
     "BindingError",
     "EvaluationError",
+    "StreamError",
 ]
 
 
@@ -140,3 +141,12 @@ class BindingError(PlanError):
 
 class EvaluationError(PascalRError):
     """A runtime failure while evaluating a query."""
+
+
+class StreamError(EvaluationError):
+    """A :class:`~repro.engine.stream.RowStream` was used after consumption.
+
+    Row streams are single-use by design (they wrap live generators); a
+    second iteration is a programming error, reported loudly instead of
+    silently yielding an empty result.
+    """

@@ -8,15 +8,27 @@ module implements those operators — plus the semijoin/antijoin pair the paper
 relates to Bernstein & Chiu's semi-join technique — for arbitrary relations,
 whether their components are ordinary values or references.
 
+Every hot kernel comes in two forms:
+
+* a **streaming variant** (``stream_*``) that consumes a
+  :class:`~repro.engine.stream.RowStream` on its pipeline side and produces a
+  new ``RowStream``, buffering tuples only where the operator is a genuine
+  pipeline breaker (division's group table, union's dedup state); build
+  sides (hash tables, key sets) are taken from already-materialised
+  relations, and
+* the classic **``Relation``-returning signature**, now a thin materialising
+  wrapper over the streaming variant, so existing callers keep working
+  unchanged while the engine migrates incrementally.
+
 All operators are pure functions: they never modify their operands and return
-fresh relations.  Schema compatibility problems raise
+fresh relations (or single-use streams).  Schema compatibility problems raise
 :class:`~repro.errors.AlgebraError`.
 """
 
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import AlgebraError
 from repro.relational.record import Record
@@ -39,8 +51,17 @@ __all__ = [
     "divide",
     "semijoin",
     "antijoin",
+    "theta_semijoin",
     "extend_product",
     "distinct_values",
+    "stream_select",
+    "stream_project",
+    "stream_join",
+    "stream_natural_join",
+    "stream_semijoin",
+    "stream_theta_semijoin",
+    "stream_union",
+    "stream_divide",
 ]
 
 
@@ -68,6 +89,377 @@ def _values_getter(schema: RelationSchema, field_names: Sequence[str]) -> Callab
     return itemgetter(*positions)
 
 
+def _key_getter(schema: RelationSchema) -> Callable[[tuple], tuple] | None:
+    """Once-per-call key extraction, or ``None`` when the key is the full row."""
+    if schema.key == schema.field_names:
+        return None
+    return _values_getter(schema, schema.key)
+
+
+# ======================================================================== streaming kernels
+#
+# The pipeline side of every streaming kernel is a RowStream of raw value
+# tuples; build sides are materialised relations (in the engine those are the
+# collection-phase structures, which exist regardless).  The kernels import
+# RowStream lazily: ``repro.relational`` must stay importable without pulling
+# the whole ``repro.engine`` package in at module-import time.
+
+
+def _row_stream(schema: RelationSchema, rows: Iterable[tuple], label: str):
+    from repro.engine.stream import RowStream
+
+    return RowStream(schema, rows, label=label)
+
+
+def stream_select(source, predicate: Callable[[Record], bool], name: str | None = None):
+    """Streaming restriction: rows whose record satisfies ``predicate``."""
+    schema = source.schema
+
+    def rows() -> Iterator[tuple]:
+        raw = Record.raw
+        for values in source:
+            if predicate(raw(schema, values)):
+                yield values
+
+    return _row_stream(schema, rows(), name or f"select_{source.label}")
+
+
+def stream_project(
+    source,
+    field_names: Sequence[str],
+    name: str | None = None,
+    dedup: bool = False,
+    live=None,
+):
+    """Streaming projection on ``field_names``.
+
+    With ``dedup=False`` (the default) duplicates pass through — the caller
+    either tolerates them or collapses them later (``materialize()`` and the
+    union stage both do).  With ``dedup=True`` the operator keeps a seen-set
+    and emits each distinct projection exactly *once, the first time a
+    witness arrives* — the streaming form of existential-quantifier
+    elimination.  The seen-set is breaker state, reported to ``live``.
+    """
+    schema = source.schema.project(field_names, name or f"{source.label}_projection")
+    identity = tuple(field_names) == source.schema.field_names
+    getter = None if identity else _values_getter(source.schema, field_names)
+
+    def rows() -> Iterator[tuple]:
+        if not dedup:
+            if identity:
+                yield from source
+            else:
+                for values in source:
+                    yield getter(values)
+            return
+        seen: set[tuple] = set()
+        add = seen.add
+        try:
+            for values in source:
+                out = values if identity else getter(values)
+                if out in seen:
+                    continue
+                add(out)
+                if live is not None:
+                    live.acquire()
+                yield out
+        finally:
+            if live is not None:
+                live.release(len(seen))
+
+    return _row_stream(schema, rows(), schema.name)
+
+
+def stream_join(
+    source,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+):
+    """Streaming equi-join keeping both operands in full (hash build on ``right``)."""
+    schema = source.schema.concat(
+        right.schema, name or f"{source.label}_join_{right.name}"
+    )
+    left_key = _values_getter(source.schema, [pair[0] for pair in on])
+    right_key = _values_getter(right.schema, [pair[1] for pair in on])
+    buckets: dict[tuple, list[tuple]] = {}
+    for right_record in right:
+        values = right_record.values
+        buckets.setdefault(right_key(values), []).append(values)
+
+    def rows() -> Iterator[tuple]:
+        probes = 0
+        matches = 0
+        get_bucket = buckets.get
+        try:
+            for values in source:
+                probes += 1
+                partners = get_bucket(left_key(values))
+                if partners:
+                    matches += len(partners)
+                    for right_values in partners:
+                        yield values + right_values
+        finally:
+            if tracker is not None:
+                tracker.record_comparison(probes + matches)
+
+    return _row_stream(schema, rows(), schema.name)
+
+
+def stream_natural_join(
+    source,
+    right: Relation,
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+):
+    """Streaming natural join on the common components (hash build on ``right``).
+
+    The common components appear once in the output (the stream's copy).
+    With no common component this degenerates to the streaming Cartesian
+    product — the ``extend_product`` of the combination phase.  One
+    comparison is recorded per probe and per matching pair, flushed when the
+    pipeline closes.
+    """
+    left_schema = source.schema
+    right_names = set(right.schema.field_names)
+    common = [f for f in left_schema.field_names if f in right_names]
+    right_only = [f for f in right.schema.field_names if f not in common]
+    fields = list(left_schema.fields) + [
+        Field(f, right.schema.field_type(f)) for f in right_only
+    ]
+    schema = RelationSchema(name or f"{source.label}_nj_{right.name}", fields, key=None)
+    right_key = _values_getter(right.schema, common)
+    left_key = _values_getter(left_schema, common)
+    right_rest = _values_getter(right.schema, right_only)
+    buckets: dict[tuple, list[tuple]] = {}
+    for right_record in right:
+        values = right_record.values
+        buckets.setdefault(right_key(values), []).append(right_rest(values))
+
+    def rows() -> Iterator[tuple]:
+        probes = 0
+        matches = 0
+        get_bucket = buckets.get
+        try:
+            for values in source:
+                probes += 1
+                partners = get_bucket(left_key(values))
+                if partners:
+                    matches += len(partners)
+                    for rest in partners:
+                        yield values + rest
+        finally:
+            if tracker is not None:
+                tracker.record_comparison(probes + matches)
+
+    return _row_stream(schema, rows(), schema.name)
+
+
+def stream_semijoin(
+    source,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+):
+    """Streaming semi-join: rows of the stream with at least one partner.
+
+    Membership is a single set probe per row — the partner group is never
+    enumerated, which is what makes this the short-circuit form of
+    existential-quantifier elimination inside a join chain.
+    """
+    schema = source.schema
+    left_getter = _values_getter(schema, [pair[0] for pair in on])
+    right_getter = _values_getter(right.schema, [pair[1] for pair in on])
+    right_keys = {right_getter(record.values) for record in right}
+
+    def rows() -> Iterator[tuple]:
+        probes = 0
+        try:
+            for values in source:
+                probes += 1
+                if left_getter(values) in right_keys:
+                    yield values
+        finally:
+            if tracker is not None:
+                tracker.record_comparison(probes)
+
+    return _row_stream(schema, rows(), name or f"{source.label}_semijoin_{right.name}")
+
+
+def stream_theta_semijoin(
+    source,
+    right: Relation,
+    on: Sequence[tuple[str, str, str]],
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+):
+    """Streaming semi-join under arbitrary comparison operators.
+
+    ``on`` holds ``(left_field, operator, right_field)`` triples; probing
+    stops at the first satisfying partner (short-circuit).
+    """
+    schema = source.schema
+    left_getter = _values_getter(schema, [lf for lf, _, _ in on])
+    right_getter = _values_getter(right.schema, [rf for _, _, rf in on])
+    operators = [op for _, op, _ in on]
+    right_tuples = [right_getter(record.values) for record in right]
+
+    def rows() -> Iterator[tuple]:
+        probes = 0
+        try:
+            for values in source:
+                probes += 1
+                left_values = left_getter(values)
+                for right_values in right_tuples:
+                    if all(
+                        compare_values(op, lv, rv)
+                        for op, lv, rv in zip(operators, left_values, right_values)
+                    ):
+                        yield values
+                        break
+        finally:
+            if tracker is not None:
+                tracker.record_comparison(probes)
+
+    return _row_stream(schema, rows(), name or f"{source.label}_tsemijoin_{right.name}")
+
+
+def stream_union(
+    sources: Sequence,
+    schema: RelationSchema | None = None,
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+    live=None,
+    dedup: bool = True,
+):
+    """Streaming union of several row streams over the same components.
+
+    Rows of earlier sources win on key collisions (matching the historical
+    "left wins" behaviour of the materialised operator).  The dedup set is
+    the union's breaker *state* — rows still flow through one at a time, but
+    the set of keys seen so far stays live for the life of the operator and
+    is reported to ``live``.  One comparison is recorded per row arriving
+    from any source after the first (the rows the materialised operator
+    checked against the accumulating result).
+    """
+    sources = list(sources)
+    if not sources and schema is None:
+        raise AlgebraError("stream_union needs at least one source or an explicit schema")
+    out_schema = schema if schema is not None else sources[0].schema
+    key_of = _key_getter(out_schema)
+
+    def rows() -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        add = seen.add
+        checked = 0
+        try:
+            for position, source in enumerate(sources):
+                for values in source:
+                    if position:
+                        checked += 1
+                    if dedup:
+                        key = values if key_of is None else key_of(values)
+                        if key in seen:
+                            continue
+                        add(key)
+                        if live is not None:
+                            live.acquire()
+                    yield values
+        finally:
+            if live is not None:
+                live.release(len(seen))
+            if tracker is not None and checked:
+                tracker.record_comparison(checked)
+
+    return _row_stream(out_schema, rows(), name or "union")
+
+
+def stream_divide(
+    source,
+    divisor: Relation,
+    by: Sequence[tuple[str, str]],
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+    live=None,
+):
+    """Streaming relational division — the universal-quantifier breaker.
+
+    ``by`` pairs each divisor component with the dividend component it must
+    match.  Division is a genuine pipeline breaker: the whole input must be
+    seen before any group is known to match every divisor element, so the
+    operator buffers a ``{group: matched values}`` table (reported to
+    ``live``) and then emits the qualifying groups *group-wise* — each
+    surviving group exactly once, without materialising an output relation.
+
+    An empty divisor degenerates to the deduplicating projection on the
+    remaining components (the vacuous-truth convention).
+    """
+    divisor_fields = [pair[0] for pair in by]
+    dividend_match_fields = [pair[1] for pair in by]
+    for f in divisor_fields:
+        if not divisor.schema.has_field(f):
+            raise AlgebraError(f"divisor has no component {f!r}")
+    for f in dividend_match_fields:
+        if not source.schema.has_field(f):
+            raise AlgebraError(f"dividend has no component {f!r}")
+    remaining = [f for f in source.schema.field_names if f not in dividend_match_fields]
+    if not remaining:
+        raise AlgebraError("division would eliminate every dividend component")
+    schema = source.schema.project(remaining, name or f"{source.label}_div_{divisor.name}")
+    divisor_getter = _values_getter(divisor.schema, divisor_fields)
+    required = {divisor_getter(record.values) for record in divisor}
+    group_getter = _values_getter(source.schema, remaining)
+    match_getter = _values_getter(source.schema, dividend_match_fields)
+
+    def rows() -> Iterator[tuple]:
+        if not required:
+            seen: set[tuple] = set()
+            try:
+                for values in source:
+                    group = group_getter(values)
+                    if group in seen:
+                        continue
+                    seen.add(group)
+                    if live is not None:
+                        live.acquire()
+                    yield group
+            finally:
+                if live is not None:
+                    live.release(len(seen))
+            return
+        groups: dict[tuple, set] = {}
+        consumed = 0
+        buffered = 0
+        try:
+            for values in source:
+                consumed += 1
+                group = group_getter(values)
+                matches = groups.get(group)
+                if matches is None:
+                    matches = groups[group] = set()
+                value = match_getter(values)
+                if value not in matches:
+                    matches.add(value)
+                    buffered += 1
+                    if live is not None:
+                        live.acquire()
+            if tracker is not None:
+                tracker.record_comparison(consumed + len(groups) * len(required))
+            for group, matches in groups.items():
+                if required <= matches:
+                    yield group
+        finally:
+            if live is not None:
+                live.release(buffered)
+
+    return _row_stream(schema, rows(), schema.name)
+
+
+# ================================================================== materialising kernels
+
+
 def select(relation: Relation, predicate: Callable[[Record], bool], name: str | None = None) -> Relation:
     """Restriction: the elements of ``relation`` satisfying ``predicate``."""
     result = Relation(name or f"select_{relation.name}", relation.schema)
@@ -86,16 +478,19 @@ def project(
     """Projection on ``field_names`` with duplicate elimination.
 
     This is the operator used for *existential* quantifier elimination in the
-    combination phase: projecting an n-tuple reference relation on the columns
-    of the remaining variables.  Duplicates collapse through the result
-    relation's key dictionary (its key covers all components), so no
-    per-record lookup is needed.
+    materialised combination phase: projecting an n-tuple reference relation
+    on the columns of the remaining variables.  A thin wrapper over
+    :func:`stream_project`; duplicates collapse through the result relation's
+    key dictionary (its key covers all components).
     """
-    schema = relation.schema.project(field_names, name or f"project_{relation.name}")
-    result = Relation(schema.name, schema)
-    getter = _values_getter(relation.schema, field_names)
-    raw = Record.raw
-    result.bulk_insert_raw(raw(schema, getter(record.values)) for record in relation)
+    from repro.engine.stream import RowStream
+
+    stream = stream_project(
+        RowStream.from_relation(relation),
+        field_names,
+        name=name or f"project_{relation.name}",
+    )
+    result = stream.materialize()
     if tracker is not None:
         tracker.record_intermediate(len(result))
     return result
@@ -110,7 +505,12 @@ def rename(relation: Relation, mapping: Mapping[str, str], name: str | None = No
     return result
 
 
-def product(left: Relation, right: Relation, name: str | None = None) -> Relation:
+def product(
+    left: Relation,
+    right: Relation,
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+) -> Relation:
     """Cartesian product.  Component names must not clash."""
     schema = left.schema.concat(right.schema, name or f"{left.name}_x_{right.name}")
     result = Relation(schema.name, schema)
@@ -118,6 +518,8 @@ def product(left: Relation, right: Relation, name: str | None = None) -> Relatio
     for left_record in left:
         for right_record in right_records:
             result.insert(Record.raw(schema, left_record.values + right_record.values))
+    if tracker is not None:
+        tracker.record_intermediate(len(result))
     return result
 
 
@@ -148,29 +550,21 @@ def join(
 
     The joined-on right components are *kept* (both operands appear in full),
     matching the paper's combination step where shared reference columns are
-    compared (``cl.cref = c2.cref`` in Example 3.2).  Uses a hash join so
-    the cost is linear in the operand sizes plus the output size.
+    compared (``cl.cref = c2.cref`` in Example 3.2).  A thin wrapper over
+    :func:`stream_join`, so the cost is linear in the operand sizes plus the
+    output size (hash join).
     """
     if not on:
         return product(left, right, name)
-    left_fields = [pair[0] for pair in on]
-    right_fields = [pair[1] for pair in on]
-    schema = left.schema.concat(right.schema, name or f"{left.name}_join_{right.name}")
-    result = Relation(schema.name, schema)
-    right_key = _values_getter(right.schema, right_fields)
-    left_key = _values_getter(left.schema, left_fields)
-    buckets: dict[tuple, list[tuple]] = {}
-    for right_record in right:
-        buckets.setdefault(right_key(right_record.values), []).append(right_record.values)
-    raw = Record.raw
-    get_bucket = buckets.get
-    for left_record in left:
-        values = left_record.values
-        partners = get_bucket(left_key(values))
-        if partners:
-            for right_values in partners:
-                result.insert(raw(schema, values + right_values))
-    return result
+    from repro.engine.stream import RowStream
+
+    stream = stream_join(
+        RowStream.from_relation(left),
+        right,
+        on,
+        name=name or f"{left.name}_join_{right.name}",
+    )
+    return stream.materialize()
 
 
 def natural_join(
@@ -183,38 +577,21 @@ def natural_join(
 
     The common components appear once in the result (left operand's copy).
     This is the join used when combining single lists and indirect joins that
-    share a variable's reference column.  Hash join: one comparison is
-    recorded per probe and per matching pair, and the result size is recorded
-    as an intermediate relation when a ``tracker`` is supplied.
+    share a variable's reference column.  A thin wrapper over
+    :func:`stream_natural_join`: one comparison is recorded per probe and per
+    matching pair, and the result size is recorded as an intermediate
+    relation when a ``tracker`` is supplied.
     """
-    right_names = set(right.schema.field_names)
-    common = [f for f in left.schema.field_names if f in right_names]
-    right_only = [f for f in right.schema.field_names if f not in common]
-    fields = list(left.schema.fields) + [
-        Field(f, right.schema.field_type(f)) for f in right_only
-    ]
-    schema = RelationSchema(name or f"{left.name}_nj_{right.name}", fields, key=None)
-    result = Relation(schema.name, schema)
-    right_key = _values_getter(right.schema, common)
-    left_key = _values_getter(left.schema, common)
-    right_rest = _values_getter(right.schema, right_only)
-    buckets: dict[tuple, list[tuple]] = {}
-    for right_record in right:
-        values = right_record.values
-        buckets.setdefault(right_key(values), []).append(right_rest(values))
-    raw = Record.raw
-    insert = result.insert_raw
-    get_bucket = buckets.get
-    matches = 0
-    for left_record in left:
-        values = left_record.values
-        partners = get_bucket(left_key(values))
-        if partners:
-            matches += len(partners)
-            for rest in partners:
-                insert(raw(schema, values + rest))
+    from repro.engine.stream import RowStream
+
+    stream = stream_natural_join(
+        RowStream.from_relation(left),
+        right,
+        name=name or f"{left.name}_nj_{right.name}",
+        tracker=tracker,
+    )
+    result = stream.materialize()
     if tracker is not None:
-        tracker.record_comparison(len(left) + matches)
         tracker.record_intermediate(len(result))
     return result
 
@@ -228,46 +605,53 @@ def union(
     """Set union of two relations over the same components.
 
     Elements of ``left`` win on key collisions (matching the historical
-    behaviour of inserting ``left`` first and skipping present keys).
+    behaviour of inserting ``left`` first and skipping present keys).  A thin
+    wrapper over :func:`stream_union`; key positions are resolved once per
+    call, not once per record.
     """
     _require_same_schema(left, right, "union")
-    schema = left.schema
-    result = Relation(name or f"{left.name}_union_{right.name}", schema)
+    from repro.engine.stream import RowStream
+
+    stream = stream_union(
+        (RowStream.from_relation(left), RowStream.from_relation(right)),
+        schema=left.schema,
+        tracker=tracker,
+    )
+    result = Relation(name or f"{left.name}_union_{right.name}", left.schema)
     raw = Record.raw
-    insert = result.insert_raw
-    for record in left:
-        insert(raw(schema, record.values))
-    key_of = schema.key_of
-    find = result.find
-    for record in right:
-        values = record.values
-        if find(key_of(values)) is None:
-            insert(raw(schema, values))
+    schema = left.schema
+    result.bulk_insert_raw(raw(schema, values) for values in stream)
     if tracker is not None:
-        tracker.record_comparison(len(right))
         tracker.record_intermediate(len(result))
     return result
 
 
 def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """Set difference ``left - right``."""
+    """Set difference ``left - right``.
+
+    The schemas are component-wise identical (checked), so membership is
+    decided on raw value tuples — positions resolve once per call instead of
+    building and hashing a record per element.
+    """
     _require_same_schema(left, right, "difference")
-    right_set = right.to_set()
+    right_values = {record.values for record in right}
     result = Relation(name or f"{left.name}_minus_{right.name}", left.schema)
+    insert = result.insert_raw
     for record in left:
-        if Record.raw(right.schema, record.values) not in right_set:
-            result.insert(record)
+        if record.values not in right_values:
+            insert(record)
     return result
 
 
 def intersection(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """Set intersection."""
+    """Set intersection (value-tuple membership, positions resolved once per call)."""
     _require_same_schema(left, right, "intersection")
-    right_set = right.to_set()
+    right_values = {record.values for record in right}
     result = Relation(name or f"{left.name}_and_{right.name}", left.schema)
+    insert = result.insert_raw
     for record in left:
-        if Record.raw(right.schema, record.values) in right_set:
-            result.insert(record)
+        if record.values in right_values:
+            insert(record)
     return result
 
 
@@ -283,50 +667,25 @@ def divide(
     ``by`` pairs each divisor component with the dividend component it must
     match, e.g. ``[("p_ref", "p_ref")]``.  The result keeps the remaining
     dividend components and contains a combination exactly when it appears in
-    the dividend together with *every* element of the divisor.
+    the dividend together with *every* element of the divisor.  A thin
+    wrapper over :func:`stream_divide`.
 
     An empty divisor yields the projection of the dividend on the remaining
     components (the vacuous-truth convention); the engine normally removes
     empty ranges beforehand via the Lemma 1 runtime adaptation, so this case
     only arises in direct algebra use.
     """
-    divisor_fields = [pair[0] for pair in by]
-    dividend_match_fields = [pair[1] for pair in by]
-    for f in divisor_fields:
-        if not divisor.schema.has_field(f):
-            raise AlgebraError(f"divisor has no component {f!r}")
-    for f in dividend_match_fields:
-        if not dividend.schema.has_field(f):
-            raise AlgebraError(f"dividend has no component {f!r}")
-    remaining = [f for f in dividend.schema.field_names if f not in dividend_match_fields]
-    if not remaining:
-        raise AlgebraError("division would eliminate every dividend component")
-    result_schema = dividend.schema.project(remaining, name or f"{dividend.name}_div_{divisor.name}")
-    result = Relation(result_schema.name, result_schema)
-    raw = Record.raw
+    from repro.engine.stream import RowStream
 
-    divisor_getter = _values_getter(divisor.schema, divisor_fields)
-    required = {divisor_getter(rec.values) for rec in divisor}
-    group_getter = _values_getter(dividend.schema, remaining)
-    if not required:
-        result.bulk_insert_raw(
-            raw(result_schema, group_getter(record.values)) for record in dividend
-        )
-        if tracker is not None:
-            tracker.record_intermediate(len(result))
-        return result
-
-    match_getter = _values_getter(dividend.schema, dividend_match_fields)
-    seen: dict[tuple, set] = {}
-    for record in dividend:
-        values = record.values
-        seen.setdefault(group_getter(values), set()).add(match_getter(values))
-    insert = result.insert_raw
-    for group, matches in seen.items():
-        if required <= matches:
-            insert(raw(result_schema, group))
+    stream = stream_divide(
+        RowStream.from_relation(dividend),
+        divisor,
+        by,
+        name=name or f"{dividend.name}_div_{divisor.name}",
+        tracker=tracker,
+    )
+    result = stream.materialize()
     if tracker is not None:
-        tracker.record_comparison(len(dividend) + len(seen) * len(required))
         tracker.record_intermediate(len(result))
     return result
 
@@ -343,21 +702,19 @@ def semijoin(
     This is the operation Bernstein & Chiu's technique is built on; Section 4.4
     interprets it as existential-quantifier evaluation in the collection phase,
     and the combination-phase reducer pass uses it to shrink conjunct
-    structures before any n-tuple join.
+    structures before any n-tuple join.  A thin wrapper over
+    :func:`stream_semijoin`.
     """
-    left_fields = [pair[0] for pair in on]
-    right_fields = [pair[1] for pair in on]
-    right_getter = _values_getter(right.schema, right_fields)
-    left_getter = _values_getter(left.schema, left_fields)
-    right_keys = {right_getter(rec.values) for rec in right}
-    result = Relation(name or f"{left.name}_semijoin_{right.name}", left.schema)
-    insert = result.insert_raw
-    for record in left:
-        if left_getter(record.values) in right_keys:
-            insert(record)
-    if tracker is not None:
-        tracker.record_comparison(len(left))
-    return result
+    from repro.engine.stream import RowStream
+
+    stream = stream_semijoin(
+        RowStream.from_relation(left),
+        right,
+        on,
+        name=name or f"{left.name}_semijoin_{right.name}",
+        tracker=tracker,
+    )
+    return stream.materialize()
 
 
 def antijoin(
@@ -380,6 +737,7 @@ def antijoin(
             insert(record)
     if tracker is not None:
         tracker.record_comparison(len(left))
+        tracker.record_intermediate(len(result))
     return result
 
 
@@ -388,46 +746,46 @@ def theta_semijoin(
     right: Relation,
     on: Sequence[tuple[str, str, str]],
     name: str | None = None,
+    tracker: AccessStatistics | None = None,
 ) -> Relation:
     """Semi-join under arbitrary comparison operators.
 
     ``on`` holds ``(left_field, operator, right_field)`` triples; an element of
     ``left`` qualifies when some element of ``right`` satisfies every triple.
     Used by the general collection-phase quantifier evaluation of Strategy 4
-    when the connecting join term is not an equality.
+    when the connecting join term is not an equality.  A thin wrapper over
+    :func:`stream_theta_semijoin`.
     """
-    result = Relation(name or f"{left.name}_tsemijoin_{right.name}", left.schema)
-    left_getter = _values_getter(left.schema, [lf for lf, _, _ in on])
-    right_getter = _values_getter(right.schema, [rf for _, _, rf in on])
-    operators = [op for _, op, _ in on]
-    right_tuples = [right_getter(record.values) for record in right]
-    for left_record in left:
-        left_values = left_getter(left_record.values)
-        for right_values in right_tuples:
-            if all(
-                compare_values(op, lv, rv)
-                for op, lv, rv in zip(operators, left_values, right_values)
-            ):
-                result.insert(left_record)
-                break
-    return result
+    from repro.engine.stream import RowStream
+
+    stream = stream_theta_semijoin(
+        RowStream.from_relation(left),
+        right,
+        on,
+        name=name or f"{left.name}_tsemijoin_{right.name}",
+        tracker=tracker,
+    )
+    return stream.materialize()
 
 
-def extend_product(relation: Relation, extra: Relation, name: str | None = None) -> Relation:
+def extend_product(
+    relation: Relation,
+    extra: Relation,
+    name: str | None = None,
+    tracker: AccessStatistics | None = None,
+) -> Relation:
     """Cartesian-product extension used by the combination phase.
 
     When a conjunction of the disjunctive normal form does not mention some
     variable at all, its n-tuple reference relation must still carry a column
     for that variable ranging over *all* elements of the variable's range
     (Section 3.3 builds n-tuples for *all* n variables).  This helper is a
-    named, intention-revealing wrapper around :func:`product`.
+    named, intention-revealing wrapper around :func:`product`; like the other
+    kernels it reports its result size as an intermediate relation.
     """
-    return product(relation, extra, name)
+    return product(relation, extra, name, tracker=tracker)
 
 
 def distinct_values(relation: Relation, field_name: str) -> set:
     """The set of distinct values of one component (used for value lists)."""
     return {record[field_name] for record in relation}
-
-
-__all__.append("theta_semijoin")

@@ -110,6 +110,8 @@ class AccessStatistics:
         self.reductions = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.rows_streamed = 0
+        self.operators_pipelined = 0
 
     # -- phase management -----------------------------------------------------
 
@@ -189,6 +191,19 @@ class AccessStatistics:
             self.plan_cache_hits += 1
         else:
             self.plan_cache_misses += 1
+
+    def record_rows_streamed(self, count: int = 1) -> None:
+        """``count`` tuples flowed through a streaming pipeline operator.
+
+        Counted once per operator a row passes, so the total is a pipeline
+        *throughput* measure (a row crossing three operators counts three
+        times), not a result-size measure.
+        """
+        self.rows_streamed += count
+
+    def record_operator_pipelined(self, count: int = 1) -> None:
+        """``count`` streaming (non-materialising) operators were instantiated."""
+        self.operators_pipelined += count
 
     def record_reduction(self, removed: int) -> None:
         """One semijoin application of the reducer removed ``removed`` tuples.
@@ -280,6 +295,10 @@ class AccessStatistics:
         lines.append(
             f"semijoin reducer: reducing semijoins={self.reductions} "
             f"tuples removed={self.reduced_tuples}"
+        )
+        lines.append(
+            f"pipeline: operators={self.operators_pipelined} "
+            f"rows streamed={self.rows_streamed}"
         )
         return "\n".join(lines)
 

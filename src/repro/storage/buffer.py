@@ -1,8 +1,19 @@
-"""A small LRU buffer pool over heap-file pages.
+"""A small LRU buffer pool over heap-file pages, with pinning.
 
 The pool exists so the benchmark harness can report buffer hit rates when a
 relation is scanned repeatedly — which is exactly the behaviour Strategy 1
 (parallel evaluation of subexpressions) is designed to avoid.
+
+Pinning exists for the streaming executor: a :class:`StoredRelation` scan is
+a generator that can stay parked on a page for the whole life of a pipeline
+(a streamed join consumes its input row-by-row, interleaved with whatever
+else the query is doing).  The scan pins its current page, so buffer-pool
+reuse by concurrent scans can neither evict the frame under the iterator
+nor, in a real system, hand its slot to different bytes mid-iteration.
+Pinned frames are skipped by LRU eviction (the pool temporarily overflows
+when every frame is pinned); deliberate invalidation still drops them — the
+parked iterator keeps reading the page object it captured, while later
+fetches re-read the rewritten heap file instead of a stale frame.
 """
 
 from __future__ import annotations
@@ -38,11 +49,23 @@ class BufferPool:
         self.size = size
         self.tracker = tracker
         self._frames: OrderedDict[tuple[str, int], Page] = OrderedDict()
+        self._pins: dict[tuple[str, int], int] = {}
         self.hits = 0
         self.misses = 0
 
     def get_page(self, heap_file: HeapFile, page_number: int) -> Page:
         """Fetch a page through the pool, recording a hit or a miss."""
+        page = self._fetch(heap_file, page_number)
+        self._evict_excess()
+        return page
+
+    def _fetch(self, heap_file: HeapFile, page_number: int) -> Page:
+        """Resolve a frame (charging hit/miss) without running eviction.
+
+        Eviction is the caller's second step: :meth:`pin` must register its
+        pin *between* fetch and eviction, or a full pool would evict the very
+        frame it just fetched for pinning.
+        """
         frame_key = (heap_file.name, page_number)
         page = self._frames.get(frame_key)
         if page is not None:
@@ -56,12 +79,78 @@ class BufferPool:
         if self.tracker is not None:
             self.tracker.record_page_read(hit=False)
         self._frames[frame_key] = page
-        if len(self._frames) > self.size:
-            self._frames.popitem(last=False)
         return page
 
+    def _evict_excess(self) -> None:
+        """Drop least-recently-used *unpinned* frames down to capacity.
+
+        When every resident frame is pinned the pool overflows temporarily —
+        an iterator must never lose the page it is parked on.
+        """
+        while len(self._frames) > self.size:
+            victim = None
+            for frame_key in self._frames:  # OrderedDict iterates LRU-first
+                if self._pins.get(frame_key, 0) == 0:
+                    victim = frame_key
+                    break
+            if victim is None:
+                break
+            del self._frames[victim]
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, heap_file: HeapFile, page_number: int) -> Page:
+        """Fetch a page and pin its frame against eviction.
+
+        Pins nest (each :meth:`pin` needs a matching :meth:`unpin`); the
+        fetch itself is charged exactly like :meth:`get_page`.  The pin is
+        registered before eviction runs, so pinning into a full pool can
+        never evict the frame being pinned.
+        """
+        page = self._fetch(heap_file, page_number)
+        frame_key = (heap_file.name, page_number)
+        self._pins[frame_key] = self._pins.get(frame_key, 0) + 1
+        self._evict_excess()
+        return page
+
+    def unpin(self, heap_file_name: str, page_number: int) -> None:
+        """Release one pin; the frame becomes evictable when the count hits zero."""
+        frame_key = (heap_file_name, page_number)
+        count = self._pins.get(frame_key)
+        if count is None:
+            raise StorageError(
+                f"unpin of {frame_key} without a matching pin"
+            )
+        if count == 1:
+            del self._pins[frame_key]
+            self._evict_excess()
+        else:
+            self._pins[frame_key] = count - 1
+
+    def pin_count(self, heap_file_name: str, page_number: int) -> int:
+        """Current pin count of one frame (0 when unpinned)."""
+        return self._pins.get((heap_file_name, page_number), 0)
+
+    def pinned_pages(self) -> int:
+        """Number of frames currently pinned."""
+        return len(self._pins)
+
+    def is_resident(self, heap_file_name: str, page_number: int) -> bool:
+        """Whether the frame is currently in the pool."""
+        return (heap_file_name, page_number) in self._frames
+
+    # -- maintenance ----------------------------------------------------------
+
     def invalidate(self, heap_file_name: str) -> None:
-        """Drop every frame belonging to ``heap_file_name``."""
+        """Drop every frame belonging to ``heap_file_name``, pinned or not.
+
+        Pins protect a frame against LRU *reuse* eviction, not against
+        deliberate invalidation (the file was truncated or rewritten, so a
+        resident frame would serve stale pages to later readers).  An open
+        iterator is unaffected: it reads the page *object* it captured when
+        it pinned, and its later :meth:`unpin` simply drops the pin count —
+        a fresh fetch of the same page number re-reads the heap file.
+        """
         stale = [key for key in self._frames if key[0] == heap_file_name]
         for key in stale:
             del self._frames[key]
@@ -82,5 +171,5 @@ class BufferPool:
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
             f"BufferPool(size={self.size}, resident={len(self._frames)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"pinned={len(self._pins)}, hits={self.hits}, misses={self.misses})"
         )

@@ -97,15 +97,26 @@ class StoredRelation(Relation):
     # -- paged scanning --------------------------------------------------------------
 
     def scan(self) -> Iterator[Record]:
-        """Sequential scan through the buffer pool with full accounting."""
+        """Sequential scan through the buffer pool with full accounting.
+
+        The scan *pins* its current page for as long as the generator is
+        parked on it: a streamed pipeline may hold this iterator open across
+        arbitrary other work, and buffer-pool reuse by concurrent scans must
+        not evict (or, in a real system, repurpose) the frame mid-page.  The
+        pin is released when the iterator advances past the page — or when
+        the generator is closed early, via the ``finally`` clause.
+        """
         if self.tracker is not None:
             self.tracker.record_scan(self.name)
         for page_number in range(self._heap.page_count):
-            page = self._pool.get_page(self._heap, page_number)
-            for record in page.records():
-                if self.tracker is not None:
-                    self.tracker.record_element_read(self.name)
-                yield record
+            page = self._pool.pin(self._heap, page_number)
+            try:
+                for record in page.records():
+                    if self.tracker is not None:
+                        self.tracker.record_element_read(self.name)
+                    yield record
+            finally:
+                self._pool.unpin(self._heap.name, page_number)
 
     def scan_pruned(self, field_name: str, op: str, value: Any) -> Iterator[Record]:
         """Sequential scan skipping pages whose zone map refutes the predicate.
@@ -114,7 +125,8 @@ class StoredRelation(Relation):
         fetched through the buffer pool nor charged as a page read; it is
         counted in ``pages_skipped`` instead.  Yielded records are NOT
         filtered here (the zone map is conservative); the caller applies the
-        full restriction.
+        full restriction.  Fetched pages are pinned for the life of the
+        iterator's stay on them, exactly like :meth:`scan`.
         """
         if self.tracker is not None:
             self.tracker.record_scan(self.name)
@@ -123,11 +135,14 @@ class StoredRelation(Relation):
                 if self.tracker is not None:
                     self.tracker.record_pages_skipped()
                 continue
-            page = self._pool.get_page(self._heap, page_number)
-            for record in page.records():
-                if self.tracker is not None:
-                    self.tracker.record_element_read(self.name)
-                yield record
+            page = self._pool.pin(self._heap, page_number)
+            try:
+                for record in page.records():
+                    if self.tracker is not None:
+                        self.tracker.record_element_read(self.name)
+                    yield record
+            finally:
+                self._pool.unpin(self._heap.name, page_number)
 
     def fetch(self, key: tuple | Any) -> Record | None:
         """Fetch one element by key through the buffer pool (counts a page read)."""

@@ -1,8 +1,11 @@
 """Cross-engine, cross-backend equivalence: every optimized path vs. ground truth.
 
-Three axes are crossed here:
+Four axes are crossed here:
 
 * **optimizer flags** — ``join_ordering`` × ``semijoin_reduction``;
+* **execution mode** — ``streaming_execution`` on (the pull-based operator
+  pipeline) vs. off (materialise every intermediate n-tuple relation),
+  asserted byte-identical in :class:`TestStreamingEquivalence`;
 * **strategy configurations** — the representative configurations of
   ``conftest`` (scale 1) and a reduced set (scale 2);
 * **storage backend** — the plain in-memory :class:`Relation` dictionary and
@@ -196,6 +199,90 @@ class TestIndexAccessPathEquivalence:
         prepared_off = service.prepare(
             text, StrategyOptions().with_(use_index_paths=False)
         )
+        for values in bindings:
+            for _ in range(2):  # the second run exercises the collection memo
+                on = prepared_on.execute(values).relation
+                off = prepared_off.execute(values).relation
+                assert sorted(r.values for r in on) == sorted(
+                    r.values for r in off
+                ), (workload_name, values)
+
+
+class TestStreamingEquivalence:
+    """``streaming_execution`` on/off × the full existing matrix.
+
+    Streamed execution must be byte-identical to materialised execution (and
+    to the naive ground truth) across every strategy configuration, optimizer
+    flag combination, storage backend and access-path choice the suite
+    already crosses.
+    """
+
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_streaming_on_off_byte_identical_on_figure1(
+        self, figure1_backend, backend, query_name, strategy_options
+    ):
+        expected = execute_naive(figure1_backend, QUERIES[query_name])
+        on = QueryEngine(
+            figure1_backend, strategy_options.with_(streaming_execution=True)
+        ).execute(QUERIES[query_name])
+        off = QueryEngine(
+            figure1_backend, strategy_options.with_(streaming_execution=False)
+        ).execute(QUERIES[query_name])
+        assert on.relation == expected
+        assert off.relation == expected
+        assert sorted(r.values for r in on.relation) == sorted(
+            r.values for r in off.relation
+        )
+        _assert_page_counters_sane(figure1_backend, backend)
+
+    @pytest.mark.parametrize("flags", OPTIMIZER_FLAGS, ids=_flag_id)
+    @pytest.mark.parametrize("config_name", sorted(SCALE2_CONFIGS))
+    def test_streaming_on_off_byte_identical_at_scale2(
+        self, scale2_backend, backend, config_name, flags
+    ):
+        ordering, reduction = flags
+        base = SCALE2_CONFIGS[config_name].with_(
+            join_ordering=ordering, semijoin_reduction=reduction
+        )
+        for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
+            on = QueryEngine(
+                scale2_backend, base.with_(streaming_execution=True)
+            ).execute(QUERIES[query_name])
+            off = QueryEngine(
+                scale2_backend, base.with_(streaming_execution=False)
+            ).execute(QUERIES[query_name])
+            assert sorted(r.values for r in on.relation) == sorted(
+                r.values for r in off.relation
+            ), (config_name, query_name)
+        _assert_page_counters_sane(scale2_backend, backend)
+
+    @pytest.mark.parametrize(
+        "index_paths", (False, True), ids=("indexpaths=off", "indexpaths=on")
+    )
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_streaming_crossed_with_index_paths(
+        self, indexed_backend, backend, query_name, index_paths
+    ):
+        expected = execute_naive(indexed_backend, QUERIES[query_name])
+        base = StrategyOptions().with_(use_index_paths=index_paths)
+        on = QueryEngine(
+            indexed_backend, base.with_(streaming_execution=True)
+        ).execute(QUERIES[query_name])
+        off = QueryEngine(
+            indexed_backend, base.with_(streaming_execution=False)
+        ).execute(QUERIES[query_name])
+        assert on.relation == expected
+        assert sorted(r.values for r in on.relation) == sorted(
+            r.values for r in off.relation
+        ), query_name
+        _assert_page_counters_sane(indexed_backend, backend)
+
+    @pytest.mark.parametrize("workload_name", sorted(parameterized_queries()))
+    def test_prepared_streaming_on_off_byte_identical(self, figure1_backend, workload_name):
+        text, bindings = parameterized_queries()[workload_name]
+        service = QueryService(figure1_backend)
+        prepared_on = service.prepare(text, StrategyOptions().with_(streaming_execution=True))
+        prepared_off = service.prepare(text, StrategyOptions().with_(streaming_execution=False))
         for values in bindings:
             for _ in range(2):  # the second run exercises the collection memo
                 on = prepared_on.execute(values).relation
