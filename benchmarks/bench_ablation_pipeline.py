@@ -30,7 +30,7 @@ def test_running_query_configurations(benchmark, scale, config_name):
     """Time the running query under each configuration."""
     database = build_university_database(scale=scale)
     engine = QueryEngine(database, CONFIGURATIONS[config_name])
-    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    result = benchmark(engine.run, EXAMPLE_21_TEXT)
     assert result.relation == execute_naive(database, EXAMPLE_21_TEXT)
 
 
@@ -38,7 +38,7 @@ def test_running_query_configurations(benchmark, scale, config_name):
 def test_full_optimizer_on_each_query(benchmark, query_name):
     database = build_university_database(scale=4)
     engine = QueryEngine(database, StrategyOptions.all_strategies())
-    result = benchmark(engine.execute, QUERIES[query_name])
+    result = benchmark(engine.run, QUERIES[query_name])
     assert len(result.relation) >= 0
 
 

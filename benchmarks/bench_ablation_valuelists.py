@@ -56,7 +56,7 @@ def test_shortcut_queries(benchmark, query_name, label, options):
     database = build_university_database(scale=4)
     engine = QueryEngine(database, options)
     query = QUERIES[query_name]
-    result = benchmark(engine.execute, query)
+    result = benchmark(engine.run, query)
     assert result.relation == execute_naive(database, query)
 
 
@@ -75,8 +75,8 @@ def test_value_list_queries_avoid_combination_blowup():
     database = build_university_database(scale=4)
     engine = QueryEngine(database)
     for query in QUERIES.values():
-        with_s4 = engine.execute(query, options=WITH_S4)
-        without_s4 = engine.execute(query, options=WITHOUT_S4)
+        with_s4 = engine.run(query, options=WITH_S4)
+        without_s4 = engine.run(query, options=WITHOUT_S4)
         assert with_s4.relation == without_s4.relation
         assert with_s4.combination.peak_tuples <= without_s4.combination.peak_tuples
 

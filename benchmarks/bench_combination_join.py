@@ -66,7 +66,7 @@ def test_results_identical_across_configurations(university_medium, query_name):
     text = QUERIES[query_name]
     expected = execute_naive(university_medium, text)
     for options in CONFIGURATIONS.values():
-        assert QueryEngine(university_medium, options).execute(text).relation == expected
+        assert QueryEngine(university_medium, options).run(text).relation == expected
 
 
 def test_semijoin_reduces_peak_on_showcase_query(university_medium):
@@ -105,5 +105,5 @@ def test_report_combination_optimizer(university_small, university_medium, query
 def test_timing_ordered_semijoin(benchmark, university_medium):
     """pytest-benchmark timing of the fully optimized combination pipeline."""
     engine = QueryEngine(university_medium, CONFIGURATIONS["ordered+semijoin"])
-    result = benchmark(lambda: engine.execute(OTHERS_PUBLISHED_1977_TEXT))
+    result = benchmark(lambda: engine.run(OTHERS_PUBLISHED_1977_TEXT))
     assert len(result.relation) > 0

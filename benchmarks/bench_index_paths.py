@@ -32,7 +32,7 @@ import time
 
 import pytest
 
-from repro import QueryService, StrategyOptions
+from repro import StrategyOptions, connect
 from repro.bench.report import print_report
 from repro.workloads.university import UniversityProfile, build_university_database
 
@@ -85,7 +85,7 @@ def _latency(prepared, bindings, rounds: int = 3) -> float:
 
 def _measure_point(scale: int) -> dict:
     database = _database(scale)
-    service = QueryService(database)
+    service = connect(database).service
     indexed = service.prepare(POINT_TEXT)
     scanned = service.prepare(POINT_TEXT, SCAN_OPTIONS)
     bindings = _point_bindings(scale)
@@ -133,7 +133,7 @@ class TestPointQuerySpeedup:
 class TestSortedIndexRange:
     def test_range_probe_identical_and_counted(self):
         database = _database(SCALES[0])
-        service = QueryService(database)
+        service = connect(database).service
         indexed = service.prepare(SORTED_TEXT)
         scanned = service.prepare(SORTED_TEXT, SCAN_OPTIONS)
         bindings = [{"year": y} for y in (1971, 1975, 1977, 1980)]
@@ -146,7 +146,7 @@ class TestSortedIndexRange:
 class TestZoneMapPruning:
     def test_pruned_scan_skips_pages_and_matches_scan(self):
         database = _database(SCALES[0])
-        service = QueryService(database)
+        service = connect(database).service
         pruned = service.prepare(ZONE_TEXT)
         scanned = service.prepare(ZONE_TEXT, SCAN_OPTIONS)
         bindings = [{"limit": 10}, {"limit": 40}, {"limit": 9999}]
@@ -176,7 +176,7 @@ def test_report_index_path_latency():
 def test_timing_indexed_point_query(benchmark):
     """pytest-benchmark timing of one indexed prepared point execution."""
     database = _database(SCALES[0])
-    service = QueryService(database)
+    service = connect(database).service
     prepared = service.prepare(POINT_TEXT)
     result = benchmark(lambda: prepared.execute({"enr": 7}))
     assert len(result.relation) == 1

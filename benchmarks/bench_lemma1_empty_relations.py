@@ -27,7 +27,7 @@ def test_running_query_with_and_without_papers(benchmark, papers_empty):
         _database_with_empty_papers() if papers_empty else build_university_database(scale=2)
     )
     engine = QueryEngine(database)
-    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    result = benchmark(engine.run, EXAMPLE_21_TEXT)
     assert result.relation == execute_naive(database, EXAMPLE_21_TEXT)
 
 
@@ -43,8 +43,8 @@ def test_report_lemma1_semantics():
     """Print the paper's Example 2.2 contrast: adapted result vs professors."""
     database = _database_with_empty_papers()
     engine = QueryEngine(database)
-    adapted = engine.execute(EXAMPLE_21_TEXT)
-    unadapted_naive_form = engine.execute(
+    adapted = engine.run(EXAMPLE_21_TEXT)
+    unadapted_naive_form = engine.run(
         EXAMPLE_21_TEXT, options=StrategyOptions.none()
     )
     professors = {

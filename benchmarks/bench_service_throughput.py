@@ -31,7 +31,7 @@ import time
 
 import pytest
 
-from repro import QueryEngine, QueryService, build_university_database
+from repro import QueryEngine, build_university_database, connect
 from repro.bench.report import print_report
 from repro.workloads.queries import inline_parameters as _inline
 from repro.workloads.queries import parameterized_queries
@@ -59,12 +59,12 @@ def _throughput(run_once, queries: int, seconds: float = 0.4) -> float:
 def _measure(database) -> dict[str, float]:
     workload = _workload()
     engine = QueryEngine(database)
-    service = QueryService(database)
+    service = connect(database).service
     cold_texts = [_inline(text, values) for text, values in workload]
 
     def cold():
         for text in cold_texts:
-            engine.execute(text)
+            engine.run(text)
 
     def prepared():
         for text, values in workload:
@@ -84,13 +84,13 @@ def test_prepared_results_identical_to_cold(university_small, university_medium)
     """Prepared execution returns exactly the cold result, per query and binding."""
     for database in (university_small, university_medium):
         engine = QueryEngine(database)
-        service = QueryService(database)
+        service = connect(database).service
         for name, (text, bindings) in parameterized_queries().items():
             prepared = service.prepare(text)
             for values in bindings:
                 for _ in range(2):  # second run exercises the collection cache
                     got = prepared.execute(values).relation
-                    expected = engine.execute(_inline(text, values)).relation
+                    expected = engine.run(_inline(text, values)).relation
                     assert got == expected, (name, values)
 
 
@@ -127,7 +127,7 @@ def test_report_service_throughput(university_small, university_medium):
 
 def test_timing_prepared_execution(benchmark, university_medium):
     """pytest-benchmark timing of one prepared parameterized execution."""
-    service = QueryService(university_medium)
+    service = connect(university_medium).service
     text, bindings = parameterized_queries()["running_query"]
     prepared = service.prepare(text)
     result = benchmark(lambda: prepared.execute(bindings[0]))
@@ -136,7 +136,7 @@ def test_timing_prepared_execution(benchmark, university_medium):
 
 def test_timing_batched_workload(benchmark, university_medium):
     """pytest-benchmark timing of one whole batched workload round."""
-    service = QueryService(university_medium)
+    service = connect(university_medium).service
     workload = _workload()
     results = benchmark(lambda: service.execute_batch(workload))
     assert len(results) == len(workload)

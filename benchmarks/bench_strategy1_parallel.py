@@ -25,7 +25,7 @@ def test_running_query(benchmark, scale, label, options):
     """Time the running query with and without parallel collection."""
     database = build_university_database(scale=scale)
     engine = QueryEngine(database, options)
-    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    result = benchmark(engine.run, EXAMPLE_21_TEXT)
     assert len(result.relation) >= 0
 
 
@@ -33,11 +33,11 @@ def test_scans_per_relation_claim():
     """With S1, every relation is scanned exactly once (Example 4.3)."""
     database = build_university_database(scale=2)
     engine = QueryEngine(database, WITH_S1)
-    result = engine.execute(EXAMPLE_21_TEXT)
+    result = engine.run(EXAMPLE_21_TEXT)
     scans = {name: c["scans"] for name, c in result.statistics["relations"].items()}
     assert set(scans.values()) == {1}
 
-    unopt = engine.execute(EXAMPLE_21_TEXT, options=WITHOUT)
+    unopt = engine.run(EXAMPLE_21_TEXT, options=WITHOUT)
     unopt_scans = {name: c["scans"] for name, c in unopt.statistics["relations"].items()}
     assert sum(unopt_scans.values()) > sum(scans.values())
 

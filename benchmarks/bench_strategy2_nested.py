@@ -35,7 +35,7 @@ def test_example_42_subexpression(benchmark, label, options):
     database = build_university_database(scale=4)
     engine = QueryEngine(database, options)
     selection = example_42_selection()
-    result = benchmark(engine.execute, selection)
+    result = benchmark(engine.run, selection)
     assert len(result.relation) > 0
 
 
@@ -43,7 +43,7 @@ def test_example_42_subexpression(benchmark, label, options):
 def test_running_query(benchmark, label, options):
     database = build_university_database(scale=2)
     engine = QueryEngine(database, options)
-    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    result = benchmark(engine.run, EXAMPLE_21_TEXT)
     assert len(result.relation) >= 0
 
 
@@ -52,8 +52,8 @@ def test_strategy2_reduces_intermediate_structures():
     database = build_university_database(scale=4)
     engine = QueryEngine(database)
     selection = example_42_selection()
-    with_s2 = engine.execute(selection, options=S1_S2)
-    without_s2 = engine.execute(selection, options=S1_ONLY)
+    with_s2 = engine.run(selection, options=S1_S2)
+    without_s2 = engine.run(selection, options=S1_ONLY)
     assert with_s2.relation == without_s2.relation
     assert (
         with_s2.statistics["intermediate_tuples"]

@@ -25,7 +25,7 @@ WITH_S3 = BASE.with_(extended_ranges=True)
 def test_running_query(benchmark, scale, label, options):
     database = build_university_database(scale=scale)
     engine = QueryEngine(database, options)
-    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    result = benchmark(engine.run, EXAMPLE_21_TEXT)
     assert len(result.relation) >= 0
 
 
@@ -41,8 +41,8 @@ def test_example_45_claims():
     """One conjunction fewer, and smaller intermediate structures (Example 4.5)."""
     database = build_university_database(scale=2)
     engine = QueryEngine(database)
-    with_s3 = engine.execute(EXAMPLE_21_TEXT, options=WITH_S3)
-    without_s3 = engine.execute(EXAMPLE_21_TEXT, options=BASE)
+    with_s3 = engine.run(EXAMPLE_21_TEXT, options=WITH_S3)
+    without_s3 = engine.run(EXAMPLE_21_TEXT, options=BASE)
     assert with_s3.relation == without_s3.relation
     assert len(with_s3.prepared.conjunctions) == len(without_s3.prepared.conjunctions) - 1
     assert (

@@ -22,7 +22,7 @@ WITH_S4 = StrategyOptions.all_strategies()
 def test_running_query(benchmark, scale, label, options):
     database = build_university_database(scale=scale)
     engine = QueryEngine(database, options)
-    result = benchmark(engine.execute, EXAMPLE_21_TEXT)
+    result = benchmark(engine.run, EXAMPLE_21_TEXT)
     assert len(result.relation) >= 0
 
 
@@ -30,8 +30,8 @@ def test_example_47_claims():
     """The full prefix dissolves; no division step; far fewer n-tuples."""
     database = build_university_database(scale=4)
     engine = QueryEngine(database)
-    with_s4 = engine.execute(EXAMPLE_21_TEXT, options=WITH_S4)
-    without_s4 = engine.execute(EXAMPLE_21_TEXT, options=WITHOUT_S4)
+    with_s4 = engine.run(EXAMPLE_21_TEXT, options=WITH_S4)
+    without_s4 = engine.run(EXAMPLE_21_TEXT, options=WITHOUT_S4)
     assert with_s4.relation == without_s4.relation
     assert with_s4.prepared.prefix == ()
     assert len(with_s4.prepared.derived_predicates()) == 3

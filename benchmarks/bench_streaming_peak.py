@@ -57,8 +57,8 @@ REQUIRED_FACTOR_AT_SCALE_4 = 3.0
 
 def _measure(scale: int) -> dict:
     database = build_university_database(scale=scale)
-    materialized = QueryEngine(database, MATERIALIZED).execute(OTHERS_PUBLISHED_1977_TEXT)
-    streamed = QueryEngine(database, STREAMED).execute(OTHERS_PUBLISHED_1977_TEXT)
+    materialized = QueryEngine(database, MATERIALIZED).run(OTHERS_PUBLISHED_1977_TEXT)
+    streamed = QueryEngine(database, STREAMED).run(OTHERS_PUBLISHED_1977_TEXT)
     assert sorted(r.values for r in materialized.relation) == sorted(
         r.values for r in streamed.relation
     ), f"streamed result diverged at scale {scale}"
@@ -132,5 +132,5 @@ def test_timing_streamed_pipeline(benchmark):
     """pytest-benchmark timing of the fully streamed three-phase execution."""
     database = build_university_database(scale=SCALES[-1])
     engine = QueryEngine(database, STREAMED)
-    result = benchmark(lambda: engine.execute(OTHERS_PUBLISHED_1977_TEXT))
+    result = benchmark(lambda: engine.run(OTHERS_PUBLISHED_1977_TEXT))
     assert len(result.relation) > 0

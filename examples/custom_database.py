@@ -87,7 +87,7 @@ def main() -> None:
             AND SOME b IN [EACH b IN books: (b.bgenre = databases)]
                 ((b.bnr = l.lbnr)))]
     """
-    result = engine.execute(text_query)
+    result = engine.run(text_query)
     print("Readers who borrowed a databases book:")
     print(result.relation.show())
     print()
@@ -107,7 +107,7 @@ def main() -> None:
             ),
         ),
     )
-    completionists = engine.execute(every_db_book)
+    completionists = engine.run(every_db_book)
     print("Readers who borrowed every databases book:")
     print(completionists.relation.show())
     print()

@@ -20,14 +20,14 @@ def main() -> None:
     engine = QueryEngine(database)
 
     print("With a populated papers relation:")
-    populated = engine.execute(EXAMPLE_21_TEXT)
+    populated = engine.run(EXAMPLE_21_TEXT)
     print(f"  result: {sorted(r.ename.strip() for r in populated.relation)}")
     print()
 
     # Empty the papers relation: ALL p IN papers (...) becomes vacuously true.
     database.relation("papers").clear()
     print("After papers := [] (the empty relation):")
-    adapted = engine.execute(EXAMPLE_21_TEXT)
+    adapted = engine.run(EXAMPLE_21_TEXT)
     professors = sorted(
         e.ename.strip() for e in database.relation("employees") if e.estatus.label == "professor"
     )
@@ -50,7 +50,7 @@ def main() -> None:
         for record in employees.elements()
     )
     engine2 = QueryEngine(database2, StrategyOptions.all_strategies())
-    result = engine2.execute(EXAMPLE_21_TEXT)
+    result = engine2.run(EXAMPLE_21_TEXT)
     print(f"  professors in database: 0")
     print(f"  result size: {len(result.relation)}")
     print(f"  used Strategy 3 fallback: {result.used_strategy3_fallback}")

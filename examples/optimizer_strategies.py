@@ -49,7 +49,7 @@ def main() -> None:
     measurements = compare_strategies(database, EXAMPLE_21_TEXT, CONFIGURATIONS, include_naive=True)
     print(format_table(measurements))
 
-    results = {label: engine.execute(EXAMPLE_21_TEXT, options=options).relation
+    results = {label: engine.run(EXAMPLE_21_TEXT, options=options).relation
                for label, options in CONFIGURATIONS.items()}
     first = next(iter(results.values()))
     assert all(relation == first for relation in results.values())

@@ -6,18 +6,21 @@ Run with::
 
 Shows the full service lifecycle on the parameterized running query:
 
-1. ``QueryService.prepare`` compiles the text once — parse, type check,
+1. ``repro.connect`` opens the connection owning the service and plan cache;
+2. ``Connection.prepare`` compiles the text once — parse, type check,
    Lemma 1, standard form, Strategies 3-4 — and caches the plan;
-2. ``PreparedQuery.execute`` late-binds parameter values and runs only the
-   collection / combination / construction phases;
-3. repeated ``prepare`` calls hit the LRU plan cache (watch the hit/miss
+3. ``PreparedQuery.execute`` late-binds parameter values and runs only the
+   collection / combination / construction phases (``Cursor.execute`` with
+   the same bindings streams instead);
+4. repeated ``prepare`` calls hit the LRU plan cache (watch the hit/miss
    counters);
-4. a catalog change bumps the database's schema version and invalidates
+5. a catalog change bumps the database's schema version and invalidates
    the cached plans;
-5. ``execute_batch`` shares collection-phase relation scans across queries.
+6. ``Cursor.executemany`` batches bindings through the service's batch
+   executor, sharing collection-phase relation scans across queries.
 """
 
-from repro import QueryService, build_university_database
+from repro import build_university_database, connect
 from repro.workloads.queries import (
     RUNNING_QUERY_PARAM_TEXT,
     STATUS_PARAM_TEXT,
@@ -27,28 +30,31 @@ from repro.workloads.queries import (
 
 def main() -> None:
     database = build_university_database(scale=2)
-    service = QueryService(database)
+    connection = connect(database)
+    service = connection.service
 
     print("The parameterized running query:")
     print(RUNNING_QUERY_PARAM_TEXT.strip())
     print()
 
     # -- prepare once ---------------------------------------------------------
-    prepared = service.prepare(RUNNING_QUERY_PARAM_TEXT)
+    prepared = connection.prepare(RUNNING_QUERY_PARAM_TEXT)
     print(f"prepared: parameters {prepared.parameter_names}")
     print("transformations recorded at prepare time:")
     print(prepared.trace.describe())
     print()
 
     # -- execute with different bindings --------------------------------------
+    # A streaming cursor late-binds the values into the cached plan; the
+    # same text hits the plan cache on every execution.
     for values in (
         {"status": "professor", "year": 1977, "level": "sophomore"},
         {"status": "student", "year": 1975, "level": "senior"},
         {"status": "professor", "year": 1982, "level": "freshman"},
     ):
-        result = prepared.execute(values)
-        names = sorted(record.ename.strip() for record in result.relation)
-        print(f"  {values} -> {len(result)} element(s): {names}")
+        cursor = connection.execute(RUNNING_QUERY_PARAM_TEXT, values)
+        names = sorted(record.ename.strip() for record in cursor)
+        print(f"  {values} -> {cursor.rowcount} element(s): {names}")
     print()
 
     # -- the plan cache --------------------------------------------------------
@@ -78,6 +84,14 @@ def main() -> None:
         for name, counters in batch[-1].statistics["relations"].items()
     }
     print(f"  relation scans for the whole batch: {scans}")
+    print()
+
+    # -- executemany: the cursor face of the batch executor --------------------
+    cursor = connection.executemany(
+        STATUS_PARAM_TEXT, [{"status": "professor"}, {"status": "student"}]
+    )
+    print(f"executemany over two bindings: {cursor.rowcount} row(s) total")
+    connection.close()
 
 
 if __name__ == "__main__":

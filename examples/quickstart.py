@@ -2,15 +2,16 @@
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 
 This walks through the library's main entry points: building the sample
-database of Figure 1, executing a PASCAL/R-style selection with the full
-optimizer, inspecting the transformation trace (Examples 2.2, 4.5, 4.7), and
-comparing against the naive ground-truth interpreter.
+database of Figure 1, opening a connection with ``repro.connect``, streaming
+a PASCAL/R-style selection through a cursor, inspecting the transformation
+trace (Examples 2.2, 4.5, 4.7), and comparing against the naive ground-truth
+interpreter.
 """
 
-from repro import QueryEngine, StrategyOptions, build_university_database, execute_naive
+from repro import build_university_database, connect, execute_naive
 from repro.workloads.queries import EXAMPLE_21_TEXT
 
 
@@ -31,27 +32,32 @@ def main() -> None:
     print(EXAMPLE_21_TEXT.strip())
     print()
 
-    # 3. Execute it with the full PASCAL/R optimizer.
-    engine = QueryEngine(database, StrategyOptions.all_strategies())
-    result = engine.execute(EXAMPLE_21_TEXT)
-    print("Result:")
-    print(result.relation.show())
+    # 3. Open a connection (the full PASCAL/R optimizer by default) and
+    #    stream the result through a cursor: each fetch pulls rows off the
+    #    live operator pipeline.
+    connection = connect(database)
+    cursor = connection.execute(EXAMPLE_21_TEXT)
+    print("Result (streamed fetch-by-fetch):")
+    for record in cursor:
+        print(f"  {record.ename.strip()}")
     print()
 
     # 4. What did the optimizer do?  (Examples 2.2, 4.5 and 4.7 of the paper.)
+    result = cursor.result
     print("Transformation trace:")
     print(result.prepared.trace.describe())
     print()
     print("Access statistics (scans per relation):")
-    for name, counters in result.statistics["relations"].items():
+    for name, counters in cursor.statistics["relations"].items():
         print(f"  {name:10s} scans={counters['scans']} elements={counters['elements_read']}")
-    print(f"  intermediate reference tuples: {result.statistics['intermediate_tuples']}")
+    print(f"  intermediate reference tuples: {cursor.statistics['intermediate_tuples']}")
     print()
 
     # 5. Cross-check against the direct interpretation of the calculus.
     ground_truth = execute_naive(database, EXAMPLE_21_TEXT)
     assert result.relation == ground_truth
     print("Ground-truth check: phase-structured result matches the naive evaluator.")
+    connection.close()
 
 
 if __name__ == "__main__":

@@ -5,36 +5,52 @@ Database Management System*, ACM SIGMOD 1982.
 
 The most common entry points:
 
->>> from repro import build_university_database, QueryEngine, StrategyOptions
+>>> from repro import build_university_database, connect
 >>> db = build_university_database(scale=1)
->>> engine = QueryEngine(db, StrategyOptions.all_strategies())
->>> result = engine.execute('''
-...     [<e.ename> OF EACH e IN employees: (e.estatus = professor)]
-... ''')
->>> len(result) > 0
+>>> with connect(db) as connection:
+...     cursor = connection.execute('''
+...         [<e.ename> OF EACH e IN employees: (e.estatus = professor)]
+...     ''')
+...     rows = cursor.fetchall()
+>>> len(rows) > 0
 True
+
+``connect`` returns a thread-safe :class:`Connection` owning the plan cache;
+``Connection.session()`` scopes transactional mutations
+(begin/commit/rollback over an undo journal) and ``Connection.cursor()``
+streams results row by row off the operator pipeline.
 """
 
-from repro.config import StrategyOptions
+from repro.api import Connection, Cursor, Session, connect
+from repro.config import ServiceOptions, StrategyOptions
 from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
+from repro.errors import ConnectionClosedError, CursorError, TransactionError
 from repro.lang.parser import parse_formula, parse_selection
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.service import PreparedQuery, QueryService
 from repro.workloads.university import build_university_database, figure1_database
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Connection",
+    "ConnectionClosedError",
+    "Cursor",
+    "CursorError",
     "Database",
     "PreparedQuery",
     "QueryEngine",
     "QueryResult",
     "QueryService",
     "Relation",
+    "ServiceOptions",
+    "Session",
     "StrategyOptions",
+    "TransactionError",
     "__version__",
     "build_university_database",
+    "connect",
     "execute_naive",
     "figure1_database",
     "parse_formula",

@@ -1,0 +1,26 @@
+"""The public front door: connections, transactional sessions, streaming cursors.
+
+``repro.connect(database)`` opens a thread-safe :class:`Connection` that
+owns the prepared-query service and plan cache; ``Connection.session()``
+scopes transactional work with ``begin``/``commit``/``rollback`` over an
+undo journal; ``Connection.cursor()`` hands out DB-API-flavoured cursors
+whose fetches stream rows off the live operator pipeline.
+
+This package is the surface later features (async execution, sharding, DML
+statements) hang off; the pre-connection entry points (``QueryEngine.execute``,
+direct ``QueryService`` construction) keep working through deprecation shims
+routed through a per-database default connection.
+"""
+
+from repro.api.connection import Connection, connect, default_connection
+from repro.api.cursor import Column, Cursor
+from repro.api.session import Session
+
+__all__ = [
+    "Column",
+    "Connection",
+    "Cursor",
+    "Session",
+    "connect",
+    "default_connection",
+]

@@ -1,0 +1,237 @@
+"""The connection front door: ``repro.connect(database)``.
+
+A :class:`Connection` is the stable handle a client program holds onto — the
+role the PASCAL/R database module plays for an embedded host program, shaped
+like the connection objects every system in the Wisconsin lineage grew.  It
+owns the prepared-query :class:`~repro.service.QueryService` (and with it
+the plan cache and the execution lock that serializes work over the shared
+engine), and hands out:
+
+* :class:`~repro.api.cursor.Cursor` objects — DB-API-flavoured, streaming:
+  fetches pull rows off the live operator pipeline one construction
+  dereference at a time;
+* :class:`~repro.api.session.Session` objects — context-managed
+  transactional scopes with ``begin``/``commit``/``rollback`` over an undo
+  journal, plus per-session strategy/service option overrides.
+
+Connections are thread-safe: compilation and every pipeline step run under
+one reentrant execution lock, so any number of threads can share a
+connection with their own cursors.  ``close()`` is explicit and idempotent;
+a close with a transaction still active rolls it back.
+
+:func:`default_connection` keeps one lazily created connection per database;
+it backs the deprecation shims (``QueryEngine.execute``, direct
+``QueryService(...)`` construction), which route legacy callers through it
+so old and new code share a serialization domain.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping, Sequence
+
+from repro.api.cursor import Cursor
+from repro.api.session import Session
+from repro.config import ServiceOptions, StrategyOptions
+from repro.errors import ConnectionClosedError
+from repro.service.service import QueryService
+
+__all__ = ["Connection", "connect", "default_connection"]
+
+
+def connect(
+    database,
+    options: StrategyOptions | None = None,
+    service_options: ServiceOptions | None = None,
+    cache_capacity: int | None = None,
+) -> "Connection":
+    """Open a connection to ``database``.
+
+    The public entry point of the library:
+
+    >>> import repro
+    >>> db = repro.build_university_database(scale=1)
+    >>> with repro.connect(db) as connection:
+    ...     cursor = connection.execute(
+    ...         "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
+    ...     )
+    ...     first = cursor.fetchone()
+
+    ``options`` become the connection's default
+    :class:`~repro.config.StrategyOptions` (the full PASCAL/R optimizer when
+    omitted); ``service_options`` / ``cache_capacity`` tune the owned
+    :class:`~repro.service.QueryService` exactly as they did on the service
+    itself.
+    """
+    return Connection(
+        database,
+        options=options,
+        service_options=service_options,
+        cache_capacity=cache_capacity,
+    )
+
+
+class Connection:
+    """A thread-safe handle on one database: cursors, sessions, plan cache."""
+
+    def __init__(
+        self,
+        database,
+        options: StrategyOptions | None = None,
+        service_options: ServiceOptions | None = None,
+        cache_capacity: int | None = None,
+    ) -> None:
+        self._database = database
+        self._service = QueryService(
+            database,
+            options=options,
+            cache_capacity=cache_capacity,
+            service_options=service_options,
+            _internal=True,
+        )
+        self._lock = self._service._execution_lock
+        self._closed = False
+        self._active_session: Session | None = None
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def database(self):
+        """The database this connection serves."""
+        return self._database
+
+    @property
+    def service(self) -> QueryService:
+        """The owned prepared-query service (plan cache, batch executor)."""
+        return self._service
+
+    @property
+    def options(self) -> StrategyOptions:
+        """The connection's default strategy options."""
+        return self._service.options
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+
+    def cache_info(self) -> dict:
+        """Plan-cache occupancy and hit/miss counters."""
+        return self._service.cache_info()
+
+    # -- cursors and queries -----------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """A new streaming cursor on this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, query, parameters: Mapping[str, Any] | None = None) -> Cursor:
+        """Open a cursor, execute ``query`` on it and return it (DB-API style)."""
+        return self.cursor().execute(query, parameters)
+
+    def executemany(
+        self, query, seq_of_parameters: Sequence[Mapping[str, Any] | None]
+    ) -> Cursor:
+        """Open a cursor, batch-execute ``query`` on it and return it."""
+        return self.cursor().executemany(query, seq_of_parameters)
+
+    def prepare(self, query, options: StrategyOptions | None = None):
+        """Compile ``query`` once (or fetch it from the plan cache)."""
+        self._check_open()
+        return self._service.prepare(query, options)
+
+    # -- sessions ----------------------------------------------------------------------
+
+    def session(
+        self,
+        options: StrategyOptions | None = None,
+        service_options: ServiceOptions | None = None,
+    ) -> Session:
+        """A transactional session, optionally with per-session option overrides."""
+        self._check_open()
+        return Session(self, options=options, service_options=service_options)
+
+    def _register_session(self, session: Session) -> None:
+        self._active_session = session
+
+    def _unregister_session(self, session: Session) -> None:
+        if self._active_session is session:
+            self._active_session = None
+
+    # -- legacy routing ----------------------------------------------------------------
+
+    def run_legacy(
+        self,
+        engine,
+        query,
+        options: StrategyOptions | None = None,
+        reset_statistics: bool = True,
+    ):
+        """Execute for a deprecated caller, inside this connection's lock.
+
+        The ``QueryEngine.execute`` shim lands here with *its own* engine, so
+        the legacy call keeps its engine's options and statistics behaviour —
+        it merely serializes with the connection's cursors and sessions
+        instead of racing them.
+        """
+        self._check_open()
+        with self._lock:
+            return engine.run(query, options=options, reset_statistics=reset_statistics)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection; double close is a no-op.
+
+        An active session transaction is rolled back (the DB-API convention:
+        only an explicit commit makes work permanent).  Cursors of a closed
+        connection refuse further fetches.
+        """
+        if self._closed:
+            return
+        session = self._active_session
+        if session is not None and session.in_transaction:
+            session.rollback()
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "closed" if self._closed else "open"
+        return f"Connection({self._database.name!r}, {state})"
+
+
+# Guards creation of per-database default connections (deprecation shims).
+_default_connection_lock = threading.Lock()
+
+# The default connection is stored ON the database object itself: its
+# lifetime is then exactly the database's (the reference cycle database ->
+# connection -> database is ordinary garbage-collector fare), so routing a
+# short-lived database through a deprecation shim cannot leak it the way a
+# module-level registry whose values strongly reference its keys would.
+_DEFAULT_ATTR = "_repro_default_connection"
+
+
+def default_connection(database) -> Connection:
+    """The per-database default connection (created on first use).
+
+    Legacy surfaces (``QueryEngine.execute``, direct ``QueryService``
+    construction) route through it so that deprecated and modern callers
+    share one execution serialization domain per database.  A closed default
+    connection is transparently replaced.
+    """
+    with _default_connection_lock:
+        connection = getattr(database, _DEFAULT_ATTR, None)
+        if connection is None or connection.closed:
+            connection = Connection(database)
+            setattr(database, _DEFAULT_ATTR, connection)
+        return connection

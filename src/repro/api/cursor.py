@@ -1,0 +1,276 @@
+"""DB-API-flavoured cursors with end-to-end streaming fetches.
+
+A :class:`Cursor` is the retrieval half of the connection front door.  Its
+shape follows PEP 249 (``execute`` / ``executemany`` / ``fetchone`` /
+``fetchmany`` / ``fetchall`` / ``description`` / iteration), but its fetches
+are genuinely incremental: ``execute`` compiles (or reuses) the plan and
+wires the collection/combination pipeline, and every fetch then pulls rows
+off the live :class:`~repro.engine.stream.RowStream` — the construction
+phase dereferences one reference tuple per row *as it is fetched*, so the
+client sees first rows without the engine ever materialising the full
+result.
+
+Fetches re-acquire the connection's execution lock around each pipeline
+step, so any number of open cursors (plus whole-query executions from other
+threads) interleave safely on one connection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, NamedTuple, Sequence
+
+from repro.errors import ConnectionClosedError, CursorError
+
+__all__ = ["Column", "Cursor"]
+
+
+class Column(NamedTuple):
+    """One entry of :attr:`Cursor.description` (the PEP 249 7-tuple)."""
+
+    name: str
+    type_code: str
+    display_size: None = None
+    internal_size: None = None
+    precision: None = None
+    scale: None = None
+    null_ok: bool = False
+
+
+class Cursor:
+    """Streaming row retrieval over one connection (or session).
+
+    Cursors are produced by :meth:`Connection.cursor` /
+    :meth:`Session.cursor`; a session cursor runs under the session's
+    strategy/service option overrides.
+    """
+
+    def __init__(self, connection, service=None, session=None) -> None:
+        self._connection = connection
+        self._service = service if service is not None else connection.service
+        self._session = session
+        self._lock = connection._lock
+        #: Rows an argument-less :meth:`fetchmany` pulls per call.
+        self.arraysize: int = self._service.service_options.cursor_arraysize
+        self._closed = False
+        self._result = None
+        self._rows: Iterator | None = None
+        self._description: list[Column] | None = None
+        self._fetched = 0
+        self._known_rowcount: int | None = None
+        self._exhausted = False
+        self._final_statistics: dict | None = None
+
+    # -- guards ------------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("cursor is closed")
+        self._connection._check_open()
+
+    def _check_result(self) -> Iterator:
+        self._check_open()
+        if self._rows is None:
+            raise CursorError("cursor has no result set; call execute() first")
+        return self._rows
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(
+        self, query, parameters: Mapping[str, Any] | None = None
+    ) -> "Cursor":
+        """Prepare (or reuse) ``query``, bind ``parameters``, open the pipeline.
+
+        Returns the cursor itself (the DB-API convention), with
+        :attr:`description` available immediately — no row has flowed yet.
+        """
+        self._check_open()
+        with self._lock:
+            self._discard()
+            result = self._service.execute_streaming(query, parameters)
+            self._install(result)
+        return self
+
+    def executemany(
+        self, query, seq_of_parameters: Sequence[Mapping[str, Any] | None]
+    ) -> "Cursor":
+        """Execute ``query`` once per binding set, concatenating the results.
+
+        Routed through the service's batch executor, so compatible plans
+        share their collection-phase scans; rows come back in request order
+        (this path materialises — streaming applies to :meth:`execute`).
+        """
+        self._check_open()
+        with self._lock:
+            self._discard()
+            requests = [(query, parameters) for parameters in seq_of_parameters]
+            if not requests:
+                self._rows = iter(())
+                self._known_rowcount = 0
+                return self
+            results = self._service.execute_batch(requests)
+            rows = [row for result in results for row in result.rows]
+            self._result = results[-1]
+            self._description = self._describe(results[0].relation.schema)
+            self._rows = iter(rows)
+            self._known_rowcount = len(rows)
+            self._final_statistics = None
+        return self
+
+    def _install(self, result) -> None:
+        self._result = result
+        self._description = self._describe(result.relation.schema)
+        self._rows = result.row_iterator
+        self._final_statistics = None
+
+    @staticmethod
+    def _describe(schema) -> list[Column]:
+        return [Column(name=field.name, type_code=field.type.name) for field in schema]
+
+    # -- fetching ----------------------------------------------------------------------
+
+    def fetchone(self):
+        """The next result record, or ``None`` when the result set is exhausted.
+
+        One pipeline step: exactly one fresh reference tuple is dereferenced
+        (plus any duplicates the construction dedup swallows on the way).
+        """
+        rows = self._check_result()
+        with self._lock:
+            record = next(rows, None)
+        if record is None:
+            self._exhausted = True
+            return None
+        self._fetched += 1
+        return record
+
+    def fetchmany(self, size: int | None = None) -> list:
+        """The next ``size`` records (default :attr:`arraysize`) as a list."""
+        rows = self._check_result()
+        if size is None:
+            size = self.arraysize
+        batch: list = []
+        with self._lock:
+            for _ in range(size):
+                record = next(rows, None)
+                if record is None:
+                    self._exhausted = True
+                    break
+                batch.append(record)
+        self._fetched += len(batch)
+        return batch
+
+    def fetchall(self) -> list:
+        """Every remaining record as a list (drains the pipeline)."""
+        rows = self._check_result()
+        with self._lock:
+            batch = list(rows)
+        self._exhausted = True
+        self._fetched += len(batch)
+        return batch
+
+    def __iter__(self) -> Iterator:
+        """Iterate over the remaining records, one pipeline step at a time."""
+        while True:
+            record = self.fetchone()
+            if record is None:
+                return
+            yield record
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def description(self) -> list[Column] | None:
+        """Per-component :class:`Column` 7-tuples of the current result set."""
+        return self._description
+
+    @property
+    def rowcount(self) -> int:
+        """Distinct rows in the result set: ``-1`` until known.
+
+        Streaming keeps the total unknowable up front; it becomes available
+        once the result set is exhausted (``executemany`` knows immediately).
+        """
+        if self._known_rowcount is not None:
+            return self._known_rowcount
+        if self._exhausted:
+            return self._fetched
+        return -1
+
+    @property
+    def result(self):
+        """The underlying :class:`~repro.engine.evaluator.QueryResult`.
+
+        Its ``relation`` holds the rows fetched so far (it fills as the
+        cursor drains); trace/combination/collection reports are available
+        for EXPLAIN-style introspection.
+        """
+        return self._result
+
+    @property
+    def statistics(self) -> dict:
+        """Access-counter snapshot for this cursor's execution.
+
+        The final snapshot once the result set is exhausted or the cursor is
+        closed; a live snapshot of the connection's shared counters while
+        rows are still pending.  The counters are the database's *shared*
+        :class:`~repro.relational.statistics.AccessStatistics`: every
+        execution on the connection resets them, so a cursor whose drain
+        interleaved with other executions reports the interleaved activity
+        too — results are unaffected, only the accounting attribution blurs.
+        """
+        if self._final_statistics is not None:
+            return self._final_statistics
+        if self._exhausted and self._result is not None and self._result.statistics:
+            return self._result.statistics
+        return self._connection.database.statistics.as_dict()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _discard(self) -> None:
+        """Shut down the open pipeline (if any) and reset the result state."""
+        rows = self._rows
+        self._rows = None
+        if rows is not None:
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()
+        # Closing the pipeline finalised the result's statistics; keep that
+        # snapshot so ``statistics`` stays this execution's numbers after
+        # close (a later execute() replaces it via _install).
+        if self._result is not None and self._result.statistics:
+            self._final_statistics = self._result.statistics
+        self._result = None
+        self._description = None
+        self._fetched = 0
+        self._known_rowcount = None
+        self._exhausted = False
+
+    def close(self) -> None:
+        """Close the cursor, releasing the pipeline; double close is a no-op.
+
+        Closing propagates into the operator generators' ``finally`` clauses,
+        so pipeline-breaker state and pinned buffer-pool pages are released
+        even when the result set was only partially fetched.
+        """
+        if self._closed:
+            return
+        with self._lock:
+            self._discard()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "closed" if self._closed else (
+            "exhausted" if self._exhausted else
+            ("open" if self._rows is not None else "idle")
+        )
+        return f"Cursor({state}, fetched={self._fetched})"

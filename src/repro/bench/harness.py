@@ -86,7 +86,7 @@ def measure(
 ) -> Measurement:
     """Execute ``query`` under ``options`` and profile the access behaviour."""
     engine = QueryEngine(database, options)
-    result = engine.execute(query)
+    result = engine.run(query)
     return _profile(label or options.describe(), result)
 
 

@@ -156,11 +156,17 @@ class ServiceOptions:
         Whether :meth:`~repro.service.QueryService.execute_batch` groups
         compatible plans to share collection-phase scans; when off, batches
         simply execute their requests one by one.
+    cursor_arraysize:
+        Default ``Cursor.arraysize`` of cursors opened on a connection with
+        these options: the number of rows one argument-less ``fetchmany()``
+        pulls off the streaming pipeline.  ``1`` is the DB-API default —
+        every fetch is one pipeline step.
     """
 
     plan_cache_capacity: int = 128
     collection_cache_size: int = 32
     batching: bool = True
+    cursor_arraysize: int = 1
 
     def with_(self, **changes) -> "ServiceOptions":
         """A copy with the named settings changed."""

@@ -67,6 +67,40 @@ class ConstructionPhase:
 
     def _drain_stream(self, stream, result: Relation) -> None:
         """Pipelined dereference: one environment per row, straight off the stream."""
+        for _ in self._dereferenced(stream, result):
+            pass
+
+    def stream_into(self, combination: CombinationResult, result: Relation):
+        """The per-fetch construction pipeline behind streaming cursors.
+
+        A generator that pulls one free-variable reference tuple off the
+        combination stream per step, dereferences and projects it, inserts it
+        into ``result`` and yields it — but only when it is *new* (result
+        relations are sets), so the yielded records are exactly
+        :meth:`run`'s result in insertion order, produced lazily.  Requires a
+        live combination stream (:class:`~repro.errors.StreamError`
+        otherwise — a materialised phase is constructed via :meth:`run` and
+        iterated, see ``QueryEngine._finalize_streaming``).  Element reads
+        are attributed to the construction phase around each pull, so the
+        phase accounting matches a monolithic drain.
+        """
+        stream = combination.stream
+        if stream is None:
+            # Raised at the call site, not deferred to the first fetch: a
+            # materialised combination has no pipeline to defer.
+            raise StreamError(
+                "the combination phase did not stream; construct via run() and "
+                "iterate the materialised result instead"
+            )
+        if stream.consumed:
+            raise StreamError(
+                "combination stream was partially consumed before the "
+                "construction phase; re-run the combination phase"
+            )
+        return self._dereferenced(stream, result)
+
+    def _dereferenced(self, stream, result: Relation):
+        """Dereference ``stream`` row-by-row into ``result``, yielding new records."""
         positions = [
             (binding.var, stream.schema.field_position(ref_field_name(binding.var)))
             for binding in self.selection.bindings
@@ -76,8 +110,21 @@ class ConstructionPhase:
         find = result.find
         insert = result.insert
         selection = self.selection
-        for row in stream:
-            environment = {var: row[position].deref() for var, position in positions}
-            record = project_environment(selection, environment, schema)
-            if find(key_of(record.values)) is None:
-                insert(record)
+        statistics = self.statistics
+        rows = iter(stream)
+        while True:
+            with statistics.phase(CONSTRUCTION):
+                row = next(rows, _DONE)
+                if row is _DONE:
+                    return
+                environment = {var: row[position].deref() for var, position in positions}
+                record = project_environment(selection, environment, schema)
+                fresh = find(key_of(record.values)) is None
+                if fresh:
+                    insert(record)
+            if fresh:
+                yield record
+
+
+#: Sentinel distinguishing stream exhaustion from a yielded row.
+_DONE = object()

@@ -25,7 +25,9 @@ interpretation used as ground truth.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.calculus.analysis import has_universal_quantifier
 from repro.calculus.ast import Selection
@@ -63,10 +65,30 @@ class QueryResult:
     """Per variable: the access path actually used (scan / pruned scan /
     index probe), for EXPLAIN ANALYZE."""
 
+    row_iterator: Iterator | None = field(default=None, repr=False, compare=False)
+    """Lazy record iterator attached by the streaming execution entry points
+    (:meth:`QueryEngine.execute_plan_streaming`); ``None`` for ordinary,
+    fully materialised executions.  Cursors drain it fetch-by-fetch — the
+    :attr:`relation` fills as a side effect, and :attr:`statistics` /
+    :attr:`elapsed_seconds` are finalised when it is exhausted or closed."""
+
     @property
     def rows(self) -> list:
-        """The result records as a list."""
-        return self.relation.elements()
+        """The result records as a defensive copy.
+
+        Always a fresh list: callers may sort, slice or mutate it freely
+        without touching the backing relation (the regression suite pins
+        this).  Use :meth:`__iter__` to stream over the records instead.
+        """
+        return list(self.relation)
+
+    def __iter__(self) -> Iterator:
+        """Iterate over the result records (insertion order)."""
+        return iter(self.relation)
+
+    def __getitem__(self, index):
+        """The ``index``-th result record (or a slice of the row list)."""
+        return self.relation.elements()[index]
 
     def __len__(self) -> int:
         return len(self.relation)
@@ -119,13 +141,19 @@ class QueryEngine:
 
     # -- execution ---------------------------------------------------------------------
 
-    def execute(
+    def run(
         self,
         query: str | Selection,
         options: StrategyOptions | None = None,
         reset_statistics: bool = True,
     ) -> QueryResult:
-        """Evaluate ``query`` and return the result with full accounting."""
+        """Evaluate ``query`` and return the result with full accounting.
+
+        This is the engine-internal entry point (the connection, session and
+        service layers all bottom out here).  Application code should prefer
+        :func:`repro.connect` — a :class:`~repro.api.Connection` adds plan
+        caching, transactions and streaming cursors on top.
+        """
         options = options or self.options
         if reset_statistics:
             self.database.reset_statistics()
@@ -135,6 +163,35 @@ class QueryEngine:
         result.elapsed_seconds = time.perf_counter() - started
         result.statistics = self.database.statistics.as_dict()
         return result
+
+    def execute(
+        self,
+        query: str | Selection,
+        options: StrategyOptions | None = None,
+        reset_statistics: bool = True,
+    ) -> QueryResult:
+        """Deprecated: evaluate ``query`` through the database's default connection.
+
+        .. deprecated:: 1.2
+            Use ``repro.connect(database)`` and its cursors — or
+            :meth:`run` for engine-level experiments.  This shim keeps old
+            call sites working: it emits a :class:`DeprecationWarning` and
+            routes the execution through the per-database default
+            :class:`~repro.api.Connection`, so legacy callers at least share
+            that connection's execution serialization.
+        """
+        warnings.warn(
+            "QueryEngine.execute is deprecated; use repro.connect(database) and "
+            "cursor execute/fetch (or QueryEngine.run for engine-level work)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.connection import default_connection
+
+        connection = default_connection(self.database)
+        return connection.run_legacy(
+            self, query, options=options, reset_statistics=reset_statistics
+        )
 
     def execute_plan(
         self,
@@ -177,6 +234,82 @@ class QueryEngine:
         result.statistics = self.database.statistics.as_dict()
         return result
 
+    def execute_plan_streaming(
+        self,
+        plan: QueryPlan,
+        options: StrategyOptions | None = None,
+        reset_statistics: bool = True,
+        collection: CollectionResult | None = None,
+        collection_sink=None,
+    ) -> QueryResult:
+        """Evaluate ``plan`` with a *lazy* construction phase.
+
+        Identical to :meth:`execute_plan` up to the combination pipeline, but
+        when the phase streams, the construction dereference is deferred: the
+        returned result carries a live :attr:`QueryResult.row_iterator` and
+        an (initially empty) result relation that fills as the iterator is
+        drained — this is what lets a cursor hand out first rows without the
+        engine materialising the full result.  Statistics and elapsed time
+        are finalised when the iterator is exhausted or closed.  Plans whose
+        execution cannot stream (constant matrices, separated conjunctions,
+        ``streaming_execution`` off, the Strategy 3 fallback) materialise as
+        usual and iterate the finished relation.
+        """
+        options = options or plan.options
+        if reset_statistics:
+            self.database.reset_statistics()
+        started = time.perf_counter()
+        result = self._execute_resolved(
+            plan.selection,
+            options,
+            plan=plan,
+            collection=collection,
+            collection_sink=collection_sink,
+            lazy=True,
+        )
+        return self._finalize_streaming(result, started)
+
+    def run_streaming(
+        self,
+        query: str | Selection,
+        options: StrategyOptions | None = None,
+        reset_statistics: bool = True,
+    ) -> QueryResult:
+        """Parse, transform and evaluate ``query`` with a lazy construction phase.
+
+        The ad-hoc-text pendant of :meth:`execute_plan_streaming` (and the
+        engine-level backing of ``Cursor.execute``).
+        """
+        options = options or self.options
+        if reset_statistics:
+            self.database.reset_statistics()
+        selection = self._admit(query)
+        started = time.perf_counter()
+        result = self._execute_resolved(selection, options, lazy=True)
+        return self._finalize_streaming(result, started)
+
+    def _finalize_streaming(self, result: QueryResult, started: float) -> QueryResult:
+        """Attach the statistics-finalising row iterator to a lazy result."""
+        result.statistics = self.database.statistics.as_dict()
+        result.elapsed_seconds = time.perf_counter() - started
+        if result.row_iterator is None:
+            # The execution could not stream and is already materialised;
+            # statistics above are final.  Iterate the finished relation so
+            # cursors see one uniform interface.
+            result.row_iterator = iter(result.relation.elements())
+            return result
+        rows = result.row_iterator
+
+        def finalizing() -> Iterator:
+            try:
+                yield from rows
+            finally:
+                result.statistics = self.database.statistics.as_dict()
+                result.elapsed_seconds = time.perf_counter() - started
+
+        result.row_iterator = finalizing()
+        return result
+
     def _execute_resolved(
         self,
         selection: Selection,
@@ -184,6 +317,7 @@ class QueryEngine:
         plan: QueryPlan | None = None,
         collection: CollectionResult | None = None,
         collection_sink=None,
+        lazy: bool = False,
     ) -> QueryResult:
         prepared = plan if plan is not None else prepare_query(
             selection, self.database, options, resolve=False
@@ -197,6 +331,7 @@ class QueryEngine:
                 options,
                 collection=collection,
                 collection_sink=collection_sink,
+                lazy=lazy,
             )
         except ExtendedRangeEmptyError:
             fallback_options = options.with_(extended_ranges=False)
@@ -216,6 +351,7 @@ class QueryEngine:
         options: StrategyOptions,
         collection: CollectionResult | None = None,
         collection_sink=None,
+        lazy: bool = False,
     ) -> QueryResult:
         if prepared.constant is not None:
             # The constant-matrix shortcut still relies on the non-empty-range
@@ -237,7 +373,17 @@ class QueryEngine:
             if collection_sink is not None:
                 collection_sink(collection)
         combination = CombinationPhase(prepared, self.database, collection, options).run()
-        relation = ConstructionPhase(selection, self.database).run(combination)
+        construction = ConstructionPhase(selection, self.database)
+        if lazy and combination.stream is not None:
+            # Defer the construction dereference: the caller pulls rows
+            # through QueryResult.row_iterator and the relation fills as a
+            # side effect — nothing downstream of the combination pipeline
+            # materialises before it is fetched.
+            relation = result_relation_for(selection, self.database)
+            row_iterator = construction.stream_into(combination, relation)
+        else:
+            relation = construction.run(combination)
+            row_iterator = None
         return QueryResult(
             relation=relation,
             prepared=prepared,
@@ -245,6 +391,7 @@ class QueryEngine:
             collection=collection,
             combination=combination,
             access_paths=dict(collection.access_paths),
+            row_iterator=row_iterator,
         )
 
     def _check_extended_prefix_ranges(
@@ -407,11 +554,11 @@ class QueryEngine:
 
         options = options or self.options
         if analyze:
-            # Explain the plan that actually ran: execute() may re-plan via
+            # Explain the plan that actually ran: run() may re-plan via
             # the Strategy 3 runtime fallback, and result.prepared (with its
             # trace) reflects that, keeping the static and dynamic sections
             # of the report consistent.
-            result = self.execute(query, options)
+            result = self.run(query, options)
             effective = (
                 options.with_(extended_ranges=False)
                 if result.used_strategy3_fallback

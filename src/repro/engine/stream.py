@@ -145,6 +145,21 @@ class RowStream:
         """Whether iteration has started (streams are single-use)."""
         return self._rows is None
 
+    def close(self) -> None:
+        """Shut the pipeline down without draining it.
+
+        Closes the underlying generator (releasing breaker state and any
+        pinned buffer-pool pages through the operators' ``finally`` clauses)
+        and marks the stream consumed.  Closing an untouched or exhausted
+        stream is a no-op; cursors route their ``close()`` here.
+        """
+        rows = self._rows
+        self._rows = None
+        if rows is not None:
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()
+
     def map_rows(
         self, function: Callable[[tuple], tuple], schema: RelationSchema | None = None
     ) -> "RowStream":

@@ -30,6 +30,9 @@ __all__ = [
     "BindingError",
     "EvaluationError",
     "StreamError",
+    "TransactionError",
+    "ConnectionClosedError",
+    "CursorError",
 ]
 
 
@@ -150,3 +153,27 @@ class StreamError(EvaluationError):
     second iteration is a programming error, reported loudly instead of
     silently yielding an empty result.
     """
+
+
+# ----------------------------------------------------------------------------- api
+
+
+class TransactionError(PascalRError):
+    """A session transaction was used out of order.
+
+    Raised for ``begin`` while a transaction is already active on the
+    database, ``commit``/``rollback`` without an active transaction, and
+    mutations of transactional scope that the undo journal cannot honour.
+    """
+
+
+class ConnectionClosedError(PascalRError):
+    """An operation was attempted on a closed connection, session or cursor.
+
+    ``close()`` itself is idempotent (double close is a no-op); everything
+    else on a closed handle raises this error.
+    """
+
+
+class CursorError(PascalRError):
+    """A cursor was used out of protocol (e.g. a fetch before any execute)."""

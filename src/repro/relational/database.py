@@ -8,10 +8,12 @@ and insert is charged to.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, TransactionError
 from repro.relational.index import HashIndex, SortedIndex, build_index
+from repro.relational.journal import UndoJournal
 from repro.relational.relation import Relation
 from repro.relational.statistics import AccessStatistics
 from repro.types.schema import Field, RelationSchema
@@ -29,6 +31,11 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._indexes: dict[tuple[str, str], HashIndex | SortedIndex] = {}
         self._schema_version = 0
+        # The undo journal of the one active session transaction, if any.
+        # The lock only protects the slot handover (begin/end); the journaled
+        # mutations themselves run on the relations' ordinary paths.
+        self._active_journal: UndoJournal | None = None
+        self._journal_lock = threading.Lock()
 
     # -- schema versioning -----------------------------------------------------------
 
@@ -61,6 +68,58 @@ class Database:
         """
         return self.statistics.mutation_epoch
 
+    # -- session transactions ----------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a session transaction is currently journaling mutations."""
+        return self._active_journal is not None
+
+    def begin_transaction(self) -> UndoJournal:
+        """Open a transaction: journal every tracked mutation until commit/rollback.
+
+        At most one transaction is active per database at a time (the session
+        layer serializes writers); a concurrent ``begin`` raises
+        :class:`~repro.errors.TransactionError`.  The returned journal is
+        attached to every base relation, so the four tracked operators
+        (``insert``/``delete``/``assign``/``clear``, plus the raw-insert fast
+        path) capture before-images until :meth:`end_transaction`.
+        """
+        with self._journal_lock:
+            if self._active_journal is not None:
+                raise TransactionError(
+                    f"database {self.name!r} already has an active transaction"
+                )
+            journal = UndoJournal()
+            self._active_journal = journal
+        for relation in self._relations.values():
+            relation.begin_journal(journal)
+        return journal
+
+    def end_transaction(self, journal: UndoJournal) -> None:
+        """Detach ``journal`` from every relation (commit, or pre-rollback).
+
+        Detaching *before* replaying is what keeps rollback from journaling
+        itself; :meth:`UndoJournal.rollback` refuses to run while attached.
+        """
+        with self._journal_lock:
+            if self._active_journal is not journal:
+                raise TransactionError(
+                    "journal does not belong to the active transaction of "
+                    f"database {self.name!r}"
+                )
+            self._active_journal = None
+        for relation in self._relations.values():
+            if relation._journal is journal:
+                relation.end_journal()
+        # Relations dropped during the transaction are no longer in the
+        # catalog but may still carry the journal (their before-image will
+        # be replayed into the orphaned object on rollback — harmless, and
+        # the drop itself is DDL, hence not undone).
+        for relation in journal.relations():
+            if relation._journal is journal:
+                relation.end_journal()
+
     # -- relation management ---------------------------------------------------------
 
     def create_relation(
@@ -87,6 +146,11 @@ class Database:
         else:
             relation = Relation(name, schema, elements=elements, tracker=self.statistics)
         self._relations[name] = relation
+        # DDL is not transactional (the relation survives a rollback), but
+        # *data* mutations of a relation declared mid-transaction are
+        # journaled like any other — its before-image is what it holds now.
+        if self._active_journal is not None:
+            relation.begin_journal(self._active_journal)
         self.bump_schema_version()
         return relation
 
@@ -96,6 +160,8 @@ class Database:
             raise CatalogError(f"relation {relation.name!r} already declared")
         relation.tracker = self.statistics
         self._relations[relation.name] = relation
+        if self._active_journal is not None:
+            relation.begin_journal(self._active_journal)
         self.bump_schema_version()
         return relation
 

@@ -1,0 +1,109 @@
+"""The undo journal behind session transactions.
+
+PASCAL/R embeds relation updates in a host program that manipulates the
+database inside a controlled scope; the session layer of :mod:`repro.api`
+reproduces that scope with ``begin``/``commit``/``rollback`` semantics over
+the four tracked relation operators (``insert``, ``delete``, ``assign``,
+``clear``).
+
+The journal is an *undo* journal of lazily captured before-images: the first
+time a relation is mutated inside a transaction, its complete element list is
+snapshotted (the before-image); every further mutation of the same relation
+only appends to the operation log.  ``rollback`` replays the before-images,
+most recently touched relation first, through the ordinary
+:meth:`~repro.relational.relation.Relation.assign` operator.
+
+Replaying through ``assign`` is the coherence rule the whole design leans
+on: ``assign`` clears and reinserts through the relation's normal mutation
+path, which notifies the observer list (so permanent indexes are maintained
+incrementally back to the pre-transaction state), rebuilds the heap file of a
+paged relation from scratch (so pages are repacked and zone maps match a
+fresh load of the restored contents), and advances the database's
+``data_version`` (so collection-phase memos and cached service plans can
+never serve results computed from the rolled-back data).  ``schema_version``
+is untouched — rollback is a pure data operation, catalog changes (DDL) are
+not transactional — so cached plans remain exactly as valid as they were
+before ``begin``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.relational.record import Record
+    from repro.relational.relation import Relation
+
+__all__ = ["UndoJournal"]
+
+
+class UndoJournal:
+    """Before-images and an operation log for one transaction.
+
+    A journal is attached to every base relation of a database by
+    :meth:`~repro.relational.database.Database.begin_transaction`; the
+    relation mutation operators call :meth:`before_mutation` *before*
+    applying themselves, which captures the first-touch before-image and
+    logs the operation.
+    """
+
+    def __init__(self) -> None:
+        # id(relation) -> (relation, before-image element list).  Insertion
+        # order is first-touch order; rollback replays it in reverse.
+        self._images: dict[int, tuple["Relation", list["Record"]]] = {}
+        #: ``(relation name, operator)`` per journaled mutation, oldest first.
+        self.operations: list[tuple[str, str]] = []
+        self._rolled_back = False
+
+    # -- recording (called from Relation mutation operators) -----------------------
+
+    def before_mutation(self, relation: "Relation", op: str) -> None:
+        """Capture ``relation``'s before-image (first touch) and log ``op``."""
+        key = id(relation)
+        if key not in self._images:
+            self._images[key] = (relation, relation.elements())
+        self.operations.append((relation.name, op))
+
+    # -- inspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of journaled mutations."""
+        return len(self.operations)
+
+    def touched_relations(self) -> list[str]:
+        """Names of the relations with a captured before-image (touch order)."""
+        return [relation.name for relation, _ in self._images.values()]
+
+    def relations(self) -> list["Relation"]:
+        """The relation objects with a captured before-image (touch order)."""
+        return [relation for relation, _ in self._images.values()]
+
+    # -- replay -----------------------------------------------------------------------
+
+    def rollback(self) -> None:
+        """Restore every touched relation to its before-image.
+
+        The journal must be detached from the relations first (the database's
+        ``end_transaction`` does that) so the restoring ``assign`` calls are
+        not themselves journaled.  Each restore runs through the ordinary
+        mutation path, so indexes, heap pages, zone maps and the data-version
+        epoch all follow the restored contents.
+        """
+        if self._rolled_back:
+            raise TransactionError("undo journal was already rolled back")
+        self._rolled_back = True
+        for relation, image in reversed(list(self._images.values())):
+            if relation._journal is not None:  # pragma: no cover - defensive
+                raise TransactionError(
+                    f"cannot roll back while relation {relation.name!r} is still "
+                    "journaled; end the transaction first"
+                )
+            relation.assign(image)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"UndoJournal({len(self.operations)} operation(s) over "
+            f"{len(self._images)} relation(s))"
+        )

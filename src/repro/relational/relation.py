@@ -68,6 +68,13 @@ class Relation:
         # database may carry observers; intermediate result relations never
         # do, so the per-mutation check is one truthiness test.
         self._observers: list = []
+        # The undo journal of the active session transaction, if any
+        # (attached by Database.begin_transaction).  Mutation operators call
+        # its before_mutation hook before applying themselves, so rollback
+        # can restore the pre-transaction contents.  Intermediate result
+        # relations are never journaled: the slot stays None outside a
+        # transaction, one is-None test per mutation.
+        self._journal = None
         # Intermediate (reference) relations use key = all components, in
         # which case the key tuple *is* the value tuple — the algebra kernels
         # exploit this to skip key extraction entirely.
@@ -132,16 +139,41 @@ class Relation:
         if self.tracker is not None and self._observers:
             self.tracker.record_index_maintenance(len(self._observers))
 
+    # -- transactional journaling ---------------------------------------------------
+
+    def begin_journal(self, journal) -> None:
+        """Attach the undo journal of an opening transaction."""
+        if self._journal is not None and self._journal is not journal:
+            from repro.errors import TransactionError
+
+            raise TransactionError(
+                f"relation {self.name!r} is already journaled by another transaction"
+            )
+        self._journal = journal
+
+    def end_journal(self) -> None:
+        """Detach the active undo journal (commit or pre-rollback)."""
+        self._journal = None
+
     # -- update operators --------------------------------------------------------
 
     def assign(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> "Relation":
         """The PASCAL/R assignment ``rel := [...]`` — replace all elements."""
-        self._elements = {}
-        if self._observers:
-            self._index_cleared()
-        if self.tracker is not None:
-            self.tracker.record_mutation()
-        self.insert_all(elements)
+        journal = self._journal
+        if journal is not None:
+            # One journal entry for the whole assignment; the per-element
+            # inserts below must not journal themselves on top of it.
+            journal.before_mutation(self, "assign")
+            self._journal = None
+        try:
+            self._elements = {}
+            if self._observers:
+                self._index_cleared()
+            if self.tracker is not None:
+                self.tracker.record_mutation()
+            self.insert_all(elements)
+        finally:
+            self._journal = journal
         return self
 
     def insert(self, element: Record | Mapping[str, Any] | tuple) -> Record:
@@ -160,6 +192,8 @@ class Relation:
             raise DuplicateKeyError(
                 f"relation {self.name!r} already holds a different element with key {key}"
             )
+        if self._journal is not None:
+            self._journal.before_mutation(self, "insert")
         self._elements[key] = record
         if self._observers:
             self._index_added(record)
@@ -183,6 +217,8 @@ class Relation:
         """
         values = record.values
         key = values if self._key_is_all else self.schema.key_of(values)
+        if self._journal is not None:
+            self._journal.before_mutation(self, "insert")
         if self._observers:
             existing = self._elements.get(key)
             if existing is not None and existing != record:
@@ -194,7 +230,7 @@ class Relation:
 
     def bulk_insert_raw(self, records: Iterable[Record]) -> None:
         """Insert many already-validated records through the raw fast path."""
-        if self._observers:
+        if self._observers or self._journal is not None:
             for record in records:
                 self.insert_raw(record)
             return
@@ -223,6 +259,8 @@ class Relation:
         """Remove the element identified by ``key``; return ``True`` if present."""
         if not isinstance(key, tuple):
             key = (key,)
+        if self._journal is not None and key in self._elements:
+            self._journal.before_mutation(self, "delete")
         removed_record = self._elements.pop(key, None)
         removed = removed_record is not None
         if removed:
@@ -234,6 +272,8 @@ class Relation:
 
     def clear(self) -> None:
         """Remove every element."""
+        if self._journal is not None:
+            self._journal.before_mutation(self, "clear")
         self._elements.clear()
         if self._observers:
             self._index_cleared()

@@ -212,8 +212,28 @@ class PreparedQuery:
             self.ensure_fresh()
             return self._execute_locked(values, reset_statistics)
 
+    def execute_streaming(
+        self,
+        values: Mapping[str, Any] | None = None,
+        reset_statistics: bool = True,
+    ) -> QueryResult:
+        """Run the prepared plan with a lazy construction phase.
+
+        Identical to :meth:`execute` through binding, memo lookup and the
+        collection/combination set-up, but the returned result's rows are
+        produced fetch-by-fetch through
+        :attr:`~repro.engine.evaluator.QueryResult.row_iterator` (see
+        :meth:`QueryEngine.execute_plan_streaming`).  The per-binding
+        collection memo still applies — the collection phase runs eagerly,
+        so its result is memoizable before any row has been fetched.
+        """
+        with self._lock:
+            self.ensure_fresh()
+            return self._execute_locked(values, reset_statistics, streaming=True)
+
     def _execute_locked(
-        self, values: Mapping[str, Any] | None, reset_statistics: bool
+        self, values: Mapping[str, Any] | None, reset_statistics: bool,
+        streaming: bool = False,
     ) -> QueryResult:
         # Validate/coerce BEFORE consulting the memos, and key on the
         # coerced values: a hash-equal but type-invalid binding (1977.0 for
@@ -223,8 +243,11 @@ class PreparedQuery:
         plan = self._bound_plan(coerced, key)
         database = self._engine.database
         options = self.options
+        execute_plan = (
+            self._engine.execute_plan_streaming if streaming else self._engine.execute_plan
+        )
         if key is None or self._cache_size == 0:
-            return self._engine.execute_plan(plan, options, reset_statistics=reset_statistics)
+            return execute_plan(plan, options, reset_statistics=reset_statistics)
 
         # The versions the memoized collection would be valid under; read
         # before execution (execution builds only untracked result relations,
@@ -233,13 +256,15 @@ class PreparedQuery:
         cached = self._collections.get(key)
         collection = cached[1] if cached is not None and cached[0] == versions else None
         computed: list = []
-        result = self._engine.execute_plan(
+        result = execute_plan(
             plan,
             options,
             reset_statistics=reset_statistics,
             collection=collection,
             collection_sink=computed.append,
         )
+        # The collection phase is eager even under a streaming construction,
+        # so the memo can be filled before any row has been fetched.
         if collection is None and computed and not result.used_strategy3_fallback:
             self._collections.put(key, (versions, computed[0]))
         return result

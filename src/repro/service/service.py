@@ -22,6 +22,7 @@ expose.  It wraps a :class:`~repro.engine.evaluator.QueryEngine` with:
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.calculus.ast import Selection
@@ -55,7 +56,30 @@ class QueryService:
         options: StrategyOptions | None = None,
         cache_capacity: int | None = None,
         service_options: ServiceOptions | None = None,
+        *,
+        engine: QueryEngine | None = None,
+        execution_lock: threading.RLock | None = None,
+        cache: PlanCache | None = None,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            # Direct construction is the pre-connection surface.  The shim
+            # keeps it working but routes it through the database's default
+            # connection: the deprecated service shares that connection's
+            # engine and execution lock, so old and new callers serialize in
+            # one domain instead of racing each other.
+            warnings.warn(
+                "constructing QueryService directly is deprecated; use "
+                "repro.connect(database, ...) — the Connection owns the service "
+                "(reach it as connection.service)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from repro.api.connection import default_connection
+
+            shared = default_connection(database).service
+            engine = engine or shared.engine
+            execution_lock = execution_lock or shared._execution_lock
         self.database = database
         self.options = options or StrategyOptions()
         self.service_options = service_options or ServiceOptions()
@@ -64,9 +88,15 @@ class QueryService:
                 plan_cache_capacity=cache_capacity
             )
         cache_capacity = self.service_options.plan_cache_capacity
-        self.engine = QueryEngine(database, self.options)
-        self.cache = PlanCache(cache_capacity, statistics=database.statistics)
-        self._execution_lock = threading.RLock()
+        self.engine = engine if engine is not None else QueryEngine(database, self.options)
+        self.cache = (
+            cache
+            if cache is not None
+            else PlanCache(cache_capacity, statistics=database.statistics)
+        )
+        self._execution_lock = (
+            execution_lock if execution_lock is not None else threading.RLock()
+        )
         # Raw text -> normalized token key.  Tokenizing dominates the cost of
         # a cache hit, so repeated executions of the *same string* skip it;
         # texts that differ only in trivia still meet at the normalized key.
@@ -78,6 +108,29 @@ class QueryService:
         # again when the signature flips back.
         self._cache_schema_version: int | None = None
         self._epoch_lock = threading.Lock()
+
+    def derive(
+        self,
+        options: StrategyOptions | None = None,
+        service_options: ServiceOptions | None = None,
+    ) -> "QueryService":
+        """A sibling service with different defaults over the same machinery.
+
+        Shares this service's engine, execution lock and plan cache (cache
+        keys embed the strategy options, so entries never cross over), which
+        is how per-session :class:`~repro.config.StrategyOptions` /
+        :class:`~repro.config.ServiceOptions` overrides work without opening
+        a second serialization domain.
+        """
+        return QueryService(
+            self.database,
+            options=options or self.options,
+            service_options=service_options or self.service_options,
+            engine=self.engine,
+            execution_lock=self._execution_lock,
+            cache=self.cache,
+            _internal=True,
+        )
 
     # -- cache keys --------------------------------------------------------------------
 
@@ -186,6 +239,26 @@ class QueryService:
             self.database.reset_statistics()
             prepared = self._admit(query, options)
             return prepared.execute(parameters, reset_statistics=False)
+
+    def execute_streaming(
+        self,
+        query: str | Selection | PreparedQuery,
+        parameters: Mapping[str, Any] | None = None,
+        options: StrategyOptions | None = None,
+    ) -> QueryResult:
+        """Prepare (or reuse) ``query`` and start a *streaming* execution.
+
+        Compilation, binding and the collection/combination pipeline set-up
+        run here (under the execution lock); the construction dereference is
+        deferred to the returned result's
+        :attr:`~repro.engine.evaluator.QueryResult.row_iterator`.  Cursors
+        are the intended consumer — they re-acquire the execution lock around
+        every fetch, so open streams interleave safely with other requests.
+        """
+        with self._execution_lock:
+            self.database.reset_statistics()
+            prepared = self._admit(query, options)
+            return prepared.execute_streaming(parameters, reset_statistics=False)
 
     # -- batch execution ---------------------------------------------------------------
 

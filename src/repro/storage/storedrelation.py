@@ -90,8 +90,17 @@ class StoredRelation(Relation):
         self._pool.invalidate(self.name)
 
     def assign(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> "StoredRelation":
-        self.clear()
-        self.insert_all(elements)
+        journal = self._journal
+        if journal is not None:
+            # Mirror Relation.assign: one journal entry for the whole
+            # assignment, not one per constituent clear/insert.
+            journal.before_mutation(self, "assign")
+            self._journal = None
+        try:
+            self.clear()
+            self.insert_all(elements)
+        finally:
+            self._journal = journal
         return self
 
     # -- paged scanning --------------------------------------------------------------

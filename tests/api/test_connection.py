@@ -1,0 +1,198 @@
+"""The connection front door: lifecycle, option plumbing, deprecation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConnectionClosedError,
+    CursorError,
+    QueryEngine,
+    QueryService,
+    ServiceOptions,
+    StrategyOptions,
+    connect,
+    execute_naive,
+)
+from repro.api.connection import default_connection
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    PROFESSORS_TEXT,
+    STATUS_PARAM_TEXT,
+)
+
+
+class TestConnectionLifecycle:
+    def test_connect_executes_and_fetches(self, figure1):
+        connection = connect(figure1)
+        rows = connection.execute(PROFESSORS_TEXT).fetchall()
+        expected = execute_naive(figure1, PROFESSORS_TEXT)
+        assert sorted(r.values for r in rows) == sorted(r.values for r in expected)
+
+    def test_context_manager_closes(self, figure1):
+        with connect(figure1) as connection:
+            assert not connection.closed
+        assert connection.closed
+
+    def test_double_close_is_a_noop(self, figure1):
+        connection = connect(figure1)
+        connection.close()
+        connection.close()
+        assert connection.closed
+
+    def test_closed_connection_refuses_work(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.cursor()
+        connection.close()
+        with pytest.raises(ConnectionClosedError):
+            connection.cursor()
+        with pytest.raises(ConnectionClosedError):
+            connection.session()
+        with pytest.raises(ConnectionClosedError):
+            connection.prepare(PROFESSORS_TEXT)
+        with pytest.raises(ConnectionClosedError):
+            cursor.execute(PROFESSORS_TEXT)
+
+    def test_close_rolls_back_active_transaction(self, figure1):
+        connection = connect(figure1)
+        employees = figure1.relation("employees")
+        before = len(employees)
+        session = connection.session()
+        session.begin()
+        employees.delete_key(employees.keys()[0])
+        connection.close()
+        assert len(employees) == before
+        assert not figure1.in_transaction
+
+    def test_connection_owns_service_and_cache(self, figure1):
+        connection = connect(figure1, cache_capacity=3)
+        connection.prepare(PROFESSORS_TEXT)
+        connection.prepare(PROFESSORS_TEXT)
+        info = connection.cache_info()
+        assert info["size"] == 1
+        assert info["capacity"] == 3
+        assert info["hits"] >= 1
+
+
+class TestOptionPlumbing:
+    def test_connection_options_become_defaults(self, figure1):
+        legacy = connect(figure1, options=StrategyOptions.none())
+        assert legacy.options == StrategyOptions.none()
+        result = legacy.execute(EXAMPLE_21_TEXT).fetchall()
+        expected = execute_naive(figure1, EXAMPLE_21_TEXT)
+        assert sorted(r.values for r in result) == sorted(r.values for r in expected)
+
+    def test_session_option_overrides_share_the_plan_cache(self, figure1):
+        connection = connect(figure1)
+        session = connection.session(options=StrategyOptions.none())
+        assert session.options == StrategyOptions.none()
+        assert session._service is not connection.service
+        assert session._service.cache is connection.service.cache
+        assert session._service.engine is connection.service.engine
+        rows = session.execute(EXAMPLE_21_TEXT).fetchall()
+        expected = execute_naive(figure1, EXAMPLE_21_TEXT)
+        assert sorted(r.values for r in rows) == sorted(r.values for r in expected)
+
+    def test_session_service_option_overrides(self, figure1):
+        connection = connect(figure1)
+        session = connection.session(
+            service_options=ServiceOptions(cursor_arraysize=5)
+        )
+        cursor = session.cursor()
+        assert cursor.arraysize == 5
+        cursor.execute(PROFESSORS_TEXT)
+        batch = cursor.fetchmany()
+        assert len(batch) <= 5
+
+    def test_parameterized_execution_through_cursor(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.execute(STATUS_PARAM_TEXT, {"status": "professor"})
+        rows = cursor.fetchall()
+        expected = execute_naive(figure1, PROFESSORS_TEXT)
+        assert sorted(r.values for r in rows) == sorted(r.values for r in expected)
+
+
+class TestExecutemany:
+    def test_results_concatenate_in_request_order(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.executemany(
+            STATUS_PARAM_TEXT,
+            [{"status": "professor"}, {"status": "student"}],
+        )
+        professors = connection.execute(
+            STATUS_PARAM_TEXT, {"status": "professor"}
+        ).fetchall()
+        students = connection.execute(
+            STATUS_PARAM_TEXT, {"status": "student"}
+        ).fetchall()
+        expected = [r.values for r in professors + students]
+        assert [r.values for r in cursor.fetchall()] == expected
+
+    def test_rowcount_known_immediately(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.executemany(STATUS_PARAM_TEXT, [{"status": "professor"}])
+        assert cursor.rowcount >= 0
+
+    def test_empty_binding_sequence(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.executemany(STATUS_PARAM_TEXT, [])
+        assert cursor.fetchall() == []
+        assert cursor.rowcount == 0
+
+
+class TestDeprecationShims:
+    def test_query_engine_execute_warns_and_works(self, figure1):
+        engine = QueryEngine(figure1)
+        with pytest.warns(DeprecationWarning, match="QueryEngine.execute is deprecated"):
+            result = engine.execute(PROFESSORS_TEXT)
+        assert result.relation == engine.run(PROFESSORS_TEXT).relation
+
+    def test_query_service_construction_warns_and_works(self, figure1):
+        with pytest.warns(DeprecationWarning, match="constructing QueryService"):
+            service = QueryService(figure1)
+        result = service.execute(PROFESSORS_TEXT)
+        assert result.relation == execute_naive(figure1, PROFESSORS_TEXT)
+
+    def test_deprecated_service_routes_through_default_connection(self, figure1):
+        shared = default_connection(figure1)
+        with pytest.warns(DeprecationWarning):
+            service = QueryService(figure1)
+        assert service.engine is shared.service.engine
+        assert service._execution_lock is shared.service._execution_lock
+
+    def test_default_connection_is_cached_per_database(self, figure1):
+        first = default_connection(figure1)
+        assert default_connection(figure1) is first
+        first.close()
+        replacement = default_connection(figure1)
+        assert replacement is not first
+        assert not replacement.closed
+
+
+class TestCursorProtocol:
+    def test_fetch_before_execute_raises(self, figure1):
+        cursor = connect(figure1).cursor()
+        with pytest.raises(CursorError):
+            cursor.fetchone()
+
+    def test_closed_cursor_refuses_fetches(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.execute(PROFESSORS_TEXT)
+        cursor.close()
+        cursor.close()  # double close is a no-op
+        with pytest.raises(ConnectionClosedError):
+            cursor.fetchone()
+
+    def test_description_names_and_types(self, figure1):
+        cursor = connect(figure1).execute(PROFESSORS_TEXT)
+        assert [column.name for column in cursor.description] == ["enr", "ename"]
+        assert cursor.description[1].type_code == "nametype"
+
+    def test_re_execute_discards_previous_result(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.execute(EXAMPLE_21_TEXT)
+        cursor.fetchone()
+        cursor.execute(PROFESSORS_TEXT)
+        rows = cursor.fetchall()
+        expected = execute_naive(figure1, PROFESSORS_TEXT)
+        assert sorted(r.values for r in rows) == sorted(r.values for r in expected)

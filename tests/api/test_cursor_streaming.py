@@ -1,0 +1,176 @@
+"""Acceptance: cursor fetches stream — no full-result materialization up front.
+
+The contract of the connection redesign: ``fetchone()`` on a fresh cursor
+returns after *one* construction dereference, with the combination pipeline
+suspended mid-flight.  ``CombinationResult.tuples`` (rows recorded as the
+pipeline drains), ``rows_streamed`` (operator throughput) and
+``peak_tuples`` (the ``LiveTupleTracker`` high-water mark of breaker state)
+make the laziness measurable, and the fetched rows must be byte-identical to
+the legacy materialising path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions, connect
+from repro.errors import ConnectionClosedError
+from repro.workloads.queries import OTHERS_PUBLISHED_1977_TEXT, PROFESSORS_TEXT
+from repro.workloads.university import build_university_database
+
+
+@pytest.fixture(scope="module")
+def scale4():
+    return build_university_database(scale=4)
+
+
+class TestStreamingIsReal:
+    """The ISSUE 5 acceptance criterion, on ``others_published_1977`` at scale 4."""
+
+    def test_fetchone_does_not_materialize_the_full_result(self, scale4):
+        engine = QueryEngine(scale4)
+        legacy = engine.run(OTHERS_PUBLISHED_1977_TEXT)
+        full_size = len(legacy.relation)
+        full_streamed = legacy.statistics["rows_streamed"]
+        assert full_size > 1
+
+        connection = connect(scale4)
+        cursor = connection.cursor()
+        cursor.execute(OTHERS_PUBLISHED_1977_TEXT)
+        first = cursor.fetchone()
+        assert first is not None
+        result = cursor.result
+        # The pipeline has recorded only the prefix that was dereferenced so
+        # far — not the full free-variable tuple set.
+        assert len(result.combination.tuples) < full_size
+        assert len(result.relation) < full_size
+        # Operator throughput confirms it: closing flushes each operator's
+        # row count, and far fewer rows crossed the pipeline than a complete
+        # drain pushes through.
+        cursor.close()
+        partial_streamed = scale4.statistics.rows_streamed
+        assert 0 < partial_streamed < full_streamed
+
+    def test_peak_is_breaker_state_only(self, scale4):
+        """After a full cursor drain the LiveTupleTracker high-water mark
+        matches the streaming executor's, far below the materialised peak."""
+        materialized = QueryEngine(
+            scale4, StrategyOptions().with_(streaming_execution=False)
+        ).run(OTHERS_PUBLISHED_1977_TEXT)
+        cursor = connect(scale4).execute(OTHERS_PUBLISHED_1977_TEXT)
+        cursor.fetchall()
+        streamed_peak = cursor.result.combination.peak_tuples
+        assert streamed_peak < materialized.combination.peak_tuples
+        assert streamed_peak <= len(materialized.relation) + 1
+
+    def test_fetchmany_totals_byte_identical_to_legacy_rows(self, scale4):
+        legacy = QueryEngine(scale4).run(OTHERS_PUBLISHED_1977_TEXT)
+        cursor = connect(scale4).execute(OTHERS_PUBLISHED_1977_TEXT)
+        fetched = []
+        while True:
+            batch = cursor.fetchmany(7)
+            if not batch:
+                break
+            fetched.extend(batch)
+        assert [r.values for r in fetched] == [r.values for r in legacy.rows]
+        assert cursor.rowcount == len(legacy.rows)
+
+    def test_iteration_matches_fetchall(self, scale4):
+        connection = connect(scale4)
+        via_iter = [r.values for r in connection.execute(OTHERS_PUBLISHED_1977_TEXT)]
+        via_fetchall = [
+            r.values
+            for r in connection.execute(OTHERS_PUBLISHED_1977_TEXT).fetchall()
+        ]
+        assert via_iter == via_fetchall
+
+
+class TestCursorLifecycle:
+    def test_result_relation_fills_as_cursor_drains(self, figure1):
+        # others_published_1977 streams (PROFESSORS_TEXT collapses to the
+        # constant-matrix shortcut, which cannot defer construction).
+        cursor = connect(figure1).execute(OTHERS_PUBLISHED_1977_TEXT)
+        assert len(cursor.result.relation) == 0
+        first = cursor.fetchone()
+        assert first is not None
+        assert len(cursor.result.relation) == 1
+        cursor.fetchall()
+        assert len(cursor.result.relation) == cursor.rowcount
+
+    def test_close_mid_stream_releases_pinned_pages(self, scale4):
+        connection = connect(scale4)
+        cursor = connection.execute(OTHERS_PUBLISHED_1977_TEXT)
+        assert cursor.fetchone() is not None
+        cursor.close()
+        for relation in scale4.relations():
+            pool = getattr(relation, "buffer_pool", None)
+            if pool is not None:
+                assert pool.pinned_pages() == 0, relation.name
+
+    def test_statistics_snapshot_finalises_on_exhaustion(self, figure1):
+        cursor = connect(figure1).execute(PROFESSORS_TEXT)
+        live = cursor.statistics
+        assert isinstance(live, dict)
+        cursor.fetchall()
+        final = cursor.statistics
+        assert final["relations"]["employees"]["scans"] >= 1
+        assert final is cursor.result.statistics
+
+    def test_statistics_survive_close_and_later_executions(self, figure1):
+        """A closed cursor keeps ITS final snapshot, not the live counters
+        of whatever ran afterwards on the connection."""
+        connection = connect(figure1)
+        cursor = connection.execute(OTHERS_PUBLISHED_1977_TEXT)
+        assert cursor.fetchone() is not None
+        cursor.close()
+        frozen = cursor.statistics
+        assert frozen["relations"]  # this cursor's own reads
+        connection.execute(PROFESSORS_TEXT).fetchall()  # interleaved activity
+        assert cursor.statistics is frozen
+
+    def test_nonstreaming_options_still_fetch(self, figure1):
+        connection = connect(figure1, options=StrategyOptions.none())
+        cursor = connection.execute(PROFESSORS_TEXT)
+        rows = cursor.fetchall()
+        assert rows
+        streaming_rows = connect(figure1).execute(PROFESSORS_TEXT).fetchall()
+        assert sorted(r.values for r in rows) == sorted(
+            r.values for r in streaming_rows
+        )
+
+    def test_fetchone_returns_none_after_exhaustion(self, figure1):
+        cursor = connect(figure1).execute(PROFESSORS_TEXT)
+        cursor.fetchall()
+        assert cursor.fetchone() is None
+        assert cursor.fetchmany(3) == []
+
+    def test_fetches_fail_on_closed_connection(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.execute(PROFESSORS_TEXT)
+        connection.close()
+        with pytest.raises(ConnectionClosedError):
+            cursor.fetchone()
+
+
+class TestQueryResultSequence:
+    """Satellite: QueryResult.rows aliasing fix + sequence protocol."""
+
+    def test_rows_is_a_defensive_copy(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.run(PROFESSORS_TEXT)
+        size = len(result.relation)
+        rows = result.rows
+        rows.clear()
+        rows.append("junk")
+        assert len(result.relation) == size
+        assert result.rows != rows
+        assert all(hasattr(r, "values") for r in result.rows)
+
+    def test_result_is_a_sequence(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.run(PROFESSORS_TEXT)
+        assert list(result) == result.rows
+        assert result[0] == result.rows[0]
+        assert result[-1] == result.rows[-1]
+        assert result[0:2] == result.rows[0:2]
+        assert len(result) == len(result.rows)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import QueryService, StrategyOptions, build_university_database, execute_naive
+from repro import StrategyOptions, build_university_database, connect, execute_naive
 from repro.engine.evaluator import QueryEngine
 from repro.workloads.queries import OTHERS_PUBLISHED_1977_TEXT
 
@@ -34,39 +34,39 @@ def scale4():
 
 def test_optimizer_peak_tuples_bound(scale4):
     """Peak intermediate n-tuples stay at or below the PR 1 result."""
-    result = QueryEngine(scale4, OPTIMIZED).execute(OTHERS_PUBLISHED_1977_TEXT)
+    result = QueryEngine(scale4, OPTIMIZED).run(OTHERS_PUBLISHED_1977_TEXT)
     assert result.combination is not None
     assert result.combination.peak_tuples <= PEAK_BOUND, result.combination.peak_tuples
 
 
 def test_semijoin_reduction_actually_reduces(scale4):
     """``reduced_tuples`` is positive whenever the reducer flag is on."""
-    result = QueryEngine(scale4, OPTIMIZED).execute(OTHERS_PUBLISHED_1977_TEXT)
+    result = QueryEngine(scale4, OPTIMIZED).run(OTHERS_PUBLISHED_1977_TEXT)
     assert result.statistics["reduced_tuples"] > 0
     assert result.statistics["reductions"] > 0
 
 
 def test_reduction_is_off_when_disabled(scale4):
-    result = QueryEngine(scale4, LEGACY).execute(OTHERS_PUBLISHED_1977_TEXT)
+    result = QueryEngine(scale4, LEGACY).run(OTHERS_PUBLISHED_1977_TEXT)
     assert result.statistics["reduced_tuples"] == 0
 
 
 def test_legacy_gap_is_still_visible(scale4):
     """The legacy configuration still peaks where PR 1 measured it — if this
     shrinks, the benchmark's comparison story needs updating."""
-    result = QueryEngine(scale4, LEGACY).execute(OTHERS_PUBLISHED_1977_TEXT)
+    result = QueryEngine(scale4, LEGACY).run(OTHERS_PUBLISHED_1977_TEXT)
     assert result.combination.peak_tuples >= PEAK_BOUND
     assert result.combination.peak_tuples <= LEGACY_PEAK_FLOOR
 
 
 def test_optimizer_still_matches_naive(scale4):
     expected = execute_naive(scale4, OTHERS_PUBLISHED_1977_TEXT)
-    assert QueryEngine(scale4, OPTIMIZED).execute(OTHERS_PUBLISHED_1977_TEXT).relation == expected
+    assert QueryEngine(scale4, OPTIMIZED).run(OTHERS_PUBLISHED_1977_TEXT).relation == expected
 
 
 def test_prepared_execution_keeps_the_peak_bound(scale4):
     """Plan reuse must not change what the combination phase builds."""
-    service = QueryService(scale4, options=OPTIMIZED)
+    service = connect(scale4, options=OPTIMIZED).service
     prepared = service.prepare(OTHERS_PUBLISHED_1977_TEXT)
     first = prepared.execute()
     second = prepared.execute()  # runs from the cached collection structures

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import QueryEngine, QueryService, StrategyOptions, execute_naive
+from repro import QueryEngine, StrategyOptions, connect, execute_naive
 from repro.calculus import builder as q
 from repro.engine.access import (
     PROBE,
@@ -121,7 +121,7 @@ class TestQueriesThroughIndexPaths:
 
     def test_point_query_skips_the_scan(self, database):
         database.create_index("employees", "enr")
-        service = QueryService(database)
+        service = connect(database).service
         prepared = service.prepare(self.POINT)
         result = prepared.execute({"enr": 5})
         assert result.statistics["relations"]["employees"]["scans"] == 0
@@ -130,12 +130,12 @@ class TestQueriesThroughIndexPaths:
 
     def test_late_binding_probes_fresh_value_per_execution(self, database):
         database.create_index("employees", "enr")
-        service = QueryService(database)
+        service = connect(database).service
         prepared = service.prepare(self.POINT)
         engine = QueryEngine(database)
         for enr in (1, 5, 9):
             got = prepared.execute({"enr": enr}).relation
-            expected = engine.execute(
+            expected = engine.run(
                 f"[<e.ename> OF EACH e IN employees : (e.enr = {enr})]"
             ).relation
             assert sorted(r.values for r in got) == sorted(r.values for r in expected)
@@ -144,7 +144,7 @@ class TestQueriesThroughIndexPaths:
         """Insert/delete after prepare: the incrementally maintained index
         answers the next execution exactly — no refresh_indexes needed."""
         database.create_index("employees", "enr")
-        service = QueryService(database)
+        service = connect(database).service
         prepared = service.prepare(self.POINT)
         assert len(prepared.execute({"enr": 999}).relation) == 0
         employees = database.relation("employees")
@@ -166,14 +166,14 @@ class TestQueriesThroughIndexPaths:
             "[<e.ename> OF EACH e IN employees: "
             "SOME p IN [EACH p IN papers: (p.pyear = 1977)] (p.penr = e.enr)]"
         )
-        result = QueryService(database).execute(text)
+        result = connect(database).service.execute(text)
         assert result.statistics["relations"]["papers"]["scans"] == 0
         assert result.statistics["index_probes"] > 0
         expected = execute_naive(database, text)
         assert result.relation == expected
 
     def test_zone_map_pruning_skips_pages_on_paged_backend(self, backend, database):
-        result = QueryEngine(database).execute(
+        result = QueryEngine(database).run(
             "[<c.ctitle> OF EACH c IN courses : (c.cnr <= 2)]"
         )
         expected = execute_naive(
@@ -194,7 +194,7 @@ class TestQueriesThroughIndexPaths:
             "[<e.ename, m.ename> OF EACH e IN employees, EACH m IN employees : "
             "(e.enr = 5) AND (e.estatus = m.estatus)]"
         )
-        result = QueryEngine(database).execute(text)
+        result = QueryEngine(database).run(text)
         assert result.relation == execute_naive(database, text)
         assert "shared scan already required" in result.access_paths["e"]
         assert result.statistics["relations"]["employees"]["scans"] == 1
@@ -202,14 +202,14 @@ class TestQueriesThroughIndexPaths:
         # probe is worth it again and stays a probe.
         sequential = QueryEngine(
             database, StrategyOptions.only(use_index_paths=True, extended_ranges=True)
-        ).execute(text)
+        ).run(text)
         assert sequential.relation == execute_naive(database, text)
         assert "probe ind_employees_enr" in sequential.access_paths["e"]
 
     def test_false_matrix_reports_no_access_paths(self, database):
         # Lemma 1: SOME over an empty relation collapses the matrix to FALSE.
         database.relation("papers").clear()
-        result = QueryEngine(database).execute(
+        result = QueryEngine(database).run(
             "[<e.ename> OF EACH e IN employees : SOME p IN papers ((p.penr = e.enr))]"
         )
         assert len(result.relation) == 0
@@ -217,7 +217,7 @@ class TestQueriesThroughIndexPaths:
 
     def test_unoptimised_engine_keeps_scanning(self, database):
         database.create_index("employees", "enr")
-        result = QueryEngine(database, StrategyOptions.none()).execute(
+        result = QueryEngine(database, StrategyOptions.none()).run(
             "[<e.ename> OF EACH e IN employees : (e.enr = 5)]"
         )
         assert result.statistics["relations"]["employees"]["scans"] >= 1
@@ -247,7 +247,7 @@ class TestExplainSurfaces:
 
     def test_unbound_parameter_shown_in_static_explain(self, database):
         database.create_index("employees", "enr")
-        service = QueryService(database)
+        service = connect(database).service
         prepared = service.prepare("[<e.ename> OF EACH e IN employees : (e.enr = $x)]")
         from repro.engine.explain import explain_prepared
 
@@ -256,7 +256,7 @@ class TestExplainSurfaces:
 
     def test_prepared_query_exposes_access_paths(self, database):
         database.create_index("employees", "enr")
-        service = QueryService(database)
+        service = connect(database).service
         prepared = service.prepare("[<e.ename> OF EACH e IN employees : (e.enr = $x)]")
         paths = prepared.access_paths()
         assert "probe ind_employees_enr" in paths["e"]

@@ -121,7 +121,7 @@ class TestKernelAccounting:
 
     def test_combination_comparisons_and_intermediates_tracked(self, figure1):
         engine = QueryEngine(figure1, BASE)
-        result = engine.execute(TEACHES_LOW_LEVEL_TEXT)
+        result = engine.run(TEACHES_LOW_LEVEL_TEXT)
         assert result.statistics["comparisons"] > 0
         # Every join step, union, projection and division reports its result
         # size, so the total is at least the recorded peak.
@@ -152,13 +152,13 @@ class TestExplainAnalyze:
     def test_results_identical_with_and_without_optimizer(self, scale4):
         expected = execute_naive(scale4, TEACHES_LOW_LEVEL_TEXT)
         for options in (LEGACY, ORDERED, OPTIMIZED):
-            assert QueryEngine(scale4, options).execute(TEACHES_LOW_LEVEL_TEXT).relation == expected
+            assert QueryEngine(scale4, options).run(TEACHES_LOW_LEVEL_TEXT).relation == expected
 
     def test_separated_execution_reports_every_conjunction(self, figure1):
         from repro.workloads.queries import EXAMPLE_21_TEXT
 
         engine = QueryEngine(figure1, StrategyOptions(separate_existential_conjunctions=True))
-        result = engine.execute(EXAMPLE_21_TEXT)
+        result = engine.run(EXAMPLE_21_TEXT)
         assert result.subqueries > 1
         # One combination report entry per evaluated conjunction, numbered by
         # matrix position (not restarting at 0 for every sub-query).

@@ -28,7 +28,7 @@ import itertools
 
 import pytest
 
-from repro import QueryEngine, QueryService, StrategyOptions, execute_naive
+from repro import QueryEngine, StrategyOptions, connect, execute_naive
 from repro.workloads.queries import (
     all_named_queries,
     inline_parameters,
@@ -100,7 +100,7 @@ def test_optimizer_flags_match_naive_on_figure1(
     ordering, reduction = flags
     options = strategy_options.with_(join_ordering=ordering, semijoin_reduction=reduction)
     expected = execute_naive(figure1_backend, QUERIES[query_name])
-    result = QueryEngine(figure1_backend, options).execute(QUERIES[query_name])
+    result = QueryEngine(figure1_backend, options).run(QUERIES[query_name])
     assert result.relation == expected
     _assert_page_counters_sane(figure1_backend, backend)
 
@@ -115,7 +115,7 @@ def test_optimizer_flags_match_naive_at_scale2(scale2_backend, backend, config_n
     )
     for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
         expected = execute_naive(scale2_backend, QUERIES[query_name])
-        result = QueryEngine(scale2_backend, options).execute(QUERIES[query_name])
+        result = QueryEngine(scale2_backend, options).run(QUERIES[query_name])
         assert result.relation == expected, (config_name, query_name)
     _assert_page_counters_sane(scale2_backend, backend)
 
@@ -125,8 +125,8 @@ def test_backends_agree_elementwise(query_name):
     """The two backends return identical element sets for every named query."""
     memory = figure1_database(paged=False)
     paged = figure1_database(paged=True)
-    memory_result = QueryEngine(memory).execute(QUERIES[query_name])
-    paged_result = QueryEngine(paged).execute(QUERIES[query_name])
+    memory_result = QueryEngine(memory).run(QUERIES[query_name])
+    paged_result = QueryEngine(paged).run(QUERIES[query_name])
     assert sorted(r.values for r in memory_result.relation) == sorted(
         r.values for r in paged_result.relation
     )
@@ -164,7 +164,7 @@ class TestIndexAccessPathEquivalence:
     ):
         options = StrategyOptions().with_(use_index_paths=index_paths)
         expected = execute_naive(indexed_backend, QUERIES[query_name])
-        result = QueryEngine(indexed_backend, options).execute(QUERIES[query_name])
+        result = QueryEngine(indexed_backend, options).run(QUERIES[query_name])
         assert result.relation == expected, query_name
         _assert_page_counters_sane(indexed_backend, backend)
 
@@ -172,10 +172,10 @@ class TestIndexAccessPathEquivalence:
     def test_on_off_byte_identical(self, indexed_backend, query_name):
         on = QueryEngine(
             indexed_backend, StrategyOptions().with_(use_index_paths=True)
-        ).execute(QUERIES[query_name])
+        ).run(QUERIES[query_name])
         off = QueryEngine(
             indexed_backend, StrategyOptions().with_(use_index_paths=False)
-        ).execute(QUERIES[query_name])
+        ).run(QUERIES[query_name])
         assert sorted(r.values for r in on.relation) == sorted(
             r.values for r in off.relation
         )
@@ -188,13 +188,13 @@ class TestIndexAccessPathEquivalence:
         options = SCALE2_CONFIGS[config_name].with_(use_index_paths=True)
         for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
             expected = execute_naive(database, QUERIES[query_name])
-            result = QueryEngine(database, options).execute(QUERIES[query_name])
+            result = QueryEngine(database, options).run(QUERIES[query_name])
             assert result.relation == expected, (config_name, query_name)
 
     @pytest.mark.parametrize("workload_name", sorted(parameterized_queries()))
     def test_prepared_on_off_byte_identical(self, indexed_backend, workload_name):
         text, bindings = parameterized_queries()[workload_name]
-        service = QueryService(indexed_backend)
+        service = connect(indexed_backend).service
         prepared_on = service.prepare(text)
         prepared_off = service.prepare(
             text, StrategyOptions().with_(use_index_paths=False)
@@ -224,10 +224,10 @@ class TestStreamingEquivalence:
         expected = execute_naive(figure1_backend, QUERIES[query_name])
         on = QueryEngine(
             figure1_backend, strategy_options.with_(streaming_execution=True)
-        ).execute(QUERIES[query_name])
+        ).run(QUERIES[query_name])
         off = QueryEngine(
             figure1_backend, strategy_options.with_(streaming_execution=False)
-        ).execute(QUERIES[query_name])
+        ).run(QUERIES[query_name])
         assert on.relation == expected
         assert off.relation == expected
         assert sorted(r.values for r in on.relation) == sorted(
@@ -247,10 +247,10 @@ class TestStreamingEquivalence:
         for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
             on = QueryEngine(
                 scale2_backend, base.with_(streaming_execution=True)
-            ).execute(QUERIES[query_name])
+            ).run(QUERIES[query_name])
             off = QueryEngine(
                 scale2_backend, base.with_(streaming_execution=False)
-            ).execute(QUERIES[query_name])
+            ).run(QUERIES[query_name])
             assert sorted(r.values for r in on.relation) == sorted(
                 r.values for r in off.relation
             ), (config_name, query_name)
@@ -267,10 +267,10 @@ class TestStreamingEquivalence:
         base = StrategyOptions().with_(use_index_paths=index_paths)
         on = QueryEngine(
             indexed_backend, base.with_(streaming_execution=True)
-        ).execute(QUERIES[query_name])
+        ).run(QUERIES[query_name])
         off = QueryEngine(
             indexed_backend, base.with_(streaming_execution=False)
-        ).execute(QUERIES[query_name])
+        ).run(QUERIES[query_name])
         assert on.relation == expected
         assert sorted(r.values for r in on.relation) == sorted(
             r.values for r in off.relation
@@ -280,7 +280,7 @@ class TestStreamingEquivalence:
     @pytest.mark.parametrize("workload_name", sorted(parameterized_queries()))
     def test_prepared_streaming_on_off_byte_identical(self, figure1_backend, workload_name):
         text, bindings = parameterized_queries()[workload_name]
-        service = QueryService(figure1_backend)
+        service = connect(figure1_backend).service
         prepared_on = service.prepare(text, StrategyOptions().with_(streaming_execution=True))
         prepared_off = service.prepare(text, StrategyOptions().with_(streaming_execution=False))
         for values in bindings:
@@ -299,10 +299,10 @@ class TestPreparedMatchesColdAcrossBackends:
     def test_prepared_byte_identical_to_cold(self, figure1_backend, backend, workload_name):
         text, bindings = parameterized_queries()[workload_name]
         engine = QueryEngine(figure1_backend)
-        service = QueryService(figure1_backend)
+        service = connect(figure1_backend).service
         prepared = service.prepare(text)
         for values in bindings:
-            expected = engine.execute(inline_parameters(text, values)).relation
+            expected = engine.run(inline_parameters(text, values)).relation
             for _ in range(2):  # the second run exercises the collection memo
                 result = prepared.execute(values)
                 assert sorted(r.values for r in result.relation) == sorted(

@@ -31,39 +31,39 @@ class TestEquivalenceWithNaiveEvaluation:
         text = PAPER_QUERIES[name]
         expected = execute_naive(figure1, text)
         engine = QueryEngine(figure1, strategy_options)
-        assert engine.execute(text).relation == expected
+        assert engine.run(text).relation == expected
 
     @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
     def test_scale2_database(self, university_scale2, name):
         text = PAPER_QUERIES[name]
         expected = execute_naive(university_scale2, text)
         engine = QueryEngine(university_scale2)
-        assert engine.execute(text).relation == expected
-        unopt = engine.execute(text, options=StrategyOptions.none())
+        assert engine.run(text).relation == expected
+        unopt = engine.run(text, options=StrategyOptions.none())
         assert unopt.relation == expected
 
     def test_example_45_equals_example_21(self, engine):
         """Strategy 3's target formulation returns the same result as the original."""
-        assert engine.execute(EXAMPLE_45_TEXT).relation == engine.execute(EXAMPLE_21_TEXT).relation
+        assert engine.run(EXAMPLE_45_TEXT).relation == engine.run(EXAMPLE_21_TEXT).relation
 
     def test_builder_queries_match_text_queries(self, figure1):
         engine = QueryEngine(figure1)
         for name, selection in all_named_queries().items():
-            by_ast = engine.execute(selection)
+            by_ast = engine.run(selection)
             assert len(by_ast.relation) == len(by_ast.relation)  # smoke: executes without error
 
 
 class TestPaperEfficiencyClaims:
     def test_full_optimizer_scans_each_relation_once(self, figure1):
         engine = QueryEngine(figure1)
-        result = engine.execute(EXAMPLE_21_TEXT)
+        result = engine.run(EXAMPLE_21_TEXT)
         scans = {name: counters["scans"] for name, counters in result.statistics["relations"].items()}
         assert scans == {"employees": 1, "papers": 1, "courses": 1, "timetable": 1}
 
     def test_unoptimized_evaluation_scans_more_and_builds_more(self, figure1):
         engine = QueryEngine(figure1)
-        optimized = engine.execute(EXAMPLE_21_TEXT)
-        unoptimized = engine.execute(EXAMPLE_21_TEXT, options=StrategyOptions.none())
+        optimized = engine.run(EXAMPLE_21_TEXT)
+        unoptimized = engine.run(EXAMPLE_21_TEXT, options=StrategyOptions.none())
         opt_scans = sum(c["scans"] for c in optimized.statistics["relations"].values())
         unopt_scans = sum(c["scans"] for c in unoptimized.statistics["relations"].values())
         assert opt_scans < unopt_scans
@@ -74,16 +74,16 @@ class TestPaperEfficiencyClaims:
 
     def test_strategy4_removes_the_division_step(self, figure1):
         engine = QueryEngine(figure1)
-        optimized = engine.execute(EXAMPLE_21_TEXT)
+        optimized = engine.run(EXAMPLE_21_TEXT)
         assert optimized.prepared.prefix == ()
-        with_division = engine.execute(
+        with_division = engine.run(
             EXAMPLE_21_TEXT, options=StrategyOptions(collection_phase_quantifiers=False)
         )
         assert any(spec.kind == "ALL" for spec in with_division.prepared.prefix)
         assert with_division.relation == optimized.relation
 
     def test_elapsed_time_and_rows_reported(self, engine):
-        result = engine.execute(PROFESSORS_TEXT)
+        result = engine.run(PROFESSORS_TEXT)
         assert result.elapsed_seconds >= 0
         assert len(result.rows) == len(result)
 
@@ -93,7 +93,7 @@ class TestRuntimeAdaptation:
         """With papers = [] the answer is exactly the professors (Example 2.2)."""
         figure1.relation("papers").clear()
         engine = QueryEngine(figure1)
-        result = engine.execute(EXAMPLE_21_TEXT)
+        result = engine.run(EXAMPLE_21_TEXT)
         professors = {
             e.ename for e in figure1.relation("employees") if e.estatus.label == "professor"
         }
@@ -106,7 +106,7 @@ class TestRuntimeAdaptation:
         figure1.relation("timetable").clear()
         expected = execute_naive(figure1, EXAMPLE_21_TEXT)
         engine = QueryEngine(figure1, strategy_options)
-        assert engine.execute(EXAMPLE_21_TEXT).relation == expected
+        assert engine.run(EXAMPLE_21_TEXT).relation == expected
 
     def test_strategy3_fallback_when_extension_is_empty(self, figure1):
         """If no employee is a professor, e's extended range is empty at runtime."""
@@ -117,7 +117,7 @@ class TestRuntimeAdaptation:
         ]
         employees.assign(demoted)
         engine = QueryEngine(figure1)
-        result = engine.execute(EXAMPLE_21_TEXT)
+        result = engine.run(EXAMPLE_21_TEXT)
         assert result.used_strategy3_fallback
         assert result.relation == execute_naive(figure1, EXAMPLE_21_TEXT)
         assert len(result.relation) == 0
@@ -126,7 +126,7 @@ class TestRuntimeAdaptation:
         for name in ("employees", "papers", "courses", "timetable"):
             figure1.relation(name).clear()
         engine = QueryEngine(figure1, strategy_options)
-        assert len(engine.execute(EXAMPLE_21_TEXT).relation) == 0
+        assert len(engine.run(EXAMPLE_21_TEXT).relation) == 0
 
 
 class TestEngineInterface:
@@ -151,29 +151,29 @@ class TestEngineInterface:
         assert "ALL p" in text
 
     def test_describe_summarises_result(self, engine):
-        result = engine.execute(EXAMPLE_21_TEXT)
+        result = engine.run(EXAMPLE_21_TEXT)
         description = result.describe()
         assert "result:" in description
         assert "transformations:" in description
 
     def test_separated_execution_counts_subqueries(self, figure1):
         engine = QueryEngine(figure1, StrategyOptions(separate_existential_conjunctions=True))
-        result = engine.execute(TEACHES_LOW_LEVEL_TEXT)
+        result = engine.run(TEACHES_LOW_LEVEL_TEXT)
         assert result.subqueries >= 1
 
     def test_statistics_are_reset_between_runs_by_default(self, engine):
-        first = engine.execute(PROFESSORS_TEXT)
-        second = engine.execute(PROFESSORS_TEXT)
+        first = engine.run(PROFESSORS_TEXT)
+        second = engine.run(PROFESSORS_TEXT)
         assert first.statistics["relations"]["employees"]["scans"] == \
             second.statistics["relations"]["employees"]["scans"]
 
     def test_constant_true_query(self, figure1):
         engine = QueryEngine(figure1)
-        result = engine.execute("[<e.ename> OF EACH e IN employees: true]")
+        result = engine.run("[<e.ename> OF EACH e IN employees: true]")
         distinct_names = {e.ename for e in figure1.relation("employees")}
         assert {r.ename for r in result.relation} == distinct_names
 
     def test_constant_false_query(self, figure1):
         engine = QueryEngine(figure1)
-        result = engine.execute("[<e.ename> OF EACH e IN employees: false]")
+        result = engine.run("[<e.ename> OF EACH e IN employees: false]")
         assert len(result.relation) == 0

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import QueryEngine, QueryService, StrategyOptions
+from repro import QueryEngine, StrategyOptions, connect
 from repro.calculus.ast import (
     And,
     BoolConst,
@@ -73,7 +73,7 @@ def test_full_optimizer_matches_naive_evaluation(seed):
     database, resolved = pair
     expected = evaluate_selection_naive(resolved, database)
     engine = QueryEngine(database)
-    assert engine.execute(resolved).relation == expected
+    assert engine.run(resolved).relation == expected
 
 
 @PROPERTY_SETTINGS
@@ -88,7 +88,7 @@ def test_every_strategy_configuration_matches_naive_evaluation(seed, config):
     database, resolved = pair
     expected = evaluate_selection_naive(resolved, database)
     engine = QueryEngine(database)
-    assert engine.execute(resolved, options=CONFIGS[config]).relation == expected
+    assert engine.run(resolved, options=CONFIGS[config]).relation == expected
 
 
 @PROPERTY_SETTINGS
@@ -223,7 +223,7 @@ def test_prepared_parameterized_query_matches_fresh_evaluation(seed, delta):
     parameterized, base_values = _parameterize(resolved)
     if not base_values:
         return
-    service = QueryService(database)
+    service = connect(database).service
     try:
         prepared = service.prepare(parameterized)
     except PascalRError:
@@ -254,7 +254,7 @@ def test_prepared_base_binding_reproduces_the_original_query(seed):
     if not base_values:
         return
     expected = evaluate_selection_naive(resolved, database)
-    service = QueryService(database)
+    service = connect(database).service
     try:
         prepared = service.prepare(parameterized)
     except PascalRError:
@@ -284,4 +284,4 @@ def test_dense_seed_sweep_all_strategies():
         expected = evaluate_selection_naive(resolved, database)
         engine = QueryEngine(database)
         for options in (CONFIGS[0], CONFIGS[1]):
-            assert engine.execute(resolved, options=options).relation == expected, seed
+            assert engine.run(resolved, options=options).relation == expected, seed

@@ -164,19 +164,19 @@ class TestStreamingKernels:
 
 class TestStreamingExecution:
     def test_rows_streamed_and_operators_counted(self, figure1):
-        result = QueryEngine(figure1, S1_STREAMED).execute(PUBLISHING_TEACHERS_TEXT)
+        result = QueryEngine(figure1, S1_STREAMED).run(PUBLISHING_TEACHERS_TEXT)
         assert result.statistics["rows_streamed"] > 0
         assert result.statistics["operators_pipelined"] > 0
         assert result.combination.streamed
 
     def test_no_streaming_counters_when_disabled(self, figure1):
-        result = QueryEngine(figure1, S1_MATERIALIZED).execute(PUBLISHING_TEACHERS_TEXT)
+        result = QueryEngine(figure1, S1_MATERIALIZED).run(PUBLISHING_TEACHERS_TEXT)
         assert result.statistics["rows_streamed"] == 0
         assert result.statistics["operators_pipelined"] == 0
         assert not result.combination.streamed
 
     def test_semijoin_short_circuit_applies_on_the_showcase_query(self, figure1):
-        result = QueryEngine(figure1, S1_STREAMED).execute(OTHERS_PUBLISHED_1977_TEXT)
+        result = QueryEngine(figure1, S1_STREAMED).run(OTHERS_PUBLISHED_1977_TEXT)
         notes = result.combination.operator_notes
         assert any(
             note.op.startswith("semijoin") and "short-circuit" in note.reason
@@ -187,7 +187,7 @@ class TestStreamingExecution:
         options = StrategyOptions.only(
             parallel_collection=True, streaming_execution=True
         )
-        result = QueryEngine(figure1, options).execute(NO_1977_PAPERS_TEXT)
+        result = QueryEngine(figure1, options).run(NO_1977_PAPERS_TEXT)
         expected = execute_naive(figure1, NO_1977_PAPERS_TEXT)
         assert result.relation == expected
         notes = result.combination.operator_notes
@@ -200,21 +200,21 @@ class TestStreamingExecution:
         options = StrategyOptions.only(
             parallel_collection=True, streaming_execution=True
         )
-        result = QueryEngine(figure1, options).execute(EXAMPLE_21_TEXT)
+        result = QueryEngine(figure1, options).run(EXAMPLE_21_TEXT)
         notes = result.combination.operator_notes
         union_notes = [n for n in notes if n.op.startswith("union")]
         assert union_notes and "dedup" in union_notes[0].reason
 
     def test_sizes_finalized_after_execution(self, figure1):
-        result = QueryEngine(figure1, S1_STREAMED).execute(OTHERS_PUBLISHED_1977_TEXT)
+        result = QueryEngine(figure1, S1_STREAMED).run(OTHERS_PUBLISHED_1977_TEXT)
         combination = result.combination
         assert combination.after_quantifiers_size == len(combination.tuples)
         assert combination.union_size >= combination.after_quantifiers_size
         assert len(combination.conjunction_sizes) == len(combination.conjunction_indexes)
 
     def test_streamed_peak_below_materialized_peak(self, figure1):
-        streamed = QueryEngine(figure1, S1_STREAMED).execute(OTHERS_PUBLISHED_1977_TEXT)
-        materialized = QueryEngine(figure1, S1_MATERIALIZED).execute(OTHERS_PUBLISHED_1977_TEXT)
+        streamed = QueryEngine(figure1, S1_STREAMED).run(OTHERS_PUBLISHED_1977_TEXT)
+        materialized = QueryEngine(figure1, S1_MATERIALIZED).run(OTHERS_PUBLISHED_1977_TEXT)
         assert streamed.relation == materialized.relation
         assert streamed.combination.peak_tuples <= materialized.combination.peak_tuples
 
@@ -275,12 +275,12 @@ class TestStreamingExecution:
         assert combination.stream is None
         assert len(combination.tuples) == len(set(drained))
         result = ConstructionPhase(resolved, figure1).run(combination)
-        expected = QueryEngine(figure1, S1_MATERIALIZED).execute(PUBLISHING_TEACHERS_TEXT)
+        expected = QueryEngine(figure1, S1_MATERIALIZED).run(PUBLISHING_TEACHERS_TEXT)
         assert result == expected.relation
 
     def test_separated_conjunctions_stream_per_subquery(self, figure1):
         options = StrategyOptions(separate_existential_conjunctions=True)
-        result = QueryEngine(figure1, options).execute(EXAMPLE_21_TEXT)
+        result = QueryEngine(figure1, options).run(EXAMPLE_21_TEXT)
         expected = execute_naive(figure1, EXAMPLE_21_TEXT)
         assert result.relation == expected
         assert result.subqueries > 1
@@ -327,8 +327,8 @@ def test_streamed_and_materialized_agree_on_random_workloads(seed, config):
     expected = evaluate_selection_naive(resolved, database)
     engine = QueryEngine(database)
     options = STREAM_CONFIGS[config]
-    streamed = engine.execute(resolved, options=options.with_(streaming_execution=True))
-    materialized = engine.execute(resolved, options=options.with_(streaming_execution=False))
+    streamed = engine.run(resolved, options=options.with_(streaming_execution=True))
+    materialized = engine.run(resolved, options=options.with_(streaming_execution=False))
     assert streamed.relation == expected
     assert materialized.relation == expected
     assert sorted(r.values for r in streamed.relation) == sorted(
@@ -348,7 +348,7 @@ def test_rows_streamed_positive_whenever_a_join_pipelines(seed):
     options = StrategyOptions.only(parallel_collection=True, streaming_execution=True)
     engine = QueryEngine(database, options)
     try:
-        result = engine.execute(resolved)
+        result = engine.run(resolved)
     except PascalRError:
         return
     assert result.relation == evaluate_selection_naive(resolved, database)

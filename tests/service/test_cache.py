@@ -36,13 +36,13 @@ class TestPlanCache:
         assert len(cache) == 0
 
     def test_zero_capacity_service_still_works(self):
-        from repro import QueryService, build_university_database, execute_naive
+        from repro import build_university_database, connect, execute_naive
         from repro.config import ServiceOptions
 
         database = build_university_database(scale=1)
-        service = QueryService(
+        service = connect(
             database, service_options=ServiceOptions(plan_cache_capacity=0)
-        )
+        ).service
         text = "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
         first = service.prepare(text)
         second = service.prepare(text)

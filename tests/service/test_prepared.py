@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import QueryService, StrategyOptions, build_university_database, execute_naive
+from repro import StrategyOptions, build_university_database, connect, execute_naive
 from repro.calculus.typecheck import resolve_selection
 from repro.errors import BindingError
 from repro.lang.parser import parse_selection
@@ -24,14 +24,14 @@ def naive_reference(database, text, values):
 
 class TestLifecycle:
     def test_prepare_records_the_transformation_trace(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(RUNNING_QUERY_PARAM_TEXT)
         assert prepared.trace.names()  # resolve happened before prepare_query
         assert prepared.is_parameterized()
         assert prepared.parameter_names == ("level", "status", "year")
 
     def test_every_workload_binding_matches_fresh_naive_evaluation(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         for name, (text, bindings) in parameterized_queries().items():
             prepared = service.prepare(text)
             for values in bindings:
@@ -42,7 +42,7 @@ class TestLifecycle:
                 )
 
     def test_repeated_execution_uses_the_collection_memo(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
         first = prepared.execute({"year": 1977})
         second = prepared.execute({"year": 1977})
@@ -54,7 +54,7 @@ class TestLifecycle:
 
     def test_distinct_bindings_never_share_collection_structures(self, figure1):
         """The binding-leak regression: each binding set gets its own result."""
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(STATUS_PARAM_TEXT)
         professors = prepared.execute({"status": "professor"}).relation
         students = prepared.execute({"status": "student"}).relation
@@ -65,7 +65,7 @@ class TestLifecycle:
         assert professors != students
 
     def test_data_mutation_invalidates_the_collection_memo(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(STATUS_PARAM_TEXT)
         before = prepared.execute({"status": "professor"}).relation
         figure1.relation("employees").insert(
@@ -76,7 +76,7 @@ class TestLifecycle:
         assert after == naive_reference(figure1, STATUS_PARAM_TEXT, {"status": "professor"})
 
     def test_stale_detection_after_catalog_change(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(STATUS_PARAM_TEXT)
         assert not prepared.is_stale()
         figure1.create_index("employees", "enr")
@@ -85,7 +85,7 @@ class TestLifecycle:
     def test_stale_prepared_query_refuses_to_execute(self, figure1):
         from repro.errors import PlanError
 
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(STATUS_PARAM_TEXT)
         figure1.create_index("employees", "enr")
         with pytest.raises(PlanError, match="stale"):
@@ -105,7 +105,7 @@ class TestLifecycle:
         papers = figure1.relation("papers")
         saved = list(papers.elements())
         papers.assign([])
-        service = QueryService(figure1)
+        service = connect(figure1).service
         text = "[<e.ename> OF EACH e IN employees: ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))]"
         prepared = service.prepare(text)
         assert prepared.execute().relation == execute_naive(figure1, text)
@@ -119,7 +119,7 @@ class TestLifecycle:
     def test_unrelated_emptiness_transition_does_not_stale_the_handle(self, figure1):
         """Clearing a relation the query never ranges over must not break a
         held prepared handle (staleness is restricted to referenced ranges)."""
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(STATUS_PARAM_TEXT)  # ranges over employees only
         assert prepared.referenced_relations == frozenset({"employees"})
         courses = figure1.relation("courses")
@@ -134,7 +134,7 @@ class TestLifecycle:
     def test_batch_refuses_stale_prepared_handles(self, figure1):
         from repro.errors import PlanError
 
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(STATUS_PARAM_TEXT)
         figure1.create_index("employees", "enr")
         with pytest.raises(PlanError, match="stale"):
@@ -143,7 +143,7 @@ class TestLifecycle:
     def test_warm_memo_does_not_bypass_binding_validation(self, figure1):
         """1977.0 == 1977 with equal hashes; validation must still reject it
         even when the 1977 memo entry is warm."""
-        prepared = QueryService(figure1).prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
+        prepared = connect(figure1).service.prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
         prepared.execute({"year": 1977})
         with pytest.raises(BindingError):
             prepared.execute({"year": 1977.0})
@@ -157,7 +157,7 @@ class TestLifecycle:
         [<e.ename> OF EACH e IN employees:
             (e.enr = $n) AND SOME p IN papers ((p.pyear = $n))]
         """
-        prepared = QueryService(figure1).prepare(text)
+        prepared = connect(figure1).service.prepare(text)
         with pytest.raises(BindingError, match="yeartype"):
             prepared.execute({"n": 3})  # valid enumbertype, outside yeartype
         result = prepared.execute({"n": 1977})  # hits no employee, but valid
@@ -171,7 +171,7 @@ class TestLifecycle:
             "[<e.ename> OF EACH e IN employees: "
             "ALL p IN [EACH p IN papers: (p.pyear = 1990)] (e.enr <> p.penr)]"
         )
-        service = QueryService(figure1)
+        service = connect(figure1).service
         prepared = service.prepare(text)
         # No 1990 papers: the runtime fallback handles the empty instantiation.
         empty = prepared.execute()
@@ -195,7 +195,7 @@ class TestLifecycle:
         [<e.ename> OF EACH e IN employees:
             ALL p IN [EACH p IN papers: (p.pyear = $year)] (e.enr <> p.penr)]
         """
-        prepared = QueryService(figure1).prepare(text)
+        prepared = connect(figure1).service.prepare(text)
         empty_year = prepared.execute({"year": 1901})  # no 1901 papers
         assert empty_year.used_strategy3_fallback
         assert empty_year.relation == naive_reference(figure1, text, {"year": 1901})
@@ -205,7 +205,7 @@ class TestLifecycle:
 
     def test_service_execute_snapshots_plan_cache_counters(self, figure1):
         """The hit/miss of this very request survives into result.statistics."""
-        service = QueryService(figure1)
+        service = connect(figure1).service
         first = service.execute(STATUS_PARAM_TEXT, {"status": "professor"})
         assert first.statistics["plan_cache_misses"] == 1
         assert first.statistics["plan_cache_hits"] == 0
@@ -216,19 +216,19 @@ class TestLifecycle:
 
 class TestBindingValidation:
     def test_missing_binding_raises(self, figure1):
-        prepared = QueryService(figure1).prepare(RUNNING_QUERY_PARAM_TEXT)
+        prepared = connect(figure1).service.prepare(RUNNING_QUERY_PARAM_TEXT)
         with pytest.raises(BindingError):
             prepared.execute({"status": "professor"})
 
     def test_binding_for_parameterless_query_raises(self, figure1):
-        prepared = QueryService(figure1).prepare(
+        prepared = connect(figure1).service.prepare(
             "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
         )
         with pytest.raises(BindingError):
             prepared.execute({"status": "professor"})
 
     def test_parameterless_query_executes_without_bindings(self, figure1):
-        prepared = QueryService(figure1).prepare(
+        prepared = connect(figure1).service.prepare(
             "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
         )
         expected = execute_naive(
@@ -243,7 +243,7 @@ class TestBindingValidation:
         class OddInt(int):
             __hash__ = None  # type: ignore[assignment]
 
-        prepared = QueryService(figure1).prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
+        prepared = connect(figure1).service.prepare(NO_PAPERS_IN_YEAR_PARAM_TEXT)
         result = prepared.execute({"year": OddInt(1977)})
         assert result.relation == naive_reference(
             figure1, NO_PAPERS_IN_YEAR_PARAM_TEXT, {"year": 1977}
@@ -264,7 +264,7 @@ class TestStrategyIndependence:
     def test_prepared_execution_matches_naive_under_every_configuration(
         self, figure1, options
     ):
-        service = QueryService(figure1, options=options)
+        service = connect(figure1, options=options).service
         for name, (text, bindings) in parameterized_queries().items():
             prepared = service.prepare(text)
             for values in bindings:
@@ -277,9 +277,9 @@ class TestStrategyIndependence:
         database = build_university_database(scale=1)
         from repro.config import ServiceOptions
 
-        service = QueryService(
+        service = connect(
             database, service_options=ServiceOptions(collection_cache_size=0)
-        )
+        ).service
         prepared = service.prepare(STATUS_PARAM_TEXT)
         for _ in range(2):
             assert prepared.execute({"status": "professor"}).relation == naive_reference(

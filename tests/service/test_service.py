@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro import QueryEngine, QueryService, StrategyOptions, build_university_database, execute_naive
+from repro import QueryEngine, StrategyOptions, build_university_database, connect, execute_naive
 from repro.config import ServiceOptions
 from repro.workloads.queries import (
     EXAMPLE_21_TEXT,
@@ -17,14 +17,14 @@ from repro.workloads.queries import (
 
 class TestPlanCaching:
     def test_same_text_hits_the_cache(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         first = service.prepare(PROFESSORS_TEXT)
         second = service.prepare(PROFESSORS_TEXT)
         assert second is first
         assert service.cache_info()["hits"] == 1
 
     def test_normalization_ignores_whitespace_comments_and_keyword_case(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         first = service.prepare(PROFESSORS_TEXT)
         variant = (
             "  [<e.enr, e.ename> OF each e IN employees:  {paper query}\n"
@@ -33,14 +33,14 @@ class TestPlanCaching:
         assert service.prepare(variant) is first
 
     def test_different_options_get_different_plans(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         default = service.prepare(EXAMPLE_21_TEXT)
         legacy = service.prepare(EXAMPLE_21_TEXT, options=StrategyOptions.none())
         assert legacy is not default
         assert len(service.cache) == 2
 
     def test_catalog_change_invalidates_cached_plans(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         before = service.prepare(PROFESSORS_TEXT)
         figure1.create_index("employees", "enr")
         after = service.prepare(PROFESSORS_TEXT)
@@ -52,7 +52,7 @@ class TestPlanCaching:
         catalog cannot be served once the index is back — the re-created
         index may change the chosen access path."""
         figure1.create_index("employees", "enr")
-        service = QueryService(figure1)
+        service = connect(figure1).service
         with_index = service.prepare(PROFESSORS_TEXT)
         figure1.drop_index("employees", "enr")
         assert with_index.is_stale()
@@ -69,7 +69,7 @@ class TestPlanCaching:
         """Lemma 1 is the only data dependency of compilation: plans are keyed
         on which relations are empty."""
         database = build_university_database(scale=1)
-        service = QueryService(database)
+        service = connect(database).service
         before = service.prepare(EXAMPLE_21_TEXT)
         papers = database.relation("papers")
         saved = list(papers.elements())
@@ -92,14 +92,14 @@ class TestPlanCaching:
         from repro.types.scalar import INTEGER
 
         figure1.create_relation("audit_log", [("anr", INTEGER)], key=["anr"])
-        service = QueryService(figure1)
+        service = connect(figure1).service
         first = service.prepare(PROFESSORS_TEXT)
         figure1.relation("audit_log").insert({"anr": 1})  # empty -> non-empty
         assert service.prepare(PROFESSORS_TEXT) is first
         assert len(service.cache) == 1
 
     def test_lru_eviction_respects_capacity(self, figure1):
-        service = QueryService(figure1, cache_capacity=1)
+        service = connect(figure1, cache_capacity=1).service
         service.prepare(PROFESSORS_TEXT)
         service.prepare(EXAMPLE_21_TEXT)
         assert len(service.cache) == 1
@@ -107,7 +107,7 @@ class TestPlanCaching:
     def test_selection_objects_are_cacheable_keys(self, figure1):
         from repro.workloads.queries import example_21
 
-        service = QueryService(figure1)
+        service = connect(figure1).service
         first = service.prepare(example_21())
         second = service.prepare(example_21())
         assert second is first
@@ -115,7 +115,7 @@ class TestPlanCaching:
 
 class TestExecuteBatch:
     def test_batch_results_equal_individual_execution(self, figure1):
-        service = QueryService(figure1)
+        service = connect(figure1).service
         requests = [
             (STATUS_PARAM_TEXT, {"status": "professor"}),
             (STATUS_PARAM_TEXT, {"status": "student"}),
@@ -139,7 +139,7 @@ class TestExecuteBatch:
         phase serves all three queries from one scan per relation.
         """
         options = StrategyOptions.only(parallel_collection=True)
-        service = QueryService(figure1, options=options)
+        service = connect(figure1, options=options).service
         queries = [
             "[<e.ename> OF EACH e IN employees: SOME t IN timetable ((e.enr = t.tenr))]",
             "[<e.ename> OF EACH e IN employees: SOME t IN timetable ((e.enr = t.tcnr))]",
@@ -157,7 +157,7 @@ class TestExecuteBatch:
 
     def test_batch_groups_only_compatible_ranges(self, figure1):
         """Conflicting variable ranges must not be merged into one group."""
-        service = QueryService(figure1)
+        service = connect(figure1).service
         queries = [
             "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]",
             "[<e.ctitle> OF EACH e IN courses: (e.clevel = senior)]",  # same var, other relation
@@ -167,7 +167,7 @@ class TestExecuteBatch:
             assert result.relation == execute_naive(figure1, query), query
 
     def test_batch_handles_parameterized_workload(self, university_scale2):
-        service = QueryService(university_scale2)
+        service = connect(university_scale2).service
         requests = [
             (text, values)
             for _, (text, bindings) in parameterized_queries().items()
@@ -178,9 +178,9 @@ class TestExecuteBatch:
             assert result.relation == service.execute(text, values).relation, (text, values)
 
     def test_batching_can_be_disabled(self, figure1):
-        service = QueryService(
+        service = connect(
             figure1, service_options=ServiceOptions(batching=False)
-        )
+        ).service
         batch = service.execute_batch([PROFESSORS_TEXT, EXAMPLE_21_TEXT])
         assert [len(r) for r in batch] == [
             len(service.execute(PROFESSORS_TEXT)),
@@ -191,7 +191,7 @@ class TestExecuteBatch:
 class TestThreadSafety:
     def test_concurrent_prepare_and_execute(self):
         database = build_university_database(scale=1)
-        service = QueryService(database)
+        service = connect(database).service
         requests = [
             (text, values)
             for _, (text, bindings) in parameterized_queries().items()
