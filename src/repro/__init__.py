@@ -18,31 +18,57 @@ True
 ``connect`` returns a thread-safe :class:`Connection` owning the plan cache;
 ``Connection.session()`` scopes transactional mutations
 (begin/commit/rollback over an undo journal) and ``Connection.cursor()``
-streams results row by row off the operator pipeline.
+streams results row by row off the operator pipeline.  Passing ``connect`` a
+directory *path* instead of a database object opens a disk-resident database
+with write-ahead logging and crash recovery:
+
+>>> import repro, tempfile, os                          # doctest: +SKIP
+>>> path = os.path.join(tempfile.mkdtemp(), "db")       # doctest: +SKIP
+>>> with repro.connect(path, durability=repro.DURABILITY_COMMIT) as conn:
+...     ...                                             # doctest: +SKIP
 """
 
 from repro.api import Connection, Cursor, Session, connect
-from repro.config import ServiceOptions, StrategyOptions
+from repro.config import (
+    DURABILITY_CHECKPOINT,
+    DURABILITY_COMMIT,
+    DURABILITY_MODES,
+    DURABILITY_OFF,
+    ServiceOptions,
+    StrategyOptions,
+)
 from repro.engine.evaluator import QueryEngine, QueryResult, execute_naive
-from repro.errors import ConnectionClosedError, CursorError, TransactionError
+from repro.errors import (
+    ConnectionClosedError,
+    CursorError,
+    RecoveryError,
+    TransactionError,
+)
 from repro.lang.parser import parse_formula, parse_selection
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.service import PreparedQuery, QueryService
+from repro.storage.recovery import RecoveryReport
 from repro.workloads.university import build_university_database, figure1_database
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Connection",
     "ConnectionClosedError",
     "Cursor",
     "CursorError",
+    "DURABILITY_CHECKPOINT",
+    "DURABILITY_COMMIT",
+    "DURABILITY_MODES",
+    "DURABILITY_OFF",
     "Database",
     "PreparedQuery",
     "QueryEngine",
     "QueryResult",
     "QueryService",
+    "RecoveryError",
+    "RecoveryReport",
     "Relation",
     "ServiceOptions",
     "Session",

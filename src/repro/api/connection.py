@@ -27,12 +27,13 @@ so old and new code share a serialization domain.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Mapping, Sequence
 
 from repro.api.cursor import Cursor
 from repro.api.session import Session
-from repro.config import ServiceOptions, StrategyOptions
+from repro.config import DURABILITY_COMMIT, ServiceOptions, StrategyOptions
 from repro.errors import ConnectionClosedError
 from repro.service.service import QueryService
 
@@ -44,8 +45,9 @@ def connect(
     options: StrategyOptions | None = None,
     service_options: ServiceOptions | None = None,
     cache_capacity: int | None = None,
+    durability: str | None = None,
 ) -> "Connection":
-    """Open a connection to ``database``.
+    """Open a connection to ``database`` — an object, or a directory path.
 
     The public entry point of the library:
 
@@ -56,6 +58,15 @@ def connect(
     ...         "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
     ...     )
     ...     first = cursor.fetchone()
+
+    Passing a path (``str`` / ``os.PathLike``) instead of a database object
+    opens a *disk-resident* database in that directory (created when
+    missing): the checkpoint snapshot is loaded, crash recovery replays the
+    write-ahead log's committed suffix, and the connection owns the database
+    — closing the connection checkpoints and closes it.  ``durability``
+    picks the mode (:data:`~repro.config.DURABILITY_COMMIT` by default; see
+    :data:`~repro.config.DURABILITY_MODES`) and is only meaningful with a
+    path.
 
     ``options`` become the connection's default
     :class:`~repro.config.StrategyOptions` (the full PASCAL/R optimizer when
@@ -68,6 +79,7 @@ def connect(
         options=options,
         service_options=service_options,
         cache_capacity=cache_capacity,
+        durability=durability,
     )
 
 
@@ -80,7 +92,17 @@ class Connection:
         options: StrategyOptions | None = None,
         service_options: ServiceOptions | None = None,
         cache_capacity: int | None = None,
+        durability: str | None = None,
     ) -> None:
+        if isinstance(database, (str, os.PathLike)):
+            from repro.relational.database import Database
+
+            database = Database.open(
+                database, durability=durability or DURABILITY_COMMIT
+            )
+            self._owns_database = True
+        else:
+            self._owns_database = False
         self._database = database
         self._service = QueryService(
             database,
@@ -121,6 +143,25 @@ class Connection:
     def cache_info(self) -> dict:
         """Plan-cache occupancy and hit/miss counters."""
         return self._service.cache_info()
+
+    @property
+    def recovery_report(self):
+        """What crash recovery found when a path-opened database came up.
+
+        ``None`` for connections handed a database object (no open ran).
+        """
+        return getattr(self._database, "recovery_report", None)
+
+    def checkpoint(self) -> None:
+        """Force the disk-resident database to disk and truncate its WAL.
+
+        Serialized with the connection's cursors and sessions via the
+        execution lock.  Raises on an in-memory database or while a
+        transaction is active.
+        """
+        self._check_open()
+        with self._lock:
+            self._database.checkpoint()
 
     # -- cursors and queries -----------------------------------------------------------
 
@@ -189,7 +230,8 @@ class Connection:
 
         An active session transaction is rolled back (the DB-API convention:
         only an explicit commit makes work permanent).  Cursors of a closed
-        connection refuse further fetches.
+        connection refuse further fetches.  A connection that opened its
+        database from a path also checkpoints and closes the database.
         """
         if self._closed:
             return
@@ -197,6 +239,8 @@ class Connection:
         if session is not None and session.in_transaction:
             session.rollback()
         self._closed = True
+        if self._owns_database and not getattr(self._database, "closed", True):
+            self._database.close()
 
     def __enter__(self) -> "Connection":
         self._check_open()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Mapping, NamedTuple, Sequence
 
-from repro.errors import ConnectionClosedError, CursorError
+from repro.errors import CursorError
 
 __all__ = ["Column", "Cursor"]
 
@@ -63,8 +63,10 @@ class Cursor:
     # -- guards ------------------------------------------------------------------------
 
     def _check_open(self) -> None:
+        # A closed *cursor* is a cursor-protocol error; a closed *connection*
+        # (checked next) still surfaces as ConnectionClosedError.
         if self._closed:
-            raise ConnectionClosedError("cursor is closed")
+            raise CursorError("cursor is closed")
         self._connection._check_open()
 
     def _check_result(self) -> Iterator:

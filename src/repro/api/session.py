@@ -107,26 +107,38 @@ class Session:
 
         Raises :class:`~repro.errors.TransactionError` when this session (or
         any other session of the database) already has an active transaction
-        — writers are serialized at the database, there is no nesting.
+        — writers are serialized at the database, there is no nesting.  With
+        a positive ``ServiceOptions.busy_timeout``, a begin that finds
+        another transaction active waits up to that many seconds for the
+        slot to free before raising.
         """
         self._check_open()
         if self._journal is not None:
             raise TransactionError("session already has an active transaction")
-        self._journal = self.database.begin_transaction()
+        self._journal = self.database.begin_transaction(
+            timeout=self.service_options.busy_timeout
+        )
         self._connection._register_session(self)
         return self
 
     def commit(self) -> None:
         """Make the transaction's mutations permanent and end it.
 
-        The undo journal is simply discarded — the mutations already applied
-        through the ordinary relation operators (and already maintained the
-        indexes, pages and version epochs), so there is nothing to replay.
+        On a disk-resident database this is the durability point: the WAL's
+        ``COMMIT`` record is appended and flushed first (fsynced under
+        ``durability='commit'``), so by the time the in-memory transaction
+        ends, crash recovery can replay it.  The undo journal itself is
+        simply discarded — the mutations already applied through the
+        ordinary relation operators (and already maintained the indexes,
+        pages and version epochs), so there is nothing to replay.  A
+        checkpoint deferred by mid-transaction DDL runs now.
         """
         journal = self._require_transaction()
+        self.database.commit_transaction(journal)
         self.database.end_transaction(journal)
         self._journal = None
         self._connection._unregister_session(self)
+        self.database.run_pending_checkpoint()
 
     def rollback(self) -> None:
         """Undo every journaled mutation and end the transaction.
@@ -137,14 +149,20 @@ class Session:
         heap files (zone maps follow), and the data-version epoch advances
         so no cached collection structure can survive from the rolled-back
         state.  The catalog (``schema_version``) is untouched: plans valid
-        before ``begin`` are exactly as valid afterwards.
+        before ``begin`` are exactly as valid afterwards.  On a durable
+        database an ``ABORT`` record is logged first so recovery never
+        replays the abandoned operations.
         """
         journal = self._require_transaction()
+        self.database.abort_transaction(journal)
         # Detach first: the restoring assigns must not journal themselves.
         self.database.end_transaction(journal)
         self._journal = None
         self._connection._unregister_session(self)
-        journal.rollback()
+        try:
+            journal.rollback()
+        finally:
+            self.database.run_pending_checkpoint()
 
     def _require_transaction(self):
         self._check_open()

@@ -11,7 +11,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["StrategyOptions", "ServiceOptions"]
+__all__ = [
+    "StrategyOptions",
+    "ServiceOptions",
+    "DURABILITY_OFF",
+    "DURABILITY_COMMIT",
+    "DURABILITY_CHECKPOINT",
+    "DURABILITY_MODES",
+]
+
+#: Durability modes of a disk-resident database (``repro.connect(path, durability=...)``).
+#:
+#: ``off``
+#:     No write-ahead logging at all.  The database is persisted only by an
+#:     explicit ``checkpoint()`` (``close()`` checkpoints); a crash loses
+#:     everything since the last checkpoint.  Commit latency is identical to
+#:     the in-memory commit path.
+#: ``commit``
+#:     Every ``Session.commit()`` appends a ``COMMIT`` record and fsyncs the
+#:     WAL before returning — a returned commit survives any crash.
+#: ``checkpoint``
+#:     WAL records are written to the OS on commit but only fsynced by
+#:     checkpoints.  A crash may lose the most recent commits (the torn log
+#:     tail), but recovery still replays every commit the log proves.
+DURABILITY_OFF = "off"
+DURABILITY_COMMIT = "commit"
+DURABILITY_CHECKPOINT = "checkpoint"
+DURABILITY_MODES = (DURABILITY_OFF, DURABILITY_COMMIT, DURABILITY_CHECKPOINT)
 
 
 @dataclass(frozen=True)
@@ -161,12 +187,20 @@ class ServiceOptions:
         these options: the number of rows one argument-less ``fetchmany()``
         pulls off the streaming pipeline.  ``1`` is the DB-API default —
         every fetch is one pipeline step.
+    busy_timeout:
+        How long (in seconds) ``Session.begin()`` waits on the
+        one-active-transaction-per-database gate before raising
+        :class:`~repro.errors.TransactionError`.  ``0`` (the default) fails
+        immediately when another transaction is active; a positive timeout
+        lets a second writer wait for the gate instead of erroring out, but
+        never blocks forever.
     """
 
     plan_cache_capacity: int = 128
     collection_cache_size: int = 32
     batching: bool = True
     cursor_arraysize: int = 1
+    busy_timeout: float = 0.0
 
     def with_(self, **changes) -> "ServiceOptions":
         """A copy with the named settings changed."""

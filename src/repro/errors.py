@@ -20,6 +20,7 @@ __all__ = [
     "AlgebraError",
     "CatalogError",
     "StorageError",
+    "RecoveryError",
     "ParseError",
     "LexError",
     "CalculusError",
@@ -84,6 +85,17 @@ class CatalogError(RelationError):
 
 class StorageError(RelationError):
     """A problem in the simulated paged storage layer."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent database.
+
+    Recovery degrades gracefully on damaged *logs* (torn tails, truncated
+    records, bad checksums are skipped and surfaced in the
+    :class:`~repro.storage.recovery.RecoveryReport`); this error is reserved
+    for states recovery cannot salvage at all, such as an unreadable or
+    structurally invalid checkpoint snapshot.
+    """
 
 
 # -------------------------------------------------------------------------- parser

@@ -8,10 +8,13 @@ and insert is charged to.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import CatalogError, TransactionError
+from repro.config import DURABILITY_COMMIT, DURABILITY_MODES, DURABILITY_OFF
+from repro.errors import CatalogError, StorageError, TransactionError
 from repro.relational.index import HashIndex, SortedIndex, build_index
 from repro.relational.journal import UndoJournal
 from repro.relational.relation import Relation
@@ -22,7 +25,13 @@ __all__ = ["Database"]
 
 
 class Database:
-    """A named collection of relations, indexes, and access statistics."""
+    """A named collection of relations, indexes, and access statistics.
+
+    A database is either *in-memory* (the default constructor — nothing ever
+    touches disk) or *disk-resident* (built by :meth:`open`): backed by a
+    directory holding a checkpoint snapshot plus a write-ahead log, with the
+    durability mode deciding what a committed transaction survives.
+    """
 
     def __init__(self, name: str = "database", paged: bool = True) -> None:
         self.name = name
@@ -33,9 +42,212 @@ class Database:
         self._schema_version = 0
         # The undo journal of the one active session transaction, if any.
         # The lock only protects the slot handover (begin/end); the journaled
-        # mutations themselves run on the relations' ordinary paths.
+        # mutations themselves run on the relations' ordinary paths.  The
+        # condition lets a ``begin`` with a busy timeout wait for the slot.
         self._active_journal: UndoJournal | None = None
         self._journal_lock = threading.Lock()
+        self._journal_free = threading.Condition(self._journal_lock)
+        # Disk residency (all None/inert for an in-memory database).
+        self.durability: str | None = None
+        self._directory: str | None = None
+        self._wal = None
+        self._recovery_report = None
+        self._next_txid = 1
+        self._checkpoint_lsn = 0
+        self._checkpoint_pending = False
+        self._closed = False
+        #: Fault-injection hook threaded through every disk write
+        #: (checkpoints, WAL flushes); tests arm it, production leaves it None.
+        self.crash_point = None
+
+    # -- disk residency ----------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | os.PathLike,
+        name: str | None = None,
+        durability: str = DURABILITY_COMMIT,
+        crash_point=None,
+    ) -> "Database":
+        """Open (or create) the disk-resident database stored in ``directory``.
+
+        Loads the checkpoint snapshot, runs crash recovery over the
+        write-ahead log (redo of committed transactions, discard of losers),
+        and takes a fresh checkpoint so the log never has to be replayed
+        twice.  The :class:`~repro.storage.recovery.RecoveryReport` is kept
+        on :attr:`recovery_report`.
+        """
+        from repro.storage.recovery import recover
+        from repro.storage.snapshot import load_snapshot, wal_path
+        from repro.storage.wal import WriteAheadLog
+
+        if durability not in DURABILITY_MODES:
+            raise StorageError(
+                f"unknown durability mode {durability!r}; expected one of "
+                f"{', '.join(DURABILITY_MODES)}"
+            )
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        database = cls(
+            name or os.path.basename(os.path.abspath(directory)) or "database",
+            paged=True,
+        )
+        database.durability = durability
+        database.crash_point = crash_point
+        snapshot_lsn, next_txid = load_snapshot(database, directory)
+        report = recover(database, wal_path(directory), snapshot_lsn)
+        database._recovery_report = report
+        seen_txids = (
+            report.replayed_transactions
+            + report.dropped_transactions
+            + report.aborted_transactions
+        )
+        database._next_txid = max([next_txid] + [txid + 1 for txid in seen_txids])
+        database._checkpoint_lsn = max(snapshot_lsn, report.last_lsn)
+        if durability != DURABILITY_OFF:
+            database._wal = WriteAheadLog(
+                wal_path(directory),
+                next_lsn=database._checkpoint_lsn + 1,
+                statistics=database.statistics,
+                crash_point=crash_point,
+            )
+        # Residency starts *after* load + recovery so the catalog definitions
+        # replayed from the snapshot do not themselves trigger checkpoints.
+        database._directory = directory
+        database.checkpoint()
+        return database
+
+    @property
+    def directory(self) -> str | None:
+        """The backing directory of a disk-resident database (else ``None``)."""
+        return self._directory
+
+    @property
+    def recovery_report(self):
+        """What crash recovery found when this database was opened."""
+        return self._recovery_report
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def checkpoint(self) -> None:
+        """Force all dirty state to disk and truncate the write-ahead log.
+
+        Protocol: flush+fsync the WAL (making every logged record durable),
+        force the dirty pages through the buffer pools' write-ahead gate,
+        atomically replace the snapshot (which records the absorbed LSN
+        watermark), truncate the log, and append a ``CHECKPOINT`` marker to
+        the fresh log.  A crash at any point is recoverable: before the
+        snapshot rename the old snapshot + full log still reproduce the
+        state; after the rename the new snapshot's watermark makes the
+        not-yet-truncated log records no-ops.
+        """
+        from repro.storage.snapshot import wal_path, write_snapshot
+
+        self._ensure_disk_resident("checkpoint")
+        if self._active_journal is not None:
+            raise TransactionError(
+                "cannot checkpoint while a transaction is active; commit or "
+                "roll back first"
+            )
+        if self._wal is not None:
+            self._wal.flush(fsync=True)
+            durable_lsn = self._wal.durable_lsn
+        else:
+            durable_lsn = self._checkpoint_lsn
+        for relation in self._relations.values():
+            flush = getattr(relation, "flush_dirty_pages", None)
+            if flush is not None:
+                flush(durable_lsn, self.crash_point)
+        write_snapshot(
+            self,
+            self._directory,
+            last_lsn=durable_lsn,
+            next_txid=self._next_txid,
+            crash_point=self.crash_point,
+        )
+        if self._wal is not None:
+            self._wal.truncate()
+            self._wal.append("CHECKPOINT", snapshot_lsn=durable_lsn)
+            self._wal.flush(fsync=False)
+        else:
+            # durability='off' keeps no log; drop any stale one (its effects
+            # were just absorbed into the snapshot).
+            stale = wal_path(self._directory)
+            if os.path.exists(stale):
+                if self.crash_point is not None:
+                    self.crash_point.arm("wal-truncate")
+                with open(stale, "wb"):
+                    pass
+        self._checkpoint_lsn = durable_lsn
+        self._checkpoint_pending = False
+        self.statistics.record_checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint and release a disk-resident database (idempotent).
+
+        An active transaction must be resolved first; the session layer
+        rolls back on close before calling this.
+        """
+        if self._closed:
+            return
+        if self._directory is None:
+            self._closed = True
+            return
+        if self._active_journal is not None:
+            raise TransactionError(
+                "cannot close a database with an active transaction; commit "
+                "or roll back first"
+            )
+        self.checkpoint()
+        if self._wal is not None:
+            self._wal.close()
+        self._closed = True
+
+    def run_pending_checkpoint(self) -> bool:
+        """Take the checkpoint a mid-transaction DDL statement deferred.
+
+        Returns ``True`` when a checkpoint ran.  Called by the session layer
+        right after a commit or rollback releases the transaction slot.
+        """
+        if (
+            self._checkpoint_pending
+            and self._directory is not None
+            and self._active_journal is None
+            and not self._closed
+        ):
+            self.checkpoint()
+            return True
+        return False
+
+    def _ensure_disk_resident(self, operation: str) -> None:
+        if self._closed:
+            raise StorageError(f"database {self.name!r} is closed")
+        if self._directory is None:
+            raise StorageError(
+                f"cannot {operation} an in-memory database; open one with "
+                "Database.open(directory)"
+            )
+
+    def _ddl_changed(self) -> None:
+        """Persist a catalog change on a disk-resident database.
+
+        DDL is not transactional, so it cannot ride the WAL's undo/redo
+        records; instead the catalog change is made durable by an immediate
+        checkpoint — or, when a transaction is active (its data mutations
+        may not be forced yet), by deferring the checkpoint to the moment
+        the transaction ends.  Until that deferred checkpoint runs, the DDL
+        (and any data of new relations) is not yet crash-durable; this is
+        the documented durability window of mid-transaction DDL.
+        """
+        if self._directory is None or self._closed:
+            return
+        if self._active_journal is not None:
+            self._checkpoint_pending = True
+        else:
+            self.checkpoint()
 
     # -- schema versioning -----------------------------------------------------------
 
@@ -75,22 +287,40 @@ class Database:
         """Whether a session transaction is currently journaling mutations."""
         return self._active_journal is not None
 
-    def begin_transaction(self) -> UndoJournal:
+    def begin_transaction(self, timeout: float = 0.0) -> UndoJournal:
         """Open a transaction: journal every tracked mutation until commit/rollback.
 
         At most one transaction is active per database at a time (the session
         layer serializes writers); a concurrent ``begin`` raises
-        :class:`~repro.errors.TransactionError`.  The returned journal is
+        :class:`~repro.errors.TransactionError` — immediately with the
+        default ``timeout`` of 0, or after waiting up to ``timeout`` seconds
+        for the slot to free (the session layer passes its
+        ``ServiceOptions.busy_timeout`` here).  The returned journal is
         attached to every base relation, so the four tracked operators
         (``insert``/``delete``/``assign``/``clear``, plus the raw-insert fast
         path) capture before-images until :meth:`end_transaction`.
+
+        On a disk-resident database the journal is also bound to the
+        write-ahead log under a fresh transaction id (unless durability is
+        ``'off'``), so every journaled mutation emits its redo record before
+        it runs.
         """
-        with self._journal_lock:
+        with self._journal_free:
+            if self._active_journal is not None and timeout > 0:
+                deadline = time.monotonic() + timeout
+                while self._active_journal is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._journal_free.wait(remaining):
+                        break
             if self._active_journal is not None:
                 raise TransactionError(
                     f"database {self.name!r} already has an active transaction"
+                    + (f" (waited {timeout:.3g}s for it to end)" if timeout > 0 else "")
                 )
             journal = UndoJournal()
+            if self._wal is not None:
+                journal.bind_wal(self._wal, self._next_txid)
+                self._next_txid += 1
             self._active_journal = journal
         for relation in self._relations.values():
             relation.begin_journal(journal)
@@ -102,13 +332,14 @@ class Database:
         Detaching *before* replaying is what keeps rollback from journaling
         itself; :meth:`UndoJournal.rollback` refuses to run while attached.
         """
-        with self._journal_lock:
+        with self._journal_free:
             if self._active_journal is not journal:
                 raise TransactionError(
                     "journal does not belong to the active transaction of "
                     f"database {self.name!r}"
                 )
             self._active_journal = None
+            self._journal_free.notify_all()
         for relation in self._relations.values():
             if relation._journal is journal:
                 relation.end_journal()
@@ -119,6 +350,38 @@ class Database:
         for relation in journal.relations():
             if relation._journal is journal:
                 relation.end_journal()
+
+    def commit_transaction(self, journal: UndoJournal) -> None:
+        """Make ``journal``'s transaction durable per the durability mode.
+
+        Appends the ``COMMIT`` record and flushes the WAL — with an fsync
+        under ``durability='commit'`` (the record survives power loss before
+        this method returns), without one under ``'checkpoint'`` (the record
+        survives a process crash; only a checkpoint fsyncs).  In-memory
+        databases and ``durability='off'`` log nothing: the commit is purely
+        the in-memory state, persisted by the next checkpoint.  The caller
+        still runs :meth:`end_transaction` afterwards.
+        """
+        if self._active_journal is not journal:
+            raise TransactionError(
+                "journal does not belong to the active transaction of "
+                f"database {self.name!r}"
+            )
+        journal.log_commit(fsync=self.durability == DURABILITY_COMMIT)
+
+    def abort_transaction(self, journal: UndoJournal) -> None:
+        """Log the ``ABORT`` record so recovery never replays this transaction.
+
+        Called before :meth:`end_transaction` + ``journal.rollback()``.  The
+        record is advisory — a transaction with no outcome record in the log
+        is discarded as a loser anyway — so losing it in a crash is safe.
+        """
+        if self._active_journal is not journal:
+            raise TransactionError(
+                "journal does not belong to the active transaction of "
+                f"database {self.name!r}"
+            )
+        journal.log_abort()
 
     # -- relation management ---------------------------------------------------------
 
@@ -152,6 +415,7 @@ class Database:
         if self._active_journal is not None:
             relation.begin_journal(self._active_journal)
         self.bump_schema_version()
+        self._ddl_changed()
         return relation
 
     def add_relation(self, relation: Relation) -> Relation:
@@ -163,6 +427,7 @@ class Database:
         if self._active_journal is not None:
             relation.begin_journal(self._active_journal)
         self.bump_schema_version()
+        self._ddl_changed()
         return relation
 
     def relation(self, name: str) -> Relation:
@@ -187,6 +452,7 @@ class Database:
         for index_key in [k for k in self._indexes if k[0] == name]:
             relation.detach_index(self._indexes.pop(index_key))
         self.bump_schema_version()
+        self._ddl_changed()
 
     def relations(self) -> Iterator[Relation]:
         """All base relations in declaration order."""
@@ -233,6 +499,7 @@ class Database:
         self._indexes[(relation_name, field_name)] = index
         relation.attach_index(index)
         self.bump_schema_version()
+        self._ddl_changed()
         return index
 
     def index_for(self, relation_name: str, field_name: str) -> HashIndex | SortedIndex | None:
@@ -245,6 +512,7 @@ class Database:
             if relation_name in self._relations:
                 self._relations[relation_name].detach_index(index)
             self.bump_schema_version()
+            self._ddl_changed()
 
     def indexes(self) -> Iterator[tuple[str, str]]:
         """The ``(relation, component)`` pairs that have a permanent index."""

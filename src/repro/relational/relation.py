@@ -162,8 +162,11 @@ class Relation:
         journal = self._journal
         if journal is not None:
             # One journal entry for the whole assignment; the per-element
-            # inserts below must not journal themselves on top of it.
-            journal.before_mutation(self, "assign")
+            # inserts below must not journal themselves on top of it.  The
+            # new contents are materialised (and coerced) up front so the
+            # WAL's ASSIGN record can carry the complete redo image.
+            elements = [self._as_record(element) for element in elements]
+            journal.before_mutation(self, "assign", elements=elements)
             self._journal = None
         try:
             self._elements = {}
@@ -193,7 +196,7 @@ class Relation:
                 f"relation {self.name!r} already holds a different element with key {key}"
             )
         if self._journal is not None:
-            self._journal.before_mutation(self, "insert")
+            self._journal.before_mutation(self, "insert", record=record)
         self._elements[key] = record
         if self._observers:
             self._index_added(record)
@@ -218,7 +221,7 @@ class Relation:
         values = record.values
         key = values if self._key_is_all else self.schema.key_of(values)
         if self._journal is not None:
-            self._journal.before_mutation(self, "insert")
+            self._journal.before_mutation(self, "insert", record=record)
         if self._observers:
             existing = self._elements.get(key)
             if existing is not None and existing != record:
@@ -260,7 +263,7 @@ class Relation:
         if not isinstance(key, tuple):
             key = (key,)
         if self._journal is not None and key in self._elements:
-            self._journal.before_mutation(self, "delete")
+            self._journal.before_mutation(self, "delete", key=key)
         removed_record = self._elements.pop(key, None)
         removed = removed_record is not None
         if removed:

@@ -112,6 +112,11 @@ class AccessStatistics:
         self.plan_cache_misses = 0
         self.rows_streamed = 0
         self.operators_pipelined = 0
+        self.wal_records = 0
+        self.wal_bytes = 0
+        self.wal_flushes = 0
+        self.checkpoints = 0
+        self.recovered_transactions = 0
 
     # -- phase management -----------------------------------------------------
 
@@ -204,6 +209,23 @@ class AccessStatistics:
     def record_operator_pipelined(self, count: int = 1) -> None:
         """``count`` streaming (non-materialising) operators were instantiated."""
         self.operators_pipelined += count
+
+    def record_wal_append(self, nbytes: int) -> None:
+        """One framed record of ``nbytes`` bytes was appended to the WAL."""
+        self.wal_records += 1
+        self.wal_bytes += nbytes
+
+    def record_wal_flush(self) -> None:
+        """Buffered WAL records were written out (one group-commit flush)."""
+        self.wal_flushes += 1
+
+    def record_checkpoint(self) -> None:
+        """A checkpoint forced dirty pages and truncated the WAL."""
+        self.checkpoints += 1
+
+    def record_recovered_transactions(self, count: int = 1) -> None:
+        """``count`` committed transactions were replayed by crash recovery."""
+        self.recovered_transactions += count
 
     def record_reduction(self, removed: int) -> None:
         """One semijoin application of the reducer removed ``removed`` tuples.

@@ -1,16 +1,43 @@
-"""Simulated paged storage: pages, heap files, buffer pool, stored relations."""
+"""Simulated paged storage: pages, heap files, buffer pool, stored relations,
+plus the durability subsystem — write-ahead log, checkpoint snapshots and
+crash recovery."""
 
 from repro.storage.buffer import DEFAULT_POOL_SIZE, BufferPool
 from repro.storage.heapfile import HeapFile, RecordId
 from repro.storage.page import DEFAULT_PAGE_CAPACITY, Page
+from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.snapshot import (
+    SNAPSHOT_NAME,
+    WAL_NAME,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.storage.storedrelation import StoredRelation
+from repro.storage.wal import (
+    CrashPoint,
+    SimulatedCrash,
+    WalDamage,
+    WriteAheadLog,
+    scan_wal,
+)
 
 __all__ = [
     "BufferPool",
+    "CrashPoint",
     "DEFAULT_PAGE_CAPACITY",
     "DEFAULT_POOL_SIZE",
     "HeapFile",
     "Page",
     "RecordId",
+    "RecoveryReport",
+    "SNAPSHOT_NAME",
+    "SimulatedCrash",
     "StoredRelation",
+    "WAL_NAME",
+    "WalDamage",
+    "WriteAheadLog",
+    "load_snapshot",
+    "recover",
+    "scan_wal",
+    "write_snapshot",
 ]

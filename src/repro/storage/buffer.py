@@ -50,6 +50,11 @@ class BufferPool:
         self.tracker = tracker
         self._frames: OrderedDict[tuple[str, int], Page] = OrderedDict()
         self._pins: dict[tuple[str, int], int] = {}
+        # Dirty-page table: (file name, page number) -> recovery LSN, the
+        # LSN of the newest WAL record describing a mutation of that page.
+        # The write-ahead gate (:meth:`flush_page`) refuses to force a page
+        # whose recovery LSN the log has not yet made durable.
+        self._dirty: dict[tuple[str, int], int] = {}
         self.hits = 0
         self.misses = 0
 
@@ -138,6 +143,63 @@ class BufferPool:
     def is_resident(self, heap_file_name: str, page_number: int) -> bool:
         """Whether the frame is currently in the pool."""
         return (heap_file_name, page_number) in self._frames
+
+    # -- dirty-page tracking (the write-ahead gate) ---------------------------
+
+    def mark_dirty(self, heap_file_name: str, page_number: int, lsn: int) -> None:
+        """Record that a page was mutated under WAL record ``lsn``.
+
+        ``lsn`` 0 marks a mutation that produced no WAL record (a non-durable
+        database, a load, or recovery redo) — such pages pass the gate
+        unconditionally.  Repeated mutations keep the *newest* LSN: the page
+        may not be forced until its latest describing record is durable.
+        """
+        frame_key = (heap_file_name, page_number)
+        if lsn > self._dirty.get(frame_key, -1):
+            self._dirty[frame_key] = lsn
+
+    def dirty_pages(self, heap_file_name: str | None = None) -> list[tuple[str, int, int]]:
+        """``(file, page, recovery LSN)`` of every dirty page, page order."""
+        return sorted(
+            (file_name, page_number, lsn)
+            for (file_name, page_number), lsn in self._dirty.items()
+            if heap_file_name is None or file_name == heap_file_name
+        )
+
+    def flush_page(self, heap_file_name: str, page_number: int, durable_lsn: int) -> None:
+        """Force one dirty page — but only if the WAL got there first.
+
+        This is the write-ahead rule as an enforced invariant rather than a
+        convention: a page whose recovery LSN exceeds ``durable_lsn`` would,
+        if forced, put effects on disk that the log cannot redo *or* undo
+        after a crash.  The checkpoint protocol flushes and fsyncs the WAL
+        before forcing pages, so a gate failure is always a protocol bug —
+        hence a hard :class:`~repro.errors.StorageError`.
+        """
+        frame_key = (heap_file_name, page_number)
+        lsn = self._dirty.get(frame_key)
+        if lsn is None:
+            return
+        if lsn > durable_lsn:
+            raise StorageError(
+                f"write-ahead violation: page {heap_file_name}:{page_number} has "
+                f"recovery LSN {lsn} but the WAL is only durable to {durable_lsn}"
+            )
+        del self._dirty[frame_key]
+
+    def discard_dirty(self, heap_file_name: str | None = None) -> None:
+        """Forget dirty state (the pages' file was truncated or rebuilt)."""
+        if heap_file_name is None:
+            self._dirty.clear()
+            return
+        for frame_key in [key for key in self._dirty if key[0] == heap_file_name]:
+            del self._dirty[frame_key]
+
+    def dirty_count(self, heap_file_name: str | None = None) -> int:
+        """Number of dirty pages (of one file, or overall)."""
+        if heap_file_name is None:
+            return len(self._dirty)
+        return sum(1 for key in self._dirty if key[0] == heap_file_name)
 
     # -- maintenance ----------------------------------------------------------
 

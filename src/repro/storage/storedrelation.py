@@ -39,15 +39,34 @@ class StoredRelation(Relation):
         self._pool = buffer_pool if buffer_pool is not None else BufferPool(
             DEFAULT_POOL_SIZE, tracker
         )
+        # Recovery LSN to stamp on dirtied pages while the journal is
+        # temporarily detached (assign's internal clear+insert phase).
+        self._detached_lsn = 0
         super().__init__(name, schema, elements=elements, tracker=tracker)
 
     # -- updates (keep heap file in step with the in-memory dictionary) ------------
+
+    def _mutation_lsn(self) -> int:
+        """Recovery LSN of the mutation in progress (0 when unlogged).
+
+        Inside a transaction on a durable database the journal has just
+        emitted the operation's WAL record; its LSN is what the dirtied
+        pages must carry so the write-ahead gate can refuse to force them
+        before the log is durable.  Unlogged mutations (no transaction, or
+        an in-memory database) dirty their pages with LSN 0, which every
+        gate check accepts.
+        """
+        journal = self._journal
+        if journal is not None:
+            return getattr(journal, "last_lsn", 0)
+        return self._detached_lsn
 
     def insert(self, element: Record | Mapping[str, Any] | tuple) -> Record:
         record = super().insert(element)
         key = self.schema.key_of(record.values)
         if key not in self._rids:
-            self._rids[key] = self._heap.append(record)
+            rid = self._rids[key] = self._heap.append(record)
+            self._pool.mark_dirty(self.name, rid.page_number, self._mutation_lsn())
         return record
 
     def insert_raw(self, record: Record) -> Record:
@@ -62,7 +81,9 @@ class StoredRelation(Relation):
             if stored is record or stored == record:
                 return record
             self._heap.delete(rid)
-        self._rids[key] = self._heap.append(record)
+            self._pool.mark_dirty(self.name, rid.page_number, self._mutation_lsn())
+        rid = self._rids[key] = self._heap.append(record)
+        self._pool.mark_dirty(self.name, rid.page_number, self._mutation_lsn())
         return record
 
     def bulk_insert_raw(self, records) -> None:
@@ -81,6 +102,7 @@ class StoredRelation(Relation):
             rid = self._rids.pop(key, None)
             if rid is not None:
                 self._heap.delete(rid)
+                self._pool.mark_dirty(self.name, rid.page_number, self._mutation_lsn())
         return removed
 
     def clear(self) -> None:
@@ -88,19 +110,28 @@ class StoredRelation(Relation):
         self._heap.truncate()
         self._rids.clear()
         self._pool.invalidate(self.name)
+        # The whole file changed shape; per-page dirty state is meaningless
+        # now, but the truncation itself must still be covered by the WAL
+        # before a checkpoint forces it — page 0 stands in for "the file".
+        self._pool.discard_dirty(self.name)
+        self._pool.mark_dirty(self.name, 0, self._mutation_lsn())
 
     def assign(self, elements: Iterable[Record | Mapping[str, Any] | tuple]) -> "StoredRelation":
         journal = self._journal
         if journal is not None:
             # Mirror Relation.assign: one journal entry for the whole
-            # assignment, not one per constituent clear/insert.
-            journal.before_mutation(self, "assign")
+            # assignment, not one per constituent clear/insert; materialise
+            # the new contents so the WAL record carries the redo image.
+            elements = [self._as_record(element) for element in elements]
+            journal.before_mutation(self, "assign", elements=elements)
             self._journal = None
+            self._detached_lsn = getattr(journal, "last_lsn", 0)
         try:
             self.clear()
             self.insert_all(elements)
         finally:
             self._journal = journal
+            self._detached_lsn = 0
         return self
 
     # -- paged scanning --------------------------------------------------------------
@@ -164,6 +195,46 @@ class StoredRelation(Relation):
         if self.tracker is not None:
             self.tracker.record_element_read(self.name)
         return page.read(rid.slot)
+
+    # -- durability support ---------------------------------------------------------------
+
+    def flush_dirty_pages(self, durable_lsn: int, crash_point=None) -> int:
+        """Force this relation's dirty pages through the write-ahead gate.
+
+        Called by the database checkpoint after it has flushed and fsynced
+        the WAL; every page force is a crash-point event (a real system can
+        die between any two page writes) and every force re-checks the gate
+        — a page whose recovery LSN the log has not made durable raises
+        :class:`~repro.errors.StorageError` instead of being forced.
+        Returns the number of pages forced.
+        """
+        forced = 0
+        for file_name, page_number, _lsn in self._pool.dirty_pages(self.name):
+            if crash_point is not None:
+                crash_point.arm(f"page-flush {file_name}:{page_number}")
+            self._pool.flush_page(file_name, page_number, durable_lsn)
+            forced += 1
+        return forced
+
+    def repack(self) -> None:
+        """Rebuild the heap file from the element dictionary, densely packed.
+
+        Recovery calls this after redo: replayed deletes left tombstoned
+        slots and replayed inserts appended to whatever layout the snapshot
+        load produced, so without repacking the recovered page layout (and
+        therefore the zone maps) would depend on the replay history.  After
+        repacking, the heap is byte-for-byte the layout a fresh load of the
+        same elements produces — the crash-recovery harness pins exactly
+        that equivalence against a never-crashed control database.
+        """
+        self._heap.truncate()
+        self._rids.clear()
+        for key, record in self._elements.items():
+            self._rids[key] = self._heap.append(record)
+        self._pool.invalidate(self.name)
+        self._pool.discard_dirty(self.name)
+        for page_number in range(self._heap.page_count):
+            self._pool.mark_dirty(self.name, page_number, 0)
 
     # -- storage inspection -------------------------------------------------------------
 

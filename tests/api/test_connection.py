@@ -176,11 +176,13 @@ class TestCursorProtocol:
             cursor.fetchone()
 
     def test_closed_cursor_refuses_fetches(self, figure1):
+        # A closed *cursor* is a cursor-protocol error (CursorError); only a
+        # closed *connection* raises ConnectionClosedError.
         connection = connect(figure1)
         cursor = connection.execute(PROFESSORS_TEXT)
         cursor.close()
         cursor.close()  # double close is a no-op
-        with pytest.raises(ConnectionClosedError):
+        with pytest.raises(CursorError):
             cursor.fetchone()
 
     def test_description_names_and_types(self, figure1):

@@ -174,3 +174,52 @@ class TestQueryResultSequence:
         assert result[-1] == result.rows[-1]
         assert result[0:2] == result.rows[0:2]
         assert len(result) == len(result.rows)
+
+
+class TestStreamAndCursorShutdown:
+    """ISSUE 6 satellite: lifecycle edges of cursors and their row streams."""
+
+    def test_closed_cursor_raises_cursor_error_on_every_fetch(self, figure1):
+        from repro.errors import CursorError
+
+        connection = connect(figure1)
+        cursor = connection.execute(PROFESSORS_TEXT)
+        cursor.fetchone()
+        cursor.close()
+        for fetch in (cursor.fetchone, cursor.fetchmany, cursor.fetchall):
+            with pytest.raises(CursorError):
+                fetch()
+        with pytest.raises(CursorError):
+            cursor.execute(PROFESSORS_TEXT)
+
+    def test_double_rowstream_close_is_idempotent(self, figure1):
+        from repro.engine.stream import RowStream
+
+        stream = RowStream.from_relation(figure1.relation("employees"))
+        iterator = iter(stream)
+        next(iterator)  # pipeline in flight
+        stream.close()
+        stream.close()  # second close must be a no-op
+        assert stream.consumed
+
+    def test_closing_an_untouched_stream_is_a_noop(self, figure1):
+        from repro.engine.stream import RowStream
+
+        stream = RowStream.from_relation(figure1.relation("employees"))
+        stream.close()
+        stream.close()
+        assert stream.consumed
+
+    def test_connection_close_with_open_streaming_cursor(self, figure1):
+        # A connection closed mid-stream must leave the cursor closable and
+        # its statistics snapshot intact (the counters the partial drain
+        # charged), not raise from the pipeline's finalizers.
+        connection = connect(figure1)
+        cursor = connection.execute(PROFESSORS_TEXT)
+        cursor.fetchone()
+        connection.close()
+        cursor.close()
+        cursor.close()
+        snapshot = cursor.statistics
+        assert isinstance(snapshot, dict)
+        assert "rows_streamed" in snapshot

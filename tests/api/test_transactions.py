@@ -297,3 +297,126 @@ class TestTransactionalQueries:
         # but exact), and is no longer journaled.
         assert [record.values for record in papers.elements()] == papers_before
         assert papers._journal is None
+
+
+class TestBusyTimeout:
+    """ISSUE 6 satellite: ``ServiceOptions.busy_timeout`` lets a ``begin``
+    wait for the database's one transaction slot instead of failing fast."""
+
+    def test_zero_timeout_fails_immediately(self, figure1):
+        connection = connect(figure1)
+        holder = connection.session()
+        holder.begin()
+        try:
+            with pytest.raises(TransactionError) as excinfo:
+                connection.session().begin()
+            assert "waited" not in str(excinfo.value)
+        finally:
+            holder.rollback()
+
+    def test_expired_timeout_reports_the_wait(self, figure1):
+        from repro import ServiceOptions
+
+        connection = connect(figure1)
+        holder = connection.session()
+        holder.begin()
+        try:
+            waiter = connection.session(
+                service_options=ServiceOptions(busy_timeout=0.05)
+            )
+            with pytest.raises(TransactionError, match="waited 0.05"):
+                waiter.begin()
+        finally:
+            holder.rollback()
+
+    def test_begin_waits_out_a_concurrent_transaction(self, figure1):
+        import threading
+
+        from repro import ServiceOptions
+
+        connection = connect(figure1)
+        holder = connection.session()
+        holder.begin()
+        started = threading.Event()
+        outcome: dict = {}
+
+        def contender():
+            session = connection.session(
+                service_options=ServiceOptions(busy_timeout=5.0)
+            )
+            started.set()
+            try:
+                session.begin()
+                outcome["acquired"] = True
+                session.rollback()
+            except TransactionError as exc:  # pragma: no cover - failure path
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        started.wait()
+        # The contender is now (or is about to be) parked on the condition;
+        # committing frees the slot and must wake it well before 5 s.
+        holder.commit()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert outcome.get("acquired") is True
+        assert not figure1.in_transaction
+
+
+class _ExplodingIndex:
+    """An attached observer whose every maintenance hook fails."""
+
+    def add(self, record):
+        raise RuntimeError("observer exploded in add")
+
+    def remove(self, record):
+        raise RuntimeError("observer exploded in remove")
+
+    def clear(self):
+        raise RuntimeError("observer exploded in clear")
+
+
+class TestRollbackRobustness:
+    """ISSUE 6 satellite: one broken observer must not turn rollback into
+    wholesale data loss — the remaining before-images are still restored."""
+
+    def _database(self):
+        database = Database("fragile")
+        database.create_relation("a", [("k", INTEGER)], key=["k"])
+        database.create_relation("b", [("k", INTEGER)], key=["k"])
+        database.relation("a").insert({"k": 1})
+        database.relation("b").insert({"k": 1})
+        return database
+
+    def test_failing_restore_does_not_stop_the_rollback(self):
+        database = self._database()
+        a, b = database.relation("a"), database.relation("b")
+        connection = connect(database)
+        session = connection.session()
+        session.begin()
+        a.insert({"k": 2})
+        b.insert({"k": 2})  # b touched last -> restored first
+        b.attach_index(_ExplodingIndex())
+        with pytest.raises(TransactionError) as excinfo:
+            session.rollback()
+        # The failure on b was collected, a's before-image was still restored,
+        # and the original observer exception rides along as the cause.
+        assert "b" in str(excinfo.value)
+        assert "remaining before-images were restored" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert sorted(r.k for r in a) == [1]
+        assert not database.in_transaction
+        assert not session.in_transaction
+
+    def test_clean_observers_keep_rollback_exact(self):
+        database = self._database()
+        index = build_index(database.relation("a"), "k")
+        database.relation("a").attach_index(index)
+        connection = connect(database)
+        session = connection.session()
+        session.begin()
+        database.relation("a").insert({"k": 5})
+        session.rollback()
+        assert sorted(r.k for r in database.relation("a")) == [1]
+        assert len(index.probe(5)) == 0

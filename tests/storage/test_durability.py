@@ -1,0 +1,386 @@
+"""The disk-resident database lifecycle: open/checkpoint/close, durability
+modes, the buffer pool's write-ahead gate, DDL checkpoints, and the
+``connect(path)`` front door."""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import pytest
+
+import repro
+from repro import DURABILITY_CHECKPOINT, DURABILITY_COMMIT, DURABILITY_OFF, connect
+from repro.errors import StorageError, TransactionError
+from repro.relational.database import Database
+from repro.storage.buffer import BufferPool
+from repro.storage.snapshot import snapshot_path, wal_path
+from repro.storage.wal import scan_wal
+from repro.types.scalar import INTEGER, CharArray
+
+
+@contextlib.contextmanager
+def committed(database):
+    """One committed transaction at the Database level (no session layer)."""
+    journal = database.begin_transaction()
+    yield journal
+    database.commit_transaction(journal)
+    database.end_transaction(journal)
+
+
+def make_relation(database, name="t", page_capacity=4):
+    return database.create_relation(
+        name,
+        [("k", INTEGER), ("label", CharArray(8, "labeltype"))],
+        key=["k"],
+        page_capacity=page_capacity,
+    )
+
+
+def keys(database, name="t"):
+    return sorted(r.k for r in database.relation(name))
+
+
+class TestOpenAndReopen:
+    def test_fresh_open_writes_an_initial_checkpoint(self, tmp_path):
+        database = Database.open(tmp_path)
+        assert database.directory == str(tmp_path)
+        assert os.path.exists(snapshot_path(str(tmp_path)))
+        assert database.recovery_report.clean
+        assert "replayed 0" in database.recovery_report.describe()
+        database.close()
+
+    def test_unknown_durability_mode_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Database.open(tmp_path, durability="paranoid")
+
+    def test_name_defaults_to_the_directory(self, tmp_path):
+        database = Database.open(tmp_path / "inventory")
+        assert database.name == "inventory"
+        database.close()
+
+    def test_data_and_indexes_survive_close_and_reopen(self, tmp_path):
+        database = Database.open(tmp_path)
+        relation = make_relation(database)
+        database.create_index("t", "label")
+        database.create_index("t", "k", operator="<=")
+        with committed(database):
+            for k in range(5):
+                relation.insert({"k": k, "label": f"row{k}"})
+        with committed(database):
+            relation.delete_key(3)
+        database.close()
+
+        reopened = Database.open(tmp_path)
+        assert keys(reopened) == [0, 1, 2, 4]
+        assert reopened.index_for("t", "label") is not None
+        assert reopened.index_for("t", "k") is not None
+        assert sorted(reopened.indexes()) == [("t", "k"), ("t", "label")]
+        # The reopened index actually probes (CharArray values are padded).
+        index = reopened.index_for("t", "label")
+        padded = reopened.relation("t").schema.field_type("label").coerce("row2")
+        assert len(index.probe(padded)) == 1
+        reopened.close()
+
+    def test_uncommitted_transaction_is_invisible_after_reopen(self, tmp_path):
+        database = Database.open(tmp_path)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "keep"})
+        journal = database.begin_transaction()
+        relation.insert({"k": 2, "label": "lose"})
+        database.abort_transaction(journal)
+        database.end_transaction(journal)
+        journal.rollback()
+        database.close()
+        reopened = Database.open(tmp_path)
+        assert keys(reopened) == [1]
+        reopened.close()
+
+    def test_page_capacity_survives_reopen(self, tmp_path):
+        database = Database.open(tmp_path)
+        make_relation(database, page_capacity=2)
+        database.close()
+        reopened = Database.open(tmp_path)
+        heap = getattr(reopened.relation("t"), "_heap", None)
+        assert heap is not None and heap.page_capacity == 2
+        reopened.close()
+
+
+class TestDurabilityModes:
+    def test_commit_mode_survives_an_abandoned_process(self, tmp_path):
+        database = Database.open(tmp_path, durability=DURABILITY_COMMIT)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "durable"})
+        # No close(), no checkpoint: the process just vanishes.  The WAL's
+        # committed suffix alone must reproduce the transaction.
+        del database
+        reopened = Database.open(tmp_path)
+        assert keys(reopened) == [1]
+        assert reopened.recovery_report.replayed_transactions == [1]
+        reopened.close()
+
+    def test_commit_mode_logs_redo_records(self, tmp_path):
+        database = Database.open(tmp_path, durability=DURABILITY_COMMIT)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "x"})
+        records, damage = scan_wal(wal_path(str(tmp_path)))
+        assert damage is None
+        assert [r["kind"] for r in records] == [
+            "CHECKPOINT", "BEGIN", "INSERT", "COMMIT",
+        ]
+        database.close()
+
+    def test_off_mode_keeps_no_log_and_loses_unclosed_work(self, tmp_path):
+        database = Database.open(tmp_path, durability=DURABILITY_OFF)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "volatile"})
+        assert scan_wal(wal_path(str(tmp_path))) == ([], None)
+        del database  # vanish without close: the commit was never forced
+        reopened = Database.open(tmp_path, durability=DURABILITY_OFF)
+        assert keys(reopened) == []
+        reopened.close()
+
+    def test_off_mode_persists_at_close(self, tmp_path):
+        database = Database.open(tmp_path, durability=DURABILITY_OFF)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "kept"})
+        database.close()
+        reopened = Database.open(tmp_path, durability=DURABILITY_OFF)
+        assert keys(reopened) == [1]
+        reopened.close()
+
+    def test_checkpoint_mode_survives_a_process_crash(self, tmp_path):
+        # flush-no-fsync on commit: the records reached the file (surviving
+        # a *process* crash in this simulation), only the fsync is deferred.
+        database = Database.open(tmp_path, durability=DURABILITY_CHECKPOINT)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 9, "label": "lazy"})
+        del database
+        reopened = Database.open(tmp_path, durability=DURABILITY_CHECKPOINT)
+        assert keys(reopened) == [9]
+        reopened.close()
+
+    def test_mixed_mode_reopen_reads_the_same_files(self, tmp_path):
+        database = Database.open(tmp_path, durability=DURABILITY_COMMIT)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 4, "label": "any"})
+        database.close()
+        reopened = Database.open(tmp_path, durability=DURABILITY_OFF)
+        assert keys(reopened) == [4]
+        reopened.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_the_log(self, tmp_path):
+        database = Database.open(tmp_path)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "a"})
+        database.checkpoint()
+        records, damage = scan_wal(wal_path(str(tmp_path)))
+        assert damage is None
+        assert [r["kind"] for r in records] == ["CHECKPOINT"]
+        database.close()
+
+    def test_checkpoint_refused_inside_a_transaction(self, tmp_path):
+        database = Database.open(tmp_path)
+        journal = database.begin_transaction()
+        with pytest.raises(TransactionError):
+            database.checkpoint()
+        database.end_transaction(journal)
+        database.close()
+
+    def test_checkpoint_refused_on_in_memory_database(self):
+        with pytest.raises(StorageError):
+            Database("ephemeral").checkpoint()
+
+    def test_lsns_keep_climbing_across_checkpoints(self, tmp_path):
+        database = Database.open(tmp_path)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "a"})
+        database.checkpoint()
+        with committed(database):
+            relation.insert({"k": 2, "label": "b"})
+        records, _ = scan_wal(wal_path(str(tmp_path)))
+        lsns = [r["lsn"] for r in records]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+        database.close()
+
+
+class TestClose:
+    def test_close_is_idempotent_and_final(self, tmp_path):
+        database = Database.open(tmp_path)
+        database.close()
+        database.close()
+        assert database.closed
+        with pytest.raises(StorageError):
+            database.checkpoint()
+
+    def test_close_refused_with_active_transaction(self, tmp_path):
+        database = Database.open(tmp_path)
+        journal = database.begin_transaction()
+        with pytest.raises(TransactionError):
+            database.close()
+        database.end_transaction(journal)
+        database.close()
+
+    def test_in_memory_close_just_marks_closed(self):
+        database = Database("ephemeral")
+        database.close()
+        assert database.closed
+
+
+class TestWriteAheadGate:
+    """A dirty page must never be forced before its log record is durable."""
+
+    def test_flush_behind_durable_lsn_is_a_violation(self):
+        pool = BufferPool()
+        pool.mark_dirty("t", 0, lsn=7)
+        with pytest.raises(StorageError, match="write-ahead"):
+            pool.flush_page("t", 0, durable_lsn=6)
+        # The record becomes durable; now the force is legal.
+        pool.flush_page("t", 0, durable_lsn=7)
+        assert pool.dirty_count() == 0
+
+    def test_mark_dirty_keeps_the_highest_lsn(self):
+        pool = BufferPool()
+        pool.mark_dirty("t", 0, lsn=5)
+        pool.mark_dirty("t", 0, lsn=3)  # an older record cannot lower the bar
+        assert pool.dirty_pages() == [("t", 0, 5)]
+
+    def test_unlogged_mutations_always_pass_the_gate(self):
+        pool = BufferPool()
+        pool.mark_dirty("t", 1, lsn=0)
+        pool.flush_page("t", 1, durable_lsn=0)
+        assert pool.dirty_count() == 0
+
+    def test_discard_and_filtering_by_file(self):
+        pool = BufferPool()
+        pool.mark_dirty("a", 0, lsn=1)
+        pool.mark_dirty("b", 0, lsn=2)
+        assert pool.dirty_count("a") == 1
+        pool.discard_dirty("a")
+        assert pool.dirty_pages() == [("b", 0, 2)]
+        pool.discard_dirty()
+        assert pool.dirty_count() == 0
+
+    def test_flush_of_a_clean_page_is_a_noop(self):
+        pool = BufferPool()
+        pool.flush_page("t", 3, durable_lsn=0)
+
+
+class TestDDLCheckpoints:
+    def test_ddl_outside_a_transaction_checkpoints_immediately(self, tmp_path):
+        database = Database.open(tmp_path)
+        before = database.statistics.checkpoints
+        make_relation(database)
+        assert database.statistics.checkpoints == before + 1
+        database.create_index("t", "label")
+        assert database.statistics.checkpoints == before + 2
+        database.close()
+
+    def test_ddl_inside_a_transaction_defers_the_checkpoint(self, tmp_path):
+        database = Database.open(tmp_path)
+        before = database.statistics.checkpoints
+        with committed(database):
+            make_relation(database)
+            assert database.statistics.checkpoints == before  # deferred
+        assert database.run_pending_checkpoint() is True
+        assert database.statistics.checkpoints == before + 1
+        assert database.run_pending_checkpoint() is False  # nothing pending now
+        database.close()
+
+    def test_session_runs_the_deferred_checkpoint_at_commit(self, tmp_path):
+        connection = connect(str(tmp_path))
+        database = connection.database
+        before = database.statistics.checkpoints
+        with connection.session():
+            make_relation(database)
+        assert database.statistics.checkpoints == before + 1
+        connection.close()
+
+    def test_in_memory_ddl_never_checkpoints(self):
+        database = Database("ephemeral")
+        make_relation(database)
+        assert database.statistics.checkpoints == 0
+
+    def test_drop_relation_is_durable(self, tmp_path):
+        database = Database.open(tmp_path)
+        make_relation(database)
+        database.drop_relation("t")
+        database.close()
+        reopened = Database.open(tmp_path)
+        assert "t" not in list(reopened.relation_names())
+        reopened.close()
+
+
+class TestConnectPath:
+    def test_connect_opens_owns_and_closes_the_database(self, tmp_path):
+        connection = connect(str(tmp_path), durability=DURABILITY_COMMIT)
+        database = connection.database
+        assert database.directory == str(tmp_path)
+        assert connection.recovery_report is not None
+        assert connection.recovery_report.clean
+        make_relation(database)
+        with connection.session():
+            database.relation("t").insert({"k": 1, "label": "via-api"})
+        connection.checkpoint()
+        connection.close()
+        assert database.closed
+
+        with connect(str(tmp_path)) as reopened:
+            rows = reopened.database.relation("t")
+            assert [r.label.strip() for r in rows] == ["via-api"]
+
+    def test_connect_accepts_a_pathlike(self, tmp_path):
+        with connect(tmp_path / "db") as connection:
+            assert connection.database.directory == str(tmp_path / "db")
+
+    def test_object_connections_do_not_own_their_database(self):
+        database = repro.build_university_database(scale=1)
+        connection = connect(database)
+        assert connection.recovery_report is None
+        connection.close()
+        assert not getattr(database, "closed", False)
+        with pytest.raises(StorageError):
+            connection_checkpoint = Database("m")
+            connection_checkpoint.checkpoint()
+
+
+class TestStatisticsCounters:
+    def test_wal_and_checkpoint_counters_accumulate(self, tmp_path):
+        database = Database.open(tmp_path)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "n"})
+        stats = database.statistics
+        assert stats.wal_records >= 3  # BEGIN + INSERT + COMMIT at least
+        assert stats.wal_bytes > 0
+        assert stats.wal_flushes >= 1
+        assert stats.checkpoints >= 1
+        snapshot = stats.as_dict()
+        for counter in ("wal_records", "wal_bytes", "wal_flushes",
+                        "checkpoints", "recovered_transactions"):
+            assert counter in snapshot
+        database.close()
+
+    def test_recovered_transactions_counted_on_reopen(self, tmp_path):
+        database = Database.open(tmp_path)
+        relation = make_relation(database)
+        with committed(database):
+            relation.insert({"k": 1, "label": "a"})
+        with committed(database):
+            relation.insert({"k": 2, "label": "b"})
+        del database  # abandoned: both commits live only in the WAL
+        reopened = Database.open(tmp_path)
+        assert reopened.statistics.recovered_transactions == 2
+        assert reopened.recovery_report.records_replayed >= 2
+        reopened.close()

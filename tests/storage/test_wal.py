@@ -1,0 +1,296 @@
+"""The write-ahead log: framing, LSNs, group commit, the forward scanner,
+the crash-point hook, and the value/schema codecs it persists through."""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import RecoveryError, StorageError
+from repro.relational.statistics import AccessStatistics
+from repro.storage.serialize import (
+    decode_key,
+    decode_row,
+    decode_schema,
+    decode_type,
+    encode_row,
+    encode_schema,
+    encode_type,
+)
+from repro.storage.wal import (
+    CrashPoint,
+    SimulatedCrash,
+    WriteAheadLog,
+    scan_wal,
+)
+from repro.types.scalar import (
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    CharArray,
+    Enumeration,
+    Subrange,
+)
+from repro.types.schema import RelationSchema
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+class TestAppendAndScan:
+    def test_records_round_trip_in_order(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.append("BEGIN", 1)
+        wal.append("INSERT", 1, rel="t", row=[1, "a"])
+        wal.append("COMMIT", 1)
+        wal.flush(fsync=True)
+        records, damage = scan_wal(log_path)
+        assert damage is None
+        assert [r["kind"] for r in records] == ["BEGIN", "INSERT", "COMMIT"]
+        assert records[1]["rel"] == "t" and records[1]["row"] == [1, "a"]
+
+    def test_lsns_are_monotone_and_returned(self, log_path):
+        wal = WriteAheadLog(log_path, next_lsn=7)
+        lsns = [wal.append("BEGIN", 1), wal.append("CLEAR", 1, rel="t")]
+        assert lsns == [7, 8]
+        assert wal.last_lsn == 8 and wal.next_lsn == 9
+
+    def test_append_is_buffered_until_flush(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.append("BEGIN", 1)
+        assert scan_wal(log_path) == ([], None)  # nothing reached the OS yet
+        assert wal.flushed_lsn == 0
+        wal.flush()
+        records, _ = scan_wal(log_path)
+        assert len(records) == 1
+        assert wal.flushed_lsn == 1
+
+    def test_fsync_advances_durable_lsn(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.append("BEGIN", 1)
+        wal.flush(fsync=False)
+        assert wal.flushed_lsn == 1 and wal.durable_lsn == 0
+        wal.flush(fsync=True)
+        assert wal.durable_lsn == 1
+
+    def test_unknown_kind_is_rejected(self, log_path):
+        wal = WriteAheadLog(log_path)
+        with pytest.raises(StorageError):
+            wal.append("UPSERT", 1)
+
+    def test_closed_log_refuses_appends(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(StorageError):
+            wal.append("BEGIN", 1)
+
+    def test_truncate_keeps_lsn_counter_running(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.append("CHECKPOINT")
+        wal.flush(fsync=True)
+        wal.truncate()
+        assert scan_wal(log_path) == ([], None)
+        assert wal.append("BEGIN", 1) == 2  # numbering continues
+
+    def test_truncate_with_pending_records_is_an_error(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.append("BEGIN", 1)
+        with pytest.raises(StorageError):
+            wal.truncate()
+
+    def test_statistics_charged_per_append_and_flush(self, log_path):
+        stats = AccessStatistics()
+        wal = WriteAheadLog(log_path, statistics=stats)
+        wal.append("BEGIN", 1)
+        wal.append("COMMIT", 1)
+        wal.flush(fsync=True)
+        assert stats.wal_records == 2
+        assert stats.wal_bytes == os.path.getsize(log_path)
+        assert stats.wal_flushes == 1
+
+
+class TestScannerStopsAtDamage:
+    """The forward scanner salvages the intact prefix, whatever the damage."""
+
+    def _write(self, log_path, count=3):
+        wal = WriteAheadLog(log_path)
+        wal.append("BEGIN", 1)
+        for _ in range(count - 2):
+            wal.append("INSERT", 1, rel="t", row=[1])
+        wal.append("COMMIT", 1)
+        wal.flush(fsync=True)
+        return wal
+
+    def test_torn_tail_bytes(self, log_path):
+        self._write(log_path)
+        with open(log_path, "ab") as f:
+            f.write(b"\x05")  # lone header byte: a torn frame header
+        records, damage = scan_wal(log_path)
+        assert len(records) == 3
+        assert damage is not None and "torn" in damage.reason
+        assert damage.last_good_lsn == 3
+
+    def test_truncated_payload(self, log_path):
+        self._write(log_path)
+        payload = b'{"lsn": 4, "kind": "COMMIT"}'
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        with open(log_path, "ab") as f:
+            f.write(frame[:-5])
+        records, damage = scan_wal(log_path)
+        assert len(records) == 3
+        assert "truncated" in damage.reason
+
+    def test_checksum_mismatch(self, log_path):
+        self._write(log_path)
+        size = os.path.getsize(log_path)
+        with open(log_path, "r+b") as f:
+            f.seek(size - 1)
+            original = f.read(1)
+            f.seek(size - 1)
+            f.write(bytes([original[0] ^ 0xFF]))
+        records, damage = scan_wal(log_path)
+        assert len(records) == 2  # the last record's payload no longer checks out
+        assert "checksum" in damage.reason
+
+    def test_non_monotone_lsn(self, log_path):
+        with open(log_path, "wb") as f:
+            for lsn in (1, 1):
+                payload = json.dumps({"lsn": lsn, "kind": "BEGIN", "txid": 1}).encode()
+                f.write(struct.pack("<II", len(payload), zlib.crc32(payload)) + payload)
+        records, damage = scan_wal(log_path)
+        assert len(records) == 1
+        assert "non-monotone" in damage.reason
+
+    def test_undecodable_payload(self, log_path):
+        payload = b"\xff\xfe not json"
+        with open(log_path, "wb") as f:
+            f.write(struct.pack("<II", len(payload), zlib.crc32(payload)) + payload)
+        records, damage = scan_wal(log_path)
+        assert records == []
+        assert damage.last_good_lsn == 0
+
+    def test_missing_file_is_an_empty_log(self, tmp_path):
+        assert scan_wal(str(tmp_path / "absent.log")) == ([], None)
+
+
+class TestCrashPoint:
+    def test_counting_mode_never_fires(self, log_path):
+        cp = CrashPoint()
+        wal = WriteAheadLog(log_path, crash_point=cp)
+        wal.append("BEGIN", 1)
+        wal.flush(fsync=True)
+        wal.flush()
+        assert cp.count == 2 and not cp.fired
+
+    def test_clean_crash_at_kth_event(self, log_path):
+        cp = CrashPoint(crash_at=1)
+        wal = WriteAheadLog(log_path, crash_point=cp)
+        wal.append("BEGIN", 1)
+        wal.flush()  # event 0 survives
+        wal.append("COMMIT", 1)
+        with pytest.raises(SimulatedCrash):
+            wal.flush()  # event 1 dies before writing
+        records, damage = scan_wal(log_path)
+        assert damage is None and len(records) == 1  # COMMIT never hit the disk
+
+    def test_crash_is_sticky(self, log_path):
+        cp = CrashPoint(crash_at=0)
+        wal = WriteAheadLog(log_path, crash_point=cp)
+        wal.append("BEGIN", 1)
+        with pytest.raises(SimulatedCrash):
+            wal.flush()
+        with pytest.raises(SimulatedCrash):
+            wal.flush()  # the dead process cannot reach its disk again
+
+    def test_torn_crash_leaves_a_half_written_tail(self, log_path):
+        wal = WriteAheadLog(log_path)
+        wal.append("BEGIN", 1)
+        wal.flush(fsync=True)
+        cp = CrashPoint(crash_at=0, torn=True)
+        wal.crash_point = cp
+        wal.append("INSERT", 1, rel="t", row=[1])
+        wal.append("COMMIT", 1)
+        clean_size = os.path.getsize(log_path)
+        with pytest.raises(SimulatedCrash):
+            wal.flush()
+        torn_size = os.path.getsize(log_path)
+        assert torn_size > clean_size  # a prefix of the frames landed...
+        records, damage = scan_wal(log_path)
+        assert len(records) == 1  # ...but no complete new record
+        assert damage is not None
+
+    def test_simulated_crash_is_not_an_ordinary_exception(self):
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+
+class TestSerializeCodecs:
+    def _schema(self):
+        status = Enumeration("statustype", ("assistant", "professor"))
+        return RelationSchema(
+            "staff",
+            [
+                ("eno", Subrange(1, 999, "enotype")),
+                ("name", CharArray(6, "nametype")),
+                ("status", status),
+                ("tenured", BOOLEAN),
+                ("grade", CHAR),
+                ("misc", INTEGER),
+            ],
+            key=["eno"],
+        )
+
+    def test_row_round_trip_through_field_types(self):
+        schema = self._schema()
+        row = encode_row(
+            schema.coerce_values(
+                {"eno": 7, "name": "knuth", "status": "professor",
+                 "tenured": True, "grade": "A", "misc": -3}
+            )
+        )
+        assert json.loads(json.dumps(row)) == row  # JSON-safe
+        decoded = decode_row(schema, row)
+        assert decoded[0] == 7
+        assert decoded[2].label == "professor"  # enum rebuilt as EnumValue
+
+    def test_key_round_trip(self):
+        schema = self._schema()
+        assert decode_key(schema, [7]) == (7,)
+
+    def test_arity_mismatches_raise_recovery_error(self):
+        schema = self._schema()
+        with pytest.raises(RecoveryError):
+            decode_row(schema, [1, 2])
+        with pytest.raises(RecoveryError):
+            decode_key(schema, [1, 2])
+
+    def test_schema_round_trip(self):
+        schema = self._schema()
+        rebuilt = decode_schema(json.loads(json.dumps(encode_schema(schema))))
+        assert rebuilt.name == schema.name
+        assert rebuilt.key == schema.key
+        assert [f.name for f in rebuilt.fields] == [f.name for f in schema.fields]
+        # The enum type carries its labels through the descriptor.
+        assert rebuilt.field_type("status").labels == ("assistant", "professor")
+
+    def test_every_scalar_kind_has_a_descriptor(self):
+        for scalar in (INTEGER, BOOLEAN, CHAR, Subrange(0, 5, "s"),
+                       Enumeration("e", ("a", "b")), CharArray(3, "c")):
+            descriptor = encode_type(scalar)
+            rebuilt = decode_type(json.loads(json.dumps(descriptor)))
+            assert rebuilt.coerce is not None
+
+    def test_malformed_descriptors_raise_recovery_error(self):
+        with pytest.raises(RecoveryError):
+            decode_type({"kind": "matrix"})
+        with pytest.raises(RecoveryError):
+            decode_type({"kind": "subrange"})  # missing bounds
+        with pytest.raises(RecoveryError):
+            decode_schema({"fields": "nope"})
