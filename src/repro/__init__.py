@@ -28,7 +28,16 @@ with write-ahead logging and crash recovery:
 ...     ...                                             # doctest: +SKIP
 """
 
-from repro.api import Connection, Cursor, Session, connect
+from repro.api import (
+    AsyncConnection,
+    AsyncCursor,
+    AsyncSession,
+    Connection,
+    Cursor,
+    Session,
+    aconnect,
+    connect,
+)
 from repro.config import (
     DURABILITY_CHECKPOINT,
     DURABILITY_COMMIT,
@@ -42,6 +51,7 @@ from repro.errors import (
     ConnectionClosedError,
     CursorError,
     RecoveryError,
+    SnapshotError,
     TransactionError,
 )
 from repro.lang.parser import parse_formula, parse_selection
@@ -51,9 +61,12 @@ from repro.service import PreparedQuery, QueryService
 from repro.storage.recovery import RecoveryReport
 from repro.workloads.university import build_university_database, figure1_database
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "AsyncConnection",
+    "AsyncCursor",
+    "AsyncSession",
     "Connection",
     "ConnectionClosedError",
     "Cursor",
@@ -72,9 +85,11 @@ __all__ = [
     "Relation",
     "ServiceOptions",
     "Session",
+    "SnapshotError",
     "StrategyOptions",
     "TransactionError",
     "__version__",
+    "aconnect",
     "build_university_database",
     "connect",
     "execute_naive",

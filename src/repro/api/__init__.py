@@ -6,21 +6,28 @@ scopes transactional work with ``begin``/``commit``/``rollback`` over an
 undo journal; ``Connection.cursor()`` hands out DB-API-flavoured cursors
 whose fetches stream rows off the live operator pipeline.
 
-This package is the surface later features (async execution, sharding, DML
-statements) hang off; the pre-connection entry points (``QueryEngine.execute``,
-direct ``QueryService`` construction) keep working through deprecation shims
-routed through a per-database default connection.
+``repro.aconnect(database)`` is the same surface for asyncio programs: an
+:class:`AsyncConnection` wrapping the thread-safe connection, whose cursors
+drain pinned-snapshot pipelines through a thread pool without blocking the
+event loop.  The pre-connection entry points (``QueryEngine.execute``,
+direct ``QueryService`` construction) keep working through deprecation
+shims routed through a per-database default connection.
 """
 
+from repro.api.aio import AsyncConnection, AsyncCursor, AsyncSession, aconnect
 from repro.api.connection import Connection, connect, default_connection
 from repro.api.cursor import Column, Cursor
 from repro.api.session import Session
 
 __all__ = [
+    "AsyncConnection",
+    "AsyncCursor",
+    "AsyncSession",
     "Column",
     "Connection",
     "Cursor",
     "Session",
+    "aconnect",
     "connect",
     "default_connection",
 ]

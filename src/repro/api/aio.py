@@ -1,0 +1,319 @@
+"""The asyncio front door: ``await repro.aconnect(database)``.
+
+The synchronous connection layer is thread-safe and — with snapshot reads on
+— its connection-level cursors execute and fetch entirely outside the
+execution lock.  This module lifts that surface into asyncio without a
+second execution engine: an :class:`AsyncConnection` wraps an ordinary
+:class:`~repro.api.connection.Connection` and runs every blocking call on a
+small :class:`~concurrent.futures.ThreadPoolExecutor` via
+``loop.run_in_executor``.  Because a snapshot cursor holds no lock between
+fetches, ``asyncio.gather`` over N async cursors genuinely interleaves N
+pinned-snapshot pipelines — the event loop is never blocked for longer than
+one pipeline step.
+
+>>> import repro                                       # doctest: +SKIP
+>>> async def report(database):
+...     async with await repro.aconnect(database) as connection:
+...         cursor = await connection.execute(
+...             "[<e.ename> OF EACH e IN employees: (e.estatus = professor)]"
+...         )
+...         return [record async for record in cursor]
+
+Sessions stay writer-shaped: ``async with connection.session()`` begins a
+transaction, a clean exit commits, an exception rolls back — each step
+delegated to the executor so the event loop stays responsive while the
+undo journal replays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, AsyncIterator, Mapping, Sequence
+
+from repro.api.connection import Connection
+from repro.config import ServiceOptions, StrategyOptions
+
+__all__ = ["AsyncConnection", "AsyncCursor", "AsyncSession", "aconnect"]
+
+
+async def aconnect(
+    database,
+    options: StrategyOptions | None = None,
+    service_options: ServiceOptions | None = None,
+    cache_capacity: int | None = None,
+    durability: str | None = None,
+    max_workers: int = 8,
+) -> "AsyncConnection":
+    """Open an asyncio-native connection to ``database``.
+
+    Accepts everything :func:`repro.connect` does (a database object or a
+    directory path, strategy/service options, a durability mode), plus
+    ``max_workers`` — the size of the thread pool blocking calls run on,
+    which bounds how many cursor pipelines can advance simultaneously.
+    Opening a path-backed database (checkpoint load + WAL replay) is itself
+    dispatched to the pool, so the event loop never blocks on recovery.
+    """
+    loop = asyncio.get_running_loop()
+    executor = ThreadPoolExecutor(
+        max_workers=max_workers, thread_name_prefix="repro-aio"
+    )
+    try:
+        connection = await loop.run_in_executor(
+            executor,
+            lambda: Connection(
+                database,
+                options=options,
+                service_options=service_options,
+                cache_capacity=cache_capacity,
+                durability=durability,
+            ),
+        )
+    except BaseException:
+        executor.shutdown(wait=False)
+        raise
+    return AsyncConnection(connection, executor)
+
+
+class AsyncConnection:
+    """An asyncio wrapper around one (thread-safe) :class:`Connection`.
+
+    Produced by :func:`aconnect`; owns the underlying connection and the
+    thread pool its blocking calls run on.  Usable as an async context
+    manager (``async with await aconnect(db) as connection``).
+    """
+
+    def __init__(self, connection: Connection, executor: ThreadPoolExecutor) -> None:
+        self._connection = connection
+        self._executor = executor
+
+    async def _run(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def connection(self) -> Connection:
+        """The wrapped synchronous connection."""
+        return self._connection
+
+    @property
+    def database(self):
+        return self._connection.database
+
+    @property
+    def closed(self) -> bool:
+        return self._connection.closed
+
+    # -- cursors and queries -----------------------------------------------------------
+
+    def cursor(self) -> "AsyncCursor":
+        """A new async cursor on this connection (no I/O; cheap)."""
+        return AsyncCursor(self._connection.cursor(), self)
+
+    async def execute(
+        self, query, parameters: Mapping[str, Any] | None = None
+    ) -> "AsyncCursor":
+        """Open an async cursor, execute ``query`` on it and return it."""
+        return await self.cursor().execute(query, parameters)
+
+    async def executemany(
+        self, query, seq_of_parameters: Sequence[Mapping[str, Any] | None]
+    ) -> "AsyncCursor":
+        """Open an async cursor, batch-execute ``query`` on it and return it."""
+        cursor = self.cursor()
+        await self._run(cursor._cursor.executemany, query, seq_of_parameters)
+        return cursor
+
+    async def prepare(self, query, options: StrategyOptions | None = None):
+        """Compile ``query`` once (or fetch it from the plan cache)."""
+        return await self._run(self._connection.prepare, query, options)
+
+    # -- sessions ----------------------------------------------------------------------
+
+    def session(
+        self,
+        options: StrategyOptions | None = None,
+        service_options: ServiceOptions | None = None,
+    ) -> "AsyncSession":
+        """A transactional async session (``async with`` begins/commits)."""
+        return AsyncSession(
+            self._connection.session(options=options, service_options=service_options),
+            self,
+        )
+
+    async def checkpoint(self) -> None:
+        """Force the disk-resident database to disk and truncate its WAL."""
+        await self._run(self._connection.checkpoint)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Close the wrapped connection and shut the thread pool down."""
+        if self._connection.closed:
+            return
+        try:
+            await self._run(self._connection.close)
+        finally:
+            self._executor.shutdown(wait=False)
+
+    async def __aenter__(self) -> "AsyncConnection":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Async{self._connection!r}"
+
+
+class AsyncCursor:
+    """Asyncio face of one streaming :class:`~repro.api.cursor.Cursor`.
+
+    Every fetch is one ``run_in_executor`` hop; with snapshot reads on, the
+    underlying fetch holds no lock, so concurrent async cursors advance
+    their pipelines truly independently.  Supports ``async for``.
+    """
+
+    def __init__(self, cursor, connection: AsyncConnection) -> None:
+        self._cursor = cursor
+        self._connection = connection
+
+    async def _run(self, fn, *args):
+        return await self._connection._run(fn, *args)
+
+    async def execute(
+        self, query, parameters: Mapping[str, Any] | None = None
+    ) -> "AsyncCursor":
+        await self._run(self._cursor.execute, query, parameters)
+        return self
+
+    async def fetchone(self):
+        return await self._run(self._cursor.fetchone)
+
+    async def fetchmany(self, size: int | None = None) -> list:
+        return await self._run(self._cursor.fetchmany, size)
+
+    async def fetchall(self) -> list:
+        return await self._run(self._cursor.fetchall)
+
+    async def close(self) -> None:
+        await self._run(self._cursor.close)
+
+    def __aiter__(self) -> AsyncIterator:
+        return self
+
+    async def __anext__(self):
+        record = await self.fetchone()
+        if record is None:
+            raise StopAsyncIteration
+        return record
+
+    # -- pass-through introspection ----------------------------------------------------
+
+    @property
+    def description(self):
+        return self._cursor.description
+
+    @property
+    def rowcount(self) -> int:
+        return self._cursor.rowcount
+
+    @property
+    def arraysize(self) -> int:
+        return self._cursor.arraysize
+
+    @arraysize.setter
+    def arraysize(self, value: int) -> None:
+        self._cursor.arraysize = value
+
+    @property
+    def result(self):
+        return self._cursor.result
+
+    @property
+    def statistics(self) -> dict:
+        return self._cursor.statistics
+
+    @property
+    def closed(self) -> bool:
+        return self._cursor.closed
+
+    async def __aenter__(self) -> "AsyncCursor":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Async{self._cursor!r}"
+
+
+class AsyncSession:
+    """Asyncio face of one transactional :class:`~repro.api.session.Session`.
+
+    ``async with connection.session()`` begins a transaction; a clean exit
+    commits, an exception rolls back — commit, rollback and the journal
+    replay all run on the executor, off the event loop.
+    """
+
+    def __init__(self, session, connection: AsyncConnection) -> None:
+        self._session = session
+        self._connection = connection
+
+    async def _run(self, fn, *args):
+        return await self._connection._run(fn, *args)
+
+    @property
+    def session(self):
+        """The wrapped synchronous session."""
+        return self._session
+
+    @property
+    def database(self):
+        return self._session.database
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session.in_transaction
+
+    async def begin(self) -> "AsyncSession":
+        await self._run(self._session.begin)
+        return self
+
+    async def commit(self) -> None:
+        await self._run(self._session.commit)
+
+    async def rollback(self) -> None:
+        await self._run(self._session.rollback)
+
+    def cursor(self) -> AsyncCursor:
+        """A new async cursor running under this session's transaction."""
+        return AsyncCursor(self._session.cursor(), self._connection)
+
+    async def execute(
+        self, query, parameters: Mapping[str, Any] | None = None
+    ) -> AsyncCursor:
+        """Open a session cursor, execute ``query`` on it and return it."""
+        return await self.cursor().execute(query, parameters)
+
+    async def close(self) -> None:
+        await self._run(self._session.close)
+
+    async def __aenter__(self) -> "AsyncSession":
+        if not self._session.in_transaction:
+            await self.begin()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if not self._session.in_transaction:
+            return
+        if exc_type is not None:
+            await self.rollback()
+        else:
+            await self.commit()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Async{self._session!r}"

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 from typing import Any, Mapping, Sequence
 
 from repro.api.cursor import Cursor
@@ -114,6 +115,10 @@ class Connection:
         self._lock = self._service._execution_lock
         self._closed = False
         self._active_session: Session | None = None
+        # Every cursor opened on this connection (weakly, so an abandoned
+        # cursor is collectable): rollback walks them to finalize live-path
+        # streams whose underlying state it is about to replay away.
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
 
     # -- introspection -----------------------------------------------------------------
 
@@ -203,6 +208,25 @@ class Connection:
         if self._active_session is session:
             self._active_session = None
 
+    def _track_cursor(self, cursor: Cursor) -> None:
+        self._cursors.add(cursor)
+
+    def _finalize_open_streams(self, reason: str) -> None:
+        """Close every open live-path result set before its state vanishes.
+
+        Called by :meth:`Session.rollback`: a cursor mid-drain over the
+        pre-rollback contents would otherwise keep pulling rows from
+        relations the replay is about to overwrite — silently mixing old
+        and new state.  Runs under the execution lock, so no stream is
+        advanced while it is being finalized; affected cursors raise
+        :class:`~repro.errors.CursorError` with ``reason`` on their next
+        fetch.  Snapshot cursors are exempt (their pinned state is
+        immutable and unaffected by the replay).
+        """
+        with self._lock:
+            for cursor in list(self._cursors):
+                cursor._invalidate(reason)
+
     # -- legacy routing ----------------------------------------------------------------
 
     def run_legacy(
@@ -238,6 +262,13 @@ class Connection:
         session = self._active_session
         if session is not None and session.in_transaction:
             session.rollback()
+        # Shut down open result sets (streams release pipeline-breaker state,
+        # pinned pages and pinned snapshots) without marking the cursors
+        # closed: their fetches keep raising ConnectionClosedError.
+        with self._lock:
+            for cursor in list(self._cursors):
+                if not cursor.closed:
+                    cursor._discard()
         self._closed = True
         if self._owns_database and not getattr(self._database, "closed", True):
             self._database.close()

@@ -17,6 +17,7 @@ threads) interleave safely on one connection.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.errors import CursorError
@@ -59,6 +60,13 @@ class Cursor:
         self._known_rowcount: int | None = None
         self._exhausted = False
         self._final_statistics: dict | None = None
+        # Whether the current result set runs on a pinned snapshot (fetches
+        # then skip the execution lock entirely).
+        self._snapshot = False
+        # Reason string set when a transaction rollback finalized this
+        # cursor's open stream; fetches raise it until the next execute.
+        self._invalidated: str | None = None
+        connection._track_cursor(self)
 
     # -- guards ------------------------------------------------------------------------
 
@@ -71,9 +79,16 @@ class Cursor:
 
     def _check_result(self) -> Iterator:
         self._check_open()
+        if self._invalidated is not None:
+            raise CursorError(self._invalidated)
         if self._rows is None:
             raise CursorError("cursor has no result set; call execute() first")
         return self._rows
+
+    def _fetch_guard(self):
+        # Snapshot result sets are immutable and private to this cursor:
+        # fetches need no serialization with the rest of the connection.
+        return nullcontext() if self._snapshot else self._lock
 
     # -- execution ---------------------------------------------------------------------
 
@@ -84,12 +99,26 @@ class Cursor:
 
         Returns the cursor itself (the DB-API convention), with
         :attr:`description` available immediately — no row has flowed yet.
+
+        A connection-level cursor (no session) executes against a pinned
+        copy-on-write snapshot when ``ServiceOptions.snapshot_reads`` is on:
+        compilation, execution and every subsequent fetch run *outside* the
+        execution lock, concurrently with other readers and with a writer
+        session.  Session cursors (and ``snapshot_reads=False``) keep the
+        serialized live path, so a transaction reads its own writes.
         """
         self._check_open()
-        with self._lock:
-            self._discard()
-            result = self._service.execute_streaming(query, parameters)
+        if self._session is None and self._service.service_options.snapshot_reads:
+            with self._lock:
+                self._discard()
+            result = self._service.execute_streaming_snapshot(query, parameters)
             self._install(result)
+            self._snapshot = True
+        else:
+            with self._lock:
+                self._discard()
+                result = self._service.execute_streaming(query, parameters)
+                self._install(result)
         return self
 
     def executemany(
@@ -137,7 +166,7 @@ class Cursor:
         (plus any duplicates the construction dedup swallows on the way).
         """
         rows = self._check_result()
-        with self._lock:
+        with self._fetch_guard():
             record = next(rows, None)
         if record is None:
             self._exhausted = True
@@ -146,12 +175,19 @@ class Cursor:
         return record
 
     def fetchmany(self, size: int | None = None) -> list:
-        """The next ``size`` records (default :attr:`arraysize`) as a list."""
+        """The next ``size`` records (default :attr:`arraysize`) as a list.
+
+        ``fetchmany(0)`` is a valid request for no rows (it returns ``[]``
+        without touching the pipeline); a negative size raises
+        :class:`~repro.errors.CursorError`.
+        """
         rows = self._check_result()
         if size is None:
             size = self.arraysize
+        elif size < 0:
+            raise CursorError(f"fetchmany() size must be non-negative, got {size}")
         batch: list = []
-        with self._lock:
+        with self._fetch_guard():
             for _ in range(size):
                 record = next(rows, None)
                 if record is None:
@@ -164,7 +200,7 @@ class Cursor:
     def fetchall(self) -> list:
         """Every remaining record as a list (drains the pipeline)."""
         rows = self._check_result()
-        with self._lock:
+        with self._fetch_guard():
             batch = list(rows)
         self._exhausted = True
         self._fetched += len(batch)
@@ -213,16 +249,21 @@ class Cursor:
         """Access-counter snapshot for this cursor's execution.
 
         The final snapshot once the result set is exhausted or the cursor is
-        closed; a live snapshot of the connection's shared counters while
-        rows are still pending.  The counters are the database's *shared*
-        :class:`~repro.relational.statistics.AccessStatistics`: every
+        closed; a live snapshot of the counters while rows are pending.
+
+        A snapshot-read cursor owns *private* counters (exactly this
+        execution's reads, merged into the database's shared tracker when
+        the stream finishes).  A live-path cursor reports the database's
+        shared :class:`~repro.relational.statistics.AccessStatistics`: every
         execution on the connection resets them, so a cursor whose drain
         interleaved with other executions reports the interleaved activity
         too — results are unaffected, only the accounting attribution blurs.
         """
         if self._final_statistics is not None:
             return self._final_statistics
-        if self._exhausted and self._result is not None and self._result.statistics:
+        if self._result is not None and self._result.statistics and (
+            self._snapshot or self._exhausted
+        ):
             return self._result.statistics
         return self._connection.database.statistics.as_dict()
 
@@ -246,6 +287,30 @@ class Cursor:
         self._fetched = 0
         self._known_rowcount = None
         self._exhausted = False
+        self._snapshot = False
+        self._invalidated = None
+
+    def _invalidate(self, reason: str) -> None:
+        """Finalize an open live-path stream because its state is going away.
+
+        Called (under the execution lock) when the session's transaction
+        rolls back while this cursor still holds an open ``RowStream`` over
+        the pre-rollback state: the stream is closed — its finalizers
+        release pipeline-breaker state and pinned pages — and subsequent
+        fetches raise :class:`~repro.errors.CursorError` with ``reason``.
+        Snapshot cursors are untouched (their pinned state is immutable and
+        independent of the rollback), as are exhausted or idle cursors.
+        """
+        if self._closed or self._snapshot or self._exhausted or self._rows is None:
+            return
+        rows = self._rows
+        self._rows = None
+        close = getattr(rows, "close", None)
+        if close is not None:
+            close()
+        if self._result is not None and self._result.statistics:
+            self._final_statistics = self._result.statistics
+        self._invalidated = reason
 
     def close(self) -> None:
         """Close the cursor, releasing the pipeline; double close is a no-op.

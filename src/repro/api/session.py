@@ -152,8 +152,18 @@ class Session:
         before ``begin`` are exactly as valid afterwards.  On a durable
         database an ``ABORT`` record is logged first so recovery never
         replays the abandoned operations.
+
+        Any cursor on the connection still draining a live-path result set
+        is finalized first (its stream closed, further fetches raising
+        :class:`~repro.errors.CursorError`): the stream reads the very
+        relation state the replay is about to overwrite, and letting it
+        continue would silently mix pre- and post-rollback rows.  Snapshot
+        cursors are unaffected — their pinned state is immutable.
         """
         journal = self._require_transaction()
+        self._connection._finalize_open_streams(
+            "result set invalidated: the session's transaction was rolled back"
+        )
         self.database.abort_transaction(journal)
         # Detach first: the restoring assigns must not journal themselves.
         self.database.end_transaction(journal)

@@ -194,6 +194,15 @@ class ServiceOptions:
         immediately when another transaction is active; a positive timeout
         lets a second writer wait for the gate instead of erroring out, but
         never blocks forever.
+    snapshot_reads:
+        Whether connection-level cursors (cursors opened outside a session)
+        execute against a pinned copy-on-write snapshot instead of the live
+        database.  Snapshot cursors run and fetch entirely outside the
+        execution lock, so N reader threads proceed concurrently while a
+        writer session mutates; they observe exactly the committed state at
+        execute time (see :mod:`repro.relational.mvcc`).  Session cursors
+        always use the live locked path — a transaction must read its own
+        writes.  Default on; switch off to restore fully serialized reads.
     """
 
     plan_cache_capacity: int = 128
@@ -201,6 +210,7 @@ class ServiceOptions:
     batching: bool = True
     cursor_arraysize: int = 1
     busy_timeout: float = 0.0
+    snapshot_reads: bool = True
 
     def with_(self, **changes) -> "ServiceOptions":
         """A copy with the named settings changed."""

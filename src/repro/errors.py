@@ -19,6 +19,7 @@ __all__ = [
     "DanglingReferenceError",
     "AlgebraError",
     "CatalogError",
+    "SnapshotError",
     "StorageError",
     "RecoveryError",
     "ParseError",
@@ -81,6 +82,14 @@ class AlgebraError(RelationError):
 
 class CatalogError(RelationError):
     """A database catalog lookup or definition failed."""
+
+
+class SnapshotError(RelationError):
+    """A pinned snapshot view was used as if it were the live database.
+
+    Snapshot relations are immutable by construction (the copy-on-write rule
+    depends on it); any mutation attempt raises this error.
+    """
 
 
 class StorageError(RelationError):

@@ -17,6 +17,7 @@ from repro.config import DURABILITY_COMMIT, DURABILITY_MODES, DURABILITY_OFF
 from repro.errors import CatalogError, StorageError, TransactionError
 from repro.relational.index import HashIndex, SortedIndex, build_index
 from repro.relational.journal import UndoJournal
+from repro.relational.mvcc import DatabaseSnapshot, SnapshotRegistry
 from repro.relational.relation import Relation
 from repro.relational.statistics import AccessStatistics
 from repro.types.schema import Field, RelationSchema
@@ -47,6 +48,9 @@ class Database:
         self._active_journal: UndoJournal | None = None
         self._journal_lock = threading.Lock()
         self._journal_free = threading.Condition(self._journal_lock)
+        # Snapshot-read coordination: every registered relation's dict writes
+        # and every snapshot pin synchronize on this registry (see mvcc.py).
+        self._snapshots = SnapshotRegistry(self)
         # Disk residency (all None/inert for an in-memory database).
         self.durability: str | None = None
         self._directory: str | None = None
@@ -322,6 +326,13 @@ class Database:
                 journal.bind_wal(self._wal, self._next_txid)
                 self._next_txid += 1
             self._active_journal = journal
+        # From here until the transaction's outcome is fully applied,
+        # snapshot pins serve the committed overlay instead of live dicts.
+        # Rollback applies its outcome asynchronously to end_transaction
+        # (the journal replays *after* detaching), so the journal itself
+        # reports completion on that path.
+        journal.on_rollback_finished = self._snapshots.transaction_finished
+        self._snapshots.transaction_started()
         for relation in self._relations.values():
             relation.begin_journal(journal)
         return journal
@@ -350,6 +361,12 @@ class Database:
         for relation in journal.relations():
             if relation._journal is journal:
                 relation.end_journal()
+        # Commit: the transaction's effects are final now, so snapshot pins
+        # may serve the live dicts again.  Abort: the rolled-back state is
+        # only restored once journal.rollback() has replayed the before-
+        # images — the journal calls transaction_finished itself then.
+        if not journal.aborted:
+            self._snapshots.transaction_finished()
 
     def commit_transaction(self, journal: UndoJournal) -> None:
         """Make ``journal``'s transaction durable per the durability mode.
@@ -381,7 +398,23 @@ class Database:
                 "journal does not belong to the active transaction of "
                 f"database {self.name!r}"
             )
+        journal.aborted = True
         journal.log_abort()
+
+    # -- snapshot reads ----------------------------------------------------------------
+
+    def pin_snapshot(self) -> DatabaseSnapshot:
+        """Pin a consistent committed snapshot of every base relation.
+
+        The snapshot shares the relations' element dicts (no copying); the
+        copy-on-write rule makes writers swap in fresh dicts before mutating
+        anything a pinned snapshot holds, so readers iterate it without any
+        lock.  While a transaction is active the snapshot serves the
+        *committed* pre-transaction image.  Release it (or drain the cursor
+        that holds it) promptly — every live pin forces one dict copy per
+        subsequently mutated relation.
+        """
+        return self._snapshots.pin()
 
     # -- relation management ---------------------------------------------------------
 
@@ -409,6 +442,7 @@ class Database:
         else:
             relation = Relation(name, schema, elements=elements, tracker=self.statistics)
         self._relations[name] = relation
+        relation.bind_registry(self._snapshots)
         # DDL is not transactional (the relation survives a rollback), but
         # *data* mutations of a relation declared mid-transaction are
         # journaled like any other — its before-image is what it holds now.
@@ -424,6 +458,7 @@ class Database:
             raise CatalogError(f"relation {relation.name!r} already declared")
         relation.tracker = self.statistics
         self._relations[relation.name] = relation
+        relation.bind_registry(self._snapshots)
         if self._active_journal is not None:
             relation.begin_journal(self._active_journal)
         self.bump_schema_version()

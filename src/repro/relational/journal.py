@@ -67,6 +67,14 @@ class UndoJournal:
         #: ``(relation name, operator)`` per journaled mutation, oldest first.
         self.operations: list[tuple[str, str]] = []
         self._rolled_back = False
+        #: Set by ``Database.abort_transaction``: tells ``end_transaction``
+        #: that the outcome (the rollback replay) is still pending, so the
+        #: snapshot registry must keep serving the committed overlay.
+        self.aborted = False
+        #: Callback invoked when :meth:`rollback` has finished replaying
+        #: (``Database.begin_transaction`` points it at the snapshot
+        #: registry's ``transaction_finished``).
+        self.on_rollback_finished = None
         self._wal: "WriteAheadLog | None" = None
         #: Transaction id on the durable database, ``None`` in memory.
         self.txid: int | None = None
@@ -194,16 +202,23 @@ class UndoJournal:
             raise TransactionError("undo journal was already rolled back")
         self._rolled_back = True
         failures: list[tuple[str, Exception]] = []
-        for relation, image in reversed(list(self._images.values())):
-            if relation._journal is not None:  # pragma: no cover - defensive
-                raise TransactionError(
-                    f"cannot roll back while relation {relation.name!r} is still "
-                    "journaled; end the transaction first"
-                )
-            try:
-                relation.assign(image)
-            except Exception as exc:
-                failures.append((relation.name, exc))
+        try:
+            for relation, image in reversed(list(self._images.values())):
+                if relation._journal is not None:  # pragma: no cover - defensive
+                    raise TransactionError(
+                        f"cannot roll back while relation {relation.name!r} is "
+                        "still journaled; end the transaction first"
+                    )
+                try:
+                    relation.assign(image)
+                except Exception as exc:
+                    failures.append((relation.name, exc))
+        finally:
+            # The restored state is the committed state now (even a partial
+            # replay is as restored as it will ever be): snapshot pins may
+            # serve the live dicts again.
+            if self.on_rollback_finished is not None:
+                self.on_rollback_finished()
         if failures:
             names = ", ".join(sorted(name for name, _ in failures))
             raise TransactionError(

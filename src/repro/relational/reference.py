@@ -76,10 +76,16 @@ class Ref:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Ref):
             return NotImplemented
-        return self._relation is other._relation and self._key == other._key
+        return self._relation.name == other._relation.name and self._key == other._key
 
     def __hash__(self) -> int:
-        return hash((id(self._relation), self._key))
+        # By relation *name*, matching ``ReferenceType``'s name-based checking:
+        # refs built against different objects over the same relation (a
+        # rebuilt benchmark relation, a pinned snapshot view) compare and hash
+        # as the same value.  An identity-based hash would also make set
+        # iteration order — and with it result row order — depend on object
+        # addresses, differing run to run.
+        return hash((self._relation.name, self._key))
 
     def __repr__(self) -> str:
         return f"@{self._relation.name}{list(self._key)!r}"

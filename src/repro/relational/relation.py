@@ -75,6 +75,20 @@ class Relation:
         # relations are never journaled: the slot stays None outside a
         # transaction, one is-None test per mutation.
         self._journal = None
+        # Snapshot coordination (attached by Database when the relation is
+        # registered in a catalog).  Writers consult the registry before any
+        # element-dict write so pinned snapshot views stay immutable; the
+        # epoch records when this relation's dict was last (re)bound, so a
+        # copy happens at most once per pin generation.  Intermediate result
+        # relations stay unregistered: one is-None test per mutation.
+        self._registry = None
+        self._cow_epoch = 0
+        # Monotonic per-relation contents version (bumped by every mutation).
+        # Snapshot executions use it as a relation-granular validity token:
+        # a collection structure computed over version V of every relation it
+        # read stays reusable while those versions stand, no matter how busy
+        # the rest of the database is.
+        self._version = 0
         # Intermediate (reference) relations use key = all components, in
         # which case the key tuple *is* the value tuple — the algebra kernels
         # exploit this to skip key extraction entirely.
@@ -139,6 +153,59 @@ class Relation:
         if self.tracker is not None and self._observers:
             self.tracker.record_index_maintenance(len(self._observers))
 
+    # -- snapshot copy-on-write -----------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Coordinate this relation's mutations with snapshot pins.
+
+        Called by the database when the relation enters a catalog.  The
+        current dict cannot be held by any existing snapshot (the relation
+        was not in the catalog when they pinned), so the copy-on-write epoch
+        starts at the registry's current pin epoch.
+        """
+        self._registry = registry
+        self._cow_epoch = registry.epoch
+
+    def _prepare_write_locked(self, registry) -> None:
+        """Make ``self._elements`` safe to mutate; caller holds ``registry.lock``.
+
+        Two triggers, checked in order:
+
+        * **committed overlay** — the first write inside an active
+          transaction swaps in a private copy and stashes the committed
+          dict, so pins taken mid-transaction serve the pre-transaction
+          image;
+        * **copy-on-write** — a live snapshot may hold the current dict
+          (it was captured since the last rebind), so the write goes to a
+          fresh copy instead.
+        """
+        if registry.tx_active and self.name not in registry.overlay:
+            committed = self._elements
+            self._elements = dict(committed)
+            self._cow_epoch = registry.epoch
+            registry.overlay[self.name] = (committed, self._version)
+            return
+        if registry.active and self._cow_epoch < registry.epoch:
+            self._elements = dict(self._elements)
+            self._cow_epoch = registry.epoch
+
+    def _rebind_elements(self, new: dict) -> None:
+        """Replace the element dict wholesale (``assign`` / ``clear``).
+
+        A rebind never copies — the old dict is simply left to whichever
+        snapshots captured it — but inside a transaction the committed dict
+        still has to reach the overlay on first touch.
+        """
+        registry = self._registry
+        if registry is None:
+            self._elements = new
+            return
+        with registry.lock:
+            if registry.tx_active and self.name not in registry.overlay:
+                registry.overlay[self.name] = (self._elements, self._version)
+            self._elements = new
+            self._cow_epoch = registry.epoch
+
     # -- transactional journaling ---------------------------------------------------
 
     def begin_journal(self, journal) -> None:
@@ -169,7 +236,8 @@ class Relation:
             journal.before_mutation(self, "assign", elements=elements)
             self._journal = None
         try:
-            self._elements = {}
+            self._rebind_elements({})
+            self._version += 1
             if self._observers:
                 self._index_cleared()
             if self.tracker is not None:
@@ -197,7 +265,14 @@ class Relation:
             )
         if self._journal is not None:
             self._journal.before_mutation(self, "insert", record=record)
-        self._elements[key] = record
+        registry = self._registry
+        if registry is None:
+            self._elements[key] = record
+        else:
+            with registry.lock:
+                self._prepare_write_locked(registry)
+                self._elements[key] = record
+        self._version += 1
         if self._observers:
             self._index_added(record)
         if self.tracker is not None:
@@ -228,7 +303,14 @@ class Relation:
                 self._index_removed(existing)
             if existing != record:
                 self._index_added(record)
-        self._elements[key] = record
+        registry = self._registry
+        if registry is None:
+            self._elements[key] = record
+        else:
+            with registry.lock:
+                self._prepare_write_locked(registry)
+                self._elements[key] = record
+        self._version += 1
         return record
 
     def bulk_insert_raw(self, records: Iterable[Record]) -> None:
@@ -237,6 +319,18 @@ class Relation:
             for record in records:
                 self.insert_raw(record)
             return
+        registry = self._registry
+        if registry is not None:
+            # One lock acquisition (and at most one copy) for the whole bulk.
+            with registry.lock:
+                self._prepare_write_locked(registry)
+                self._bulk_fill(records)
+            self._version += 1
+            return
+        self._bulk_fill(records)
+        self._version += 1
+
+    def _bulk_fill(self, records: Iterable[Record]) -> None:
         elements = self._elements
         if self._key_is_all:
             for record in records:
@@ -264,9 +358,16 @@ class Relation:
             key = (key,)
         if self._journal is not None and key in self._elements:
             self._journal.before_mutation(self, "delete", key=key)
-        removed_record = self._elements.pop(key, None)
+        registry = self._registry
+        if registry is None:
+            removed_record = self._elements.pop(key, None)
+        else:
+            with registry.lock:
+                self._prepare_write_locked(registry)
+                removed_record = self._elements.pop(key, None)
         removed = removed_record is not None
         if removed:
+            self._version += 1
             if self._observers:
                 self._index_removed(removed_record)
             if self.tracker is not None:
@@ -277,7 +378,13 @@ class Relation:
         """Remove every element."""
         if self._journal is not None:
             self._journal.before_mutation(self, "clear")
-        self._elements.clear()
+        if self._registry is None:
+            self._elements.clear()
+        else:
+            # Rebind instead of clearing in place: a pinned snapshot may
+            # hold the old dict.
+            self._rebind_elements({})
+        self._version += 1
         if self._observers:
             self._index_cleared()
         if self.tracker is not None:

@@ -286,6 +286,27 @@ class AccessStatistics:
         snapshot.update(self._scalar_counters())
         return snapshot
 
+    def merge(self, other: "AccessStatistics") -> None:
+        """Add every counter of ``other`` into this tracker.
+
+        Used when a snapshot execution's *private* statistics are folded
+        back into the database's shared tracker at snapshot release.  The
+        mutation epoch is deliberately NOT merged: snapshots never mutate,
+        and the epoch is a version stamp, not a counter.
+        """
+        for name, counters in other._relations.items():
+            mine = self._relations[name]
+            mine.scans += counters.scans
+            mine.elements_read += counters.elements_read
+            mine.index_probes += counters.index_probes
+            mine.index_entries_read += counters.index_entries_read
+            mine.inserts += counters.inserts
+            mine.deletes += counters.deletes
+        for phase, count in other._phase_elements.items():
+            self._phase_elements[phase] += count
+        for name, value in other._scalar_counters().items():
+            setattr(self, name, getattr(self, name) + value)
+
     def reset(self) -> None:
         """Forget all recorded counters."""
         self._relations.clear()

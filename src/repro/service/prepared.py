@@ -77,6 +77,16 @@ class PreparedQuery:
         self._cache_size = max(collection_cache_size, 0)
         self._bound_plans = BoundedLRU(self._cache_size)
         self._collections = BoundedLRU(self._cache_size)
+        # Collection memo for lock-free snapshot executions, validated by a
+        # *relation-granular* version token (every relation the query ranges
+        # over, at its captured contents version) instead of the global data
+        # version: unrelated writer traffic cannot invalidate it.  Kept
+        # separate from ``_collections`` so the two validity disciplines
+        # never evict each other; BoundedLRU is thread-safe, and memoized
+        # collection results are read-only during combination (each
+        # execution rebuilds its structure relations), so concurrent
+        # snapshot executions may share one entry.
+        self._snapshot_collections = BoundedLRU(self._cache_size)
         # Executions serialize on this lock (the database's statistics,
         # buffer pool and the memos above are unsynchronized hot paths).
         # QueryService shares its own execution lock so direct

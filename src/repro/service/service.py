@@ -31,7 +31,7 @@ from repro.engine.evaluator import QueryEngine, QueryResult
 from repro.errors import PlanError
 from repro.lang.lexer import tokenize
 from repro.service.batch import execute_plans_batched
-from repro.service.cache import BoundedLRU, PlanCache
+from repro.service.cache import BoundedLRU, PlanCache, emptiness_signature
 from repro.service.prepared import PreparedQuery
 from repro.transform.pipeline import prepare_query
 
@@ -259,6 +259,120 @@ class QueryService:
             self.database.reset_statistics()
             prepared = self._admit(query, options)
             return prepared.execute_streaming(parameters, reset_statistics=False)
+
+    def execute_streaming_snapshot(
+        self,
+        query: str | Selection | PreparedQuery,
+        parameters: Mapping[str, Any] | None = None,
+        options: StrategyOptions | None = None,
+    ) -> QueryResult:
+        """Start a streaming execution over a pinned snapshot — lock-free.
+
+        The unserialized read path: prepare/bind run against the shared plan
+        cache (thread-safe on its own locks), then the bound plan executes on
+        a :class:`~repro.relational.mvcc.DatabaseSnapshot` pinned from the
+        committed state — never inside the execution lock, so any number of
+        readers run concurrently with each other and with one writer
+        session.  Reads are accounted to the snapshot's private statistics
+        and merged into the database's shared tracker when the stream is
+        drained or closed (which also releases the pin).
+
+        A cached plan is only valid for the snapshot when it was compiled
+        against the same catalog and the same restricted emptiness
+        signature; a mismatch (a DDL or emptiness race with a writer)
+        recompiles a transient plan against the snapshot itself.
+
+        Collection structures are memoized under a *relation-granular*
+        version token — every relation the query ranges over, at the
+        contents version the snapshot captured.  Two snapshots agreeing on
+        those versions hold identical contents for exactly the relations
+        the collection phase read, so the memo survives writer traffic to
+        unrelated relations (where the live path's global ``data_version``
+        guard would discard it).
+        """
+        self.database.reset_statistics()
+        prepared = self._admit(query, options)
+        snapshot = self.database.pin_snapshot()
+        try:
+            engine = QueryEngine(snapshot, prepared.options)
+            fits = (
+                prepared.schema_version == snapshot.schema_version
+                and emptiness_signature(snapshot) & prepared.referenced_relations
+                == prepared.prepared_emptiness
+            )
+            if not fits:
+                transient = PreparedQuery(
+                    engine=engine,
+                    selection=prepared.selection,
+                    plan=prepare_query(
+                        prepared.selection,
+                        snapshot,
+                        prepared.options,
+                        resolve=False,
+                        defer_restricted_ranges=True,
+                    ),
+                    options=prepared.options,
+                    text=prepared.text,
+                    schema_version=snapshot.schema_version,
+                    collection_cache_size=0,
+                )
+                plan = transient.bind(parameters)
+                result = engine.execute_plan_streaming(
+                    plan, prepared.options, reset_statistics=False
+                )
+            else:
+                coerced = prepared._coerce_bindings(parameters)
+                key = prepared._bindings_key(coerced)
+                plan = prepared._bound_plan(coerced, key)
+                memoizable = key is not None and prepared._cache_size > 0
+                token = (
+                    snapshot.schema_version,
+                    tuple(
+                        (name, snapshot.relation_versions.get(name, -1))
+                        for name in sorted(prepared.referenced_relations)
+                    ),
+                )
+                collection = None
+                if memoizable:
+                    cached = prepared._snapshot_collections.get(key)
+                    if cached is not None and cached[0] == token:
+                        collection = cached[1]
+                computed: list = []
+                result = engine.execute_plan_streaming(
+                    plan,
+                    prepared.options,
+                    reset_statistics=False,
+                    collection=collection,
+                    collection_sink=computed.append,
+                )
+                if (
+                    memoizable
+                    and collection is None
+                    and computed
+                    and not result.used_strategy3_fallback
+                ):
+                    prepared._snapshot_collections.put(key, (token, computed[0]))
+        except BaseException:
+            snapshot.release()
+            raise
+        return self._attach_snapshot_release(result, snapshot)
+
+    def _attach_snapshot_release(
+        self, result: QueryResult, snapshot
+    ) -> QueryResult:
+        """Release the pin (and merge statistics) when the stream finishes."""
+        rows = result.row_iterator
+        database = self.database
+
+        def releasing():
+            try:
+                yield from rows
+            finally:
+                snapshot.release()
+                database.statistics.merge(snapshot.statistics)
+
+        result.row_iterator = releasing()
+        return result
 
     # -- batch execution ---------------------------------------------------------------
 

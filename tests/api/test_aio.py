@@ -1,0 +1,131 @@
+"""The asyncio front door: ``aconnect`` / AsyncConnection / AsyncSession / AsyncCursor.
+
+Every blocking call is one executor hop over the thread-safe synchronous
+connection; these tests pin the surface — fetch variants, ``async for``,
+context-manager transaction semantics, close — and that results are
+byte-identical to the synchronous path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro import ConnectionClosedError, connect
+from repro.types.scalar import INTEGER
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    PROFESSORS_TEXT,
+    STATUS_PARAM_TEXT,
+)
+from repro.workloads.university import figure1_database
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_async_rows_match_the_synchronous_path():
+    async def fetch() -> list:
+        async with await repro.aconnect(figure1_database()) as connection:
+            cursor = await connection.execute(EXAMPLE_21_TEXT)
+            return [record.values for record in await cursor.fetchall()]
+
+    sync_rows = [
+        record.values
+        for record in connect(figure1_database()).execute(EXAMPLE_21_TEXT).fetchall()
+    ]
+    assert _run(fetch()) == sync_rows
+
+
+def test_async_iteration_and_fetch_variants():
+    async def drive() -> None:
+        async with await repro.aconnect(figure1_database()) as connection:
+            cursor = await connection.execute(PROFESSORS_TEXT)
+            first = await cursor.fetchone()
+            assert first is not None
+            batch = await cursor.fetchmany(2)
+            assert len(batch) <= 2
+            rest = await cursor.fetchall()
+            assert cursor.rowcount == 1 + len(batch) + len(rest)
+
+            streamed = [record async for record in await connection.execute(PROFESSORS_TEXT)]
+            assert len(streamed) == cursor.rowcount
+            assert cursor.description[0].name == "enr"
+
+    _run(drive())
+
+
+def test_async_parameter_binding():
+    async def drive() -> list:
+        async with await repro.aconnect(figure1_database()) as connection:
+            cursor = await connection.execute(
+                STATUS_PARAM_TEXT, {"status": "professor"}
+            )
+            return [record.values for record in await cursor.fetchall()]
+
+    assert _run(drive())
+
+
+def test_async_session_commits_on_clean_exit_and_rolls_back_on_error():
+    async def drive() -> tuple[set, set]:
+        database = figure1_database()
+        database.create_relation("scratch", [("k", INTEGER)], key=["k"])
+        async with await repro.aconnect(database) as connection:
+            async with connection.session():
+                database.relation("scratch").insert({"k": 1})
+            after_commit = {
+                record.values
+                for record in await (
+                    await connection.execute("[<s.k> OF EACH s IN scratch: (s.k >= 0)]")
+                ).fetchall()
+            }
+            with pytest.raises(RuntimeError):
+                async with connection.session():
+                    database.relation("scratch").insert({"k": 2})
+                    raise RuntimeError("boom")
+            after_rollback = {
+                record.values
+                for record in await (
+                    await connection.execute("[<s.k> OF EACH s IN scratch: (s.k >= 0)]")
+                ).fetchall()
+            }
+            return after_commit, after_rollback
+
+    after_commit, after_rollback = _run(drive())
+    assert after_commit == {(1,)}
+    assert after_rollback == {(1,)}
+
+
+def test_async_close_shuts_the_connection_down():
+    async def drive():
+        connection = await repro.aconnect(figure1_database())
+        cursor = await connection.execute(PROFESSORS_TEXT)
+        await cursor.fetchall()
+        await connection.close()
+        assert connection.closed
+        await connection.close()  # double close is a no-op
+        with pytest.raises(ConnectionClosedError):
+            await connection.execute(PROFESSORS_TEXT)
+
+    _run(drive())
+
+
+def test_gathered_cursors_interleave_on_one_connection():
+    async def drive() -> list[list]:
+        async with await repro.aconnect(figure1_database()) as connection:
+            async def one(_: int) -> list:
+                cursor = await connection.execute(EXAMPLE_21_TEXT)
+                rows = []
+                async for record in cursor:
+                    rows.append(record.values)
+                    await asyncio.sleep(0)  # force interleaving mid-drain
+                return rows
+
+            return await asyncio.gather(*(one(n) for n in range(6)))
+
+    results = _run(drive())
+    assert all(rows == results[0] for rows in results)
+    assert results[0]

@@ -223,3 +223,35 @@ class TestStreamAndCursorShutdown:
         snapshot = cursor.statistics
         assert isinstance(snapshot, dict)
         assert "rows_streamed" in snapshot
+
+
+class TestFetchmanySizes:
+    """Satellite bugfix: fetchmany(0) returned arraysize rows, not []."""
+
+    def test_fetchmany_zero_returns_empty_without_advancing(self, figure1):
+        cursor = connect(figure1).execute(PROFESSORS_TEXT)
+        assert cursor.fetchmany(0) == []
+        # The pipeline did not advance: the full result is still fetchable.
+        baseline = connect(figure1).execute(PROFESSORS_TEXT).fetchall()
+        assert [r.values for r in cursor.fetchall()] == [
+            r.values for r in baseline
+        ]
+
+    def test_fetchmany_negative_raises_cursor_error(self, figure1):
+        from repro.errors import CursorError
+
+        cursor = connect(figure1).execute(PROFESSORS_TEXT)
+        with pytest.raises(CursorError, match="non-negative"):
+            cursor.fetchmany(-1)
+        with pytest.raises(CursorError, match="-5"):
+            cursor.fetchmany(-5)
+        # A rejected size leaves the result set intact.
+        assert cursor.fetchall()
+
+    def test_fetchmany_none_uses_arraysize(self, figure1):
+        everyone = "[<e.enr> OF EACH e IN employees: (e.enr >= 1)]"
+        cursor = connect(figure1).execute(everyone)
+        cursor.arraysize = 3
+        assert len(cursor.fetchmany(None)) == 3
+        cursor.arraysize = 2
+        assert len(cursor.fetchmany()) == 2

@@ -1,0 +1,205 @@
+"""Satellite: 8 pinned readers vs one mutating writer — never a torn read.
+
+The writer rewrites a whole generation relation per transaction (every row
+carries the generation number), committing some and rolling others back, and
+records the contents committed at each ``data_version``.  Readers pin
+snapshots (directly and through connection cursors) in a tight loop.  The
+invariants under test:
+
+* **Exactness** — a pin's contents are exactly what the writer committed at
+  the pin's ``data_version``: never a mix of two generations, never an
+  uncommitted or rolled-back row, by direct lookup in the writer's log.
+* **Monotonicity** — consecutive pins on one thread never move backwards.
+
+The asyncio variant drives the same workload through ``repro.aconnect()``
+under ``asyncio.gather``: concurrent async cursors over pinned snapshots
+while an async session commits, with the same torn-read check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import repro
+from repro import connect
+from repro.relational.database import Database
+from repro.types.scalar import INTEGER
+
+_READERS = 8
+_PINS_PER_READER = 60
+_ROWS = 5
+_WRITER_GENERATIONS = 40
+
+_QUERY = "[<g.k, g.gen> OF EACH g IN gens: (g.k >= 0)]"
+
+
+def _make_database() -> Database:
+    database = Database("stress", paged=False)
+    database.create_relation(
+        "gens",
+        [("k", INTEGER), ("gen", INTEGER)],
+        key=["k"],
+        elements=[{"k": k, "gen": 0} for k in range(_ROWS)],
+    )
+    return database
+
+
+def _generation_rows(generation: int) -> set[tuple]:
+    return {(k, generation) for k in range(_ROWS)}
+
+
+def test_eight_readers_observe_exactly_their_pinned_version():
+    database = _make_database()
+    connection = connect(database)
+    gens = database.relation("gens")
+
+    # data_version -> committed generation, maintained by the writer.  The
+    # initial state is generation 0 at the current mutation epoch.
+    committed: dict[int, int] = {database.statistics.mutation_epoch: 0}
+    committed_lock = threading.Lock()
+    writer_done = threading.Event()
+    errors: list[BaseException] = []
+    start = threading.Barrier(_READERS + 2)
+
+    def writer() -> None:
+        try:
+            start.wait()
+            session = connection.session()
+            current = 0
+            for generation in range(1, _WRITER_GENERATIONS + 1):
+                session.begin()
+                gens.assign([{"k": k, "gen": generation} for k in range(_ROWS)])
+                if generation % 4 == 0:
+                    # A rolled-back generation: no pin may ever surface it.
+                    # The undo replay advances the mutation epoch, so the
+                    # *restored* generation gets logged at the new version.
+                    session.rollback()
+                else:
+                    session.commit()
+                    current = generation
+                with committed_lock:
+                    committed[database.statistics.mutation_epoch] = current
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            errors.append(exc)
+        finally:
+            writer_done.set()
+
+    def reader(slot: int) -> None:
+        try:
+            start.wait()
+            last_version = -1
+            cursor = connection.cursor()
+            for round_number in range(_PINS_PER_READER):
+                if round_number % 2 == 0:
+                    # Direct pin: raw contents vs the writer's committed log.
+                    snapshot = database.pin_snapshot()
+                    try:
+                        rows = {
+                            tuple(record.values)
+                            for record in snapshot.relation("gens").scan()
+                        }
+                        version = snapshot.data_version
+                    finally:
+                        snapshot.release()
+                else:
+                    # Cursor pin: the same invariant through the front door.
+                    cursor.execute(_QUERY)
+                    rows = {record.values for record in cursor.fetchall()}
+                    version = None
+                generations = {generation for _, generation in rows}
+                assert len(rows) == _ROWS and len(generations) == 1, (
+                    f"reader {slot} saw a torn state: {sorted(rows)}"
+                )
+                (generation,) = generations
+                assert generation % 4 != 0 or generation == 0, (
+                    f"reader {slot} saw rolled-back generation {generation}"
+                )
+                if version is not None:
+                    # The writer records each commit *after* it completes, so
+                    # wait for the log to catch up before the exact check.
+                    while True:
+                        with committed_lock:
+                            expected = committed.get(version)
+                        if expected is not None or writer_done.is_set():
+                            break
+                    with committed_lock:
+                        expected = committed.get(version)
+                    assert expected is not None, (
+                        f"reader {slot} pinned unknown data_version {version}"
+                    )
+                    assert rows == _generation_rows(expected), (
+                        f"reader {slot} at data_version {version}: "
+                        f"saw generation {generation}, committed {expected}"
+                    )
+                    assert version >= last_version, "pins moved backwards"
+                    last_version = version
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,), name=f"reader-{slot}")
+        for slot in range(_READERS)
+    ] + [threading.Thread(target=writer, name="writer")]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    for thread in threads:
+        thread.join(timeout=600)
+        assert not thread.is_alive(), f"{thread.name} did not finish"
+    assert not errors, errors
+    connection.close()
+
+    # The writer's final committed generation is what the live state holds.
+    final = {tuple(record.values) for record in gens.scan()}
+    last_committed = committed[max(committed)]
+    assert final == _generation_rows(last_committed)
+
+
+def test_async_readers_under_gather_never_see_torn_state():
+    async def workload() -> None:
+        database = _make_database()
+        async with await repro.aconnect(database) as connection:
+            gens = database.relation("gens")
+            stop = asyncio.Event()
+
+            async def reader(slot: int) -> list[int]:
+                seen: list[int] = []
+                cursor = connection.cursor()
+                for _ in range(20):
+                    await cursor.execute(_QUERY)
+                    rows = {record.values for record in await cursor.fetchall()}
+                    generations = {generation for _, generation in rows}
+                    assert len(rows) == _ROWS and len(generations) == 1, (
+                        f"async reader {slot} saw a torn state: {sorted(rows)}"
+                    )
+                    seen.extend(generations)
+                return seen
+
+            async def writer() -> int:
+                generation = 0
+                session = connection.session()
+                while not stop.is_set():
+                    generation += 1
+                    async with session:
+                        gens.assign(
+                            [{"k": k, "gen": generation} for k in range(_ROWS)]
+                        )
+                    await asyncio.sleep(0)
+                return generation
+
+            async def stopper(readers) -> list[list[int]]:
+                observed = await asyncio.gather(*readers)
+                stop.set()
+                return observed
+
+            observed, final = await asyncio.gather(
+                stopper([reader(slot) for slot in range(4)]), writer()
+            )
+            # Readers interleaved with live commits (not one frozen view) and
+            # each reader observed monotonically advancing generations.
+            assert final >= 1
+            for seen in observed:
+                assert seen == sorted(seen)
+
+    asyncio.run(workload())

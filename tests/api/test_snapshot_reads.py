@@ -1,0 +1,284 @@
+"""Tentpole: multi-version snapshot reads — pinned views, COW, cursor routing.
+
+The MVCC contract of ``relational/mvcc.py`` and its connection front door:
+
+* **Pin rule** — a pin captures, per relation, the committed element dict and
+  contents version; pinning copies nothing.
+* **Copy-on-write rule** — a writer never mutates a dict a live snapshot may
+  hold: it copies first, so pinned views are immutable by construction.
+* **Committed overlay** — a pin taken while a transaction is journaling sees
+  the pre-transaction contents and data version of every relation.
+* **Routing** — connection-level cursors execute on a snapshot (outside the
+  execution lock) when ``ServiceOptions.snapshot_reads`` is on; session
+  cursors keep the serialized live path so a transaction reads its writes.
+
+Equivalence is the acceptance bar: snapshot rows must be byte-identical to
+serialized execution across the named-query matrix, on both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ServiceOptions, SnapshotError, connect
+from repro.relational.database import Database
+from repro.types.scalar import INTEGER
+from repro.workloads.queries import (
+    EXAMPLE_21_TEXT,
+    EXAMPLE_45_TEXT,
+    NO_1977_PAPERS_TEXT,
+    OTHERS_PUBLISHED_1977_TEXT,
+    PROFESSORS_TEXT,
+    PUBLISHING_TEACHERS_TEXT,
+    SENIORITY_TEXT,
+    TEACHES_LOW_LEVEL_TEXT,
+)
+from repro.workloads.university import build_university_database, figure1_database
+
+_MATRIX = (
+    EXAMPLE_21_TEXT,
+    EXAMPLE_45_TEXT,
+    PROFESSORS_TEXT,
+    TEACHES_LOW_LEVEL_TEXT,
+    NO_1977_PAPERS_TEXT,
+    SENIORITY_TEXT,
+    OTHERS_PUBLISHED_1977_TEXT,
+    PUBLISHING_TEACHERS_TEXT,
+)
+
+
+def _scratch_database(paged: bool) -> Database:
+    database = Database("mvcc", paged=paged)
+    database.create_relation(
+        "r",
+        [("k", INTEGER), ("v", INTEGER)],
+        key=["k"],
+        page_capacity=4,
+        elements=[{"k": k, "v": k * 10} for k in range(4)],
+    )
+    return database
+
+
+def _rows(relation) -> set[tuple]:
+    return {tuple(record.values) for record in relation.scan()}
+
+
+class TestPinSemantics:
+    @pytest.mark.parametrize("paged", [False, True], ids=["memory", "paged"])
+    def test_pin_is_isolated_from_later_writes(self, paged):
+        database = _scratch_database(paged)
+        before = _rows(database.relation("r"))
+        snapshot = database.pin_snapshot()
+        database.relation("r").insert({"k": 99, "v": 990})
+        database.relation("r").delete_key(0)
+        assert _rows(snapshot.relation("r")) == before
+        assert _rows(database.relation("r")) != before
+        snapshot.release()
+
+    def test_pin_during_transaction_sees_pre_transaction_state(self):
+        database = _scratch_database(paged=False)
+        before = _rows(database.relation("r"))
+        committed_version = database.statistics.mutation_epoch
+        journal = database.begin_transaction()
+        database.relation("r").insert({"k": 50, "v": 500})
+        database.relation("r").delete_key(1)
+        snapshot = database.pin_snapshot()
+        # The overlay serves the committed image, not the journaled one.
+        assert _rows(snapshot.relation("r")) == before
+        assert snapshot.data_version == committed_version
+        database.commit_transaction(journal)
+        database.end_transaction(journal)
+        # The released transaction does not retroactively change the pin.
+        assert _rows(snapshot.relation("r")) == before
+        snapshot.release()
+        after = database.pin_snapshot()
+        assert _rows(after.relation("r")) == _rows(database.relation("r"))
+        assert after.data_version == database.statistics.mutation_epoch
+        after.release()
+
+    def test_pin_survives_rollback(self):
+        database = _scratch_database(paged=False)
+        before = _rows(database.relation("r"))
+        journal = database.begin_transaction()
+        database.relation("r").clear()
+        snapshot = database.pin_snapshot()
+        database.abort_transaction(journal)
+        database.end_transaction(journal)
+        journal.rollback()
+        assert _rows(snapshot.relation("r")) == before
+        assert _rows(database.relation("r")) == before
+        snapshot.release()
+
+    def test_snapshot_relations_refuse_writes(self):
+        database = _scratch_database(paged=False)
+        with database.pin_snapshot() as snapshot:
+            view = snapshot.relation("r")
+            for mutate in (
+                lambda: view.insert({"k": 7, "v": 70}),
+                lambda: view.delete_key(0),
+                lambda: view.clear(),
+                lambda: view.assign([]),
+            ):
+                with pytest.raises(SnapshotError):
+                    mutate()
+
+    def test_release_is_idempotent_and_tracked(self):
+        database = _scratch_database(paged=False)
+        registry = database._snapshots
+        snapshot = database.pin_snapshot()
+        assert registry.active == 1
+        snapshot.release()
+        snapshot.release()
+        assert registry.active == 0
+        assert snapshot.released
+
+    def test_relation_versions_move_only_with_their_relation(self):
+        database = _scratch_database(paged=False)
+        database.create_relation("other", [("k", INTEGER)], key=["k"])
+        first = database.pin_snapshot()
+        first.release()
+        database.relation("other").insert({"k": 1})
+        second = database.pin_snapshot()
+        second.release()
+        assert (
+            second.relation_versions["r"] == first.relation_versions["r"]
+        ), "untouched relation must keep its contents version"
+        assert second.relation_versions["other"] > first.relation_versions["other"]
+
+
+class TestCursorRouting:
+    def test_connection_cursor_runs_on_a_snapshot(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.cursor().execute(PROFESSORS_TEXT)
+        assert cursor._snapshot
+        assert cursor.fetchall()
+        connection.close()
+
+    def test_snapshot_reads_off_keeps_the_live_path(self, figure1):
+        connection = connect(
+            figure1, service_options=ServiceOptions(snapshot_reads=False)
+        )
+        cursor = connection.cursor().execute(PROFESSORS_TEXT)
+        assert not cursor._snapshot
+        assert cursor.fetchall()
+        connection.close()
+
+    def test_session_cursor_reads_its_own_writes(self, figure1):
+        connection = connect(figure1)
+        scratch = figure1.create_relation(
+            "scratch", [("k", INTEGER), ("v", INTEGER)], key=["k"]
+        )
+        with connection.session() as session:
+            scratch.insert({"k": 1, "v": 10})
+            cursor = session.cursor().execute(
+                "[<s.k> OF EACH s IN scratch: (s.v = 10)]"
+            )
+            assert not cursor._snapshot
+            assert [record.values for record in cursor.fetchall()] == [(1,)]
+            # A concurrent connection-level cursor must NOT see the
+            # uncommitted insert: its pin serves the committed overlay.
+            outside = connection.cursor().execute(
+                "[<s.k> OF EACH s IN scratch: (s.v = 10)]"
+            )
+            assert outside._snapshot
+            assert outside.fetchall() == []
+        connection.close()
+
+    def test_open_snapshot_cursor_is_unmoved_by_writer_commits(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.cursor().execute(EXAMPLE_21_TEXT)
+        first = cursor.fetchone()
+        assert first is not None
+        with connection.session():
+            figure1.relation("employees").delete_key("white")
+        rest = cursor.fetchall()
+        fresh = connect(figure1_database()).execute(EXAMPLE_21_TEXT).fetchall()
+        assert [first.values, *[r.values for r in rest]] == [
+            r.values for r in fresh
+        ]
+        connection.close()
+
+    def test_drained_snapshot_cursor_releases_its_pin(self, figure1):
+        connection = connect(figure1)
+        registry = figure1._snapshots
+        cursor = connection.cursor().execute(PROFESSORS_TEXT)
+        assert registry.active == 1
+        cursor.fetchall()
+        assert registry.active == 0
+        connection.close()
+
+    def test_discarded_snapshot_cursor_releases_its_pin(self, figure1):
+        connection = connect(figure1)
+        registry = figure1._snapshots
+        cursor = connection.cursor().execute(PROFESSORS_TEXT)
+        cursor.fetchone()
+        cursor.close()
+        assert registry.active == 0
+        connection.close()
+
+    def test_snapshot_statistics_merge_into_the_shared_tracker(self, figure1):
+        connection = connect(figure1)
+        cursor = connection.cursor().execute(PROFESSORS_TEXT)
+        rows = cursor.fetchall()
+        private = cursor.statistics["relations"]["employees"]
+        assert private["elements_read"] >= len(rows)
+        shared = figure1.statistics.as_dict()["relations"]["employees"]
+        assert shared["elements_read"] >= private["elements_read"]
+        connection.close()
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("paged", [False, True], ids=["memory", "paged"])
+    def test_snapshot_rows_byte_identical_to_serialized(self, paged):
+        for query in _MATRIX:
+            fetched = {}
+            for snapshot_reads in (False, True):
+                database = build_university_database(scale=2, paged=paged)
+                connection = connect(
+                    database,
+                    service_options=ServiceOptions(snapshot_reads=snapshot_reads),
+                )
+                fetched[snapshot_reads] = [
+                    record.values for record in connection.execute(query).fetchall()
+                ]
+                connection.close()
+            assert fetched[True] == fetched[False], query
+
+    def test_repeat_snapshot_executions_are_deterministic(self, figure1):
+        connection = connect(figure1)
+        runs = [
+            [r.values for r in connection.execute(EXAMPLE_21_TEXT).fetchall()]
+            for _ in range(5)
+        ]
+        assert all(run == runs[0] for run in runs)
+        connection.close()
+
+    def test_snapshot_collection_memo_survives_unrelated_writes(self, figure1):
+        scratch = figure1.create_relation(
+            "scratch", [("k", INTEGER)], key=["k"]
+        )
+        connection = connect(figure1)
+        first = connection.execute(EXAMPLE_21_TEXT).fetchall()
+        prepared = connection.service._admit(EXAMPLE_21_TEXT, None)
+        assert len(prepared._snapshot_collections) == 1
+        with connection.session():
+            scratch.insert({"k": 1})
+        cursor = connection.cursor().execute(EXAMPLE_21_TEXT)
+        rows = cursor.fetchall()
+        assert [r.values for r in rows] == [r.values for r in first]
+        # The memoized collection served the repeat: no fresh employee scan.
+        assert cursor.statistics["relations"].get("employees", {}).get(
+            "scans", 0
+        ) == 0
+        connection.close()
+
+    def test_snapshot_collection_memo_invalidates_on_relevant_writes(self, figure1):
+        connection = connect(figure1)
+        baseline = [
+            r.values for r in connection.execute(PUBLISHING_TEACHERS_TEXT).fetchall()
+        ]
+        assert baseline
+        with connection.session():
+            figure1.relation("timetable").clear()
+        assert connection.execute(PUBLISHING_TEACHERS_TEXT).fetchall() == []
+        connection.close()

@@ -420,3 +420,89 @@ class TestRollbackRobustness:
         session.rollback()
         assert sorted(r.k for r in database.relation("a")) == [1]
         assert len(index.probe(5)) == 0
+
+
+class TestRollbackFinalizesOpenStreams:
+    """Satellite bugfix: rollback with an open streaming cursor on the same
+    connection used to leave the stream dereferencing before-image state
+    mid-drain.  The pinned behavior: ``rollback()`` finalizes every open
+    live-path stream (releasing breaker state and pinned pages) and later
+    fetches raise ``CursorError`` naming the rollback; snapshot cursors are
+    untouched (their pinned view never depended on the rolled-back state)."""
+
+    @pytest.mark.parametrize("paged", [False, True], ids=["memory", "paged"])
+    def test_rollback_invalidates_open_live_streams(self, paged):
+        from repro import CursorError, ServiceOptions, connect
+        from repro.workloads.queries import OTHERS_PUBLISHED_1977_TEXT
+        from repro.workloads.university import build_university_database
+
+        database = build_university_database(scale=2, paged=paged)
+        database.create_relation("scratch", [("k", INTEGER)], key=["k"])
+        connection = connect(
+            database, service_options=ServiceOptions(snapshot_reads=False)
+        )
+        cursor = connection.cursor().execute(OTHERS_PUBLISHED_1977_TEXT)
+        assert cursor.fetchone() is not None  # stream is open mid-drain
+
+        session = connection.session()
+        session.begin()
+        database.relation("scratch").insert({"k": 1})
+        session.rollback()
+
+        with pytest.raises(CursorError, match="rolled back"):
+            cursor.fetchone()
+        with pytest.raises(CursorError, match="rolled back"):
+            cursor.fetchall()
+        # The finalized stream released its pinned pages.
+        for relation in database.relations():
+            pool = getattr(relation, "buffer_pool", None)
+            if pool is not None:
+                assert pool.pinned_pages() == 0, relation.name
+        # The cursor itself is reusable: the next execute clears the marker.
+        assert cursor.execute(OTHERS_PUBLISHED_1977_TEXT).fetchall()
+        connection.close()
+
+    @pytest.mark.parametrize("paged", [False, True], ids=["memory", "paged"])
+    def test_rollback_invalidates_the_sessions_own_open_cursor(self, paged):
+        from repro import CursorError, connect
+        from repro.workloads.queries import OTHERS_PUBLISHED_1977_TEXT
+        from repro.workloads.university import build_university_database
+
+        database = build_university_database(scale=2, paged=paged)
+        database.create_relation("scratch", [("k", INTEGER)], key=["k"])
+        connection = connect(database)
+        session = connection.session()
+        session.begin()
+        database.relation("scratch").insert({"k": 1})
+        cursor = session.cursor().execute(OTHERS_PUBLISHED_1977_TEXT)
+        assert cursor.fetchone() is not None
+        session.rollback()
+        with pytest.raises(CursorError, match="rolled back"):
+            cursor.fetchone()
+        connection.close()
+
+    def test_rollback_leaves_snapshot_and_finished_cursors_alone(self, figure1):
+        from repro import connect
+        from repro.workloads.queries import OTHERS_PUBLISHED_1977_TEXT
+
+        figure1.create_relation("scratch", [("k", INTEGER)], key=["k"])
+        connection = connect(figure1)  # snapshot reads on
+        open_snapshot = connection.cursor().execute(OTHERS_PUBLISHED_1977_TEXT)
+        first = open_snapshot.fetchone()
+        assert first is not None
+        drained = connection.cursor().execute(OTHERS_PUBLISHED_1977_TEXT)
+        expected = [first.values] + [
+            record.values for record in drained.fetchall()
+        ][1:]
+
+        session = connection.session()
+        session.begin()
+        figure1.relation("scratch").insert({"k": 1})
+        session.rollback()
+
+        # The snapshot cursor drains to the exact pre-rollback rows, and the
+        # already-exhausted cursor keeps answering rowcount/statistics.
+        rest = [record.values for record in open_snapshot.fetchall()]
+        assert [first.values, *rest] == expected
+        assert drained.rowcount == len(expected)
+        connection.close()

@@ -1,0 +1,120 @@
+"""Satellite: close() in ``checkpoint`` durability — flush before truncate.
+
+In ``durability='checkpoint'`` mode, commits flush the WAL to the OS without
+fsync, so at ``Database.close()`` time the log's durable watermark lags its
+flushed tail.  ``close()`` runs a full checkpoint, whose contract is the
+ordering under test here: **flush+fsync the WAL first**, then write pages and
+the snapshot, and only then truncate the log.  Were the truncation (or the
+snapshot rename) to run against an unflushed buffer, the committed tail
+would be gone.
+
+The harness crashes the close at *every* storage write event it performs
+(WAL flushes — torn and clean — page flushes, snapshot write/rename,
+truncation) and reopens: recovery must see every committed transaction every
+time.  A rolled-back transaction must never resurface either.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DURABILITY_CHECKPOINT
+from repro.relational.database import Database
+from repro.storage.wal import CrashPoint, SimulatedCrash
+from repro.types.scalar import INTEGER
+
+_BATCHES = 4
+_ROWS_PER_BATCH = 3
+
+
+def _expected_rows() -> set[tuple]:
+    return {
+        (batch * _ROWS_PER_BATCH + i, batch)
+        for batch in range(_BATCHES)
+        for i in range(_ROWS_PER_BATCH)
+    }
+
+
+def _run_until_close(directory, crash_point=None) -> Database:
+    """Open, commit ``_BATCHES`` transactions, roll one back; return open db.
+
+    The crash point (if any) is armed only afterwards, so every event it
+    counts or fires on belongs to ``close()``.
+    """
+    database = Database.open(directory, durability=DURABILITY_CHECKPOINT)
+    relation = database.create_relation(
+        "items",
+        [("k", INTEGER), ("batch", INTEGER)],
+        key=["k"],
+        page_capacity=3,
+    )
+    for batch in range(_BATCHES):
+        journal = database.begin_transaction()
+        for i in range(_ROWS_PER_BATCH):
+            relation.insert({"k": batch * _ROWS_PER_BATCH + i, "batch": batch})
+        database.commit_transaction(journal)
+        database.end_transaction(journal)
+    # An aborted transaction: must never be visible after any crash.
+    journal = database.begin_transaction()
+    relation.insert({"k": 999, "batch": 999})
+    database.abort_transaction(journal)
+    database.end_transaction(journal)
+    journal.rollback()
+    database.crash_point = crash_point
+    if database._wal is not None:
+        database._wal.crash_point = crash_point
+    return database
+
+
+def _recovered_rows(directory) -> set[tuple]:
+    database = Database.open(directory)
+    try:
+        return {
+            tuple(record.values)
+            for record in database.relation("items").scan()
+        }
+    finally:
+        database.close()
+
+
+def _close_event_count(tmp_path) -> int:
+    probe = CrashPoint()
+    database = _run_until_close(str(tmp_path / "probe"), crash_point=probe)
+    database.close()
+    return probe.count
+
+
+def test_clean_close_preserves_every_committed_transaction(tmp_path):
+    directory = str(tmp_path / "clean")
+    _run_until_close(directory).close()
+    assert _recovered_rows(directory) == _expected_rows()
+
+
+def test_every_close_crash_point_recovers_every_commit(tmp_path):
+    total = _close_event_count(tmp_path)
+    assert total > 0, "close() must perform storage write events to crash at"
+    failures = []
+    for k in range(total):
+        for torn in (False, True):
+            directory = str(tmp_path / f"crash-{k}-{'torn' if torn else 'clean'}")
+            crash_point = CrashPoint(crash_at=k, torn=torn)
+            database = _run_until_close(directory, crash_point=crash_point)
+            with pytest.raises(SimulatedCrash):
+                database.close()
+            if _recovered_rows(directory) != _expected_rows():
+                failures.append((k, torn, crash_point.events[k]))
+    assert not failures, (
+        "a crash during close() lost committed transactions at: "
+        + "; ".join(f"event {k} ({desc})" for k, torn, desc in failures)
+    )
+
+
+def test_recovery_after_close_crash_is_idempotent(tmp_path):
+    directory = str(tmp_path / "reopen")
+    database = _run_until_close(
+        directory, crash_point=CrashPoint(crash_at=0, torn=True)
+    )
+    with pytest.raises(SimulatedCrash):
+        database.close()
+    for _ in range(3):
+        assert _recovered_rows(directory) == _expected_rows()
