@@ -112,8 +112,14 @@ class Cursor:
             with self._lock:
                 self._discard()
             result = self._service.execute_streaming_snapshot(query, parameters)
-            self._install(result)
-            self._snapshot = True
+            # Install under the lock with the snapshot flag set first:
+            # Connection._finalize_open_streams (a concurrent rollback on
+            # this connection) runs under the same lock and skips snapshot
+            # cursors — it must never observe the fresh stream with
+            # _snapshot still False and close it as a live-path leftover.
+            with self._lock:
+                self._snapshot = True
+                self._install(result)
         else:
             with self._lock:
                 self._discard()

@@ -166,6 +166,10 @@ class Session:
         )
         self.database.abort_transaction(journal)
         # Detach first: the restoring assigns must not journal themselves.
+        # The database's transaction slot stays held until the replay below
+        # completes (the journal's completion callback frees it), so a
+        # concurrent begin() can never attach a fresh journal to relations
+        # whose contents are still being restored.
         self.database.end_transaction(journal)
         self._journal = None
         self._connection._unregister_session(self)

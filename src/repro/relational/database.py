@@ -330,9 +330,10 @@ class Database:
         # snapshot pins serve the committed overlay instead of live dicts.
         # Rollback applies its outcome asynchronously to end_transaction
         # (the journal replays *after* detaching), so the journal itself
-        # reports completion on that path.
-        journal.on_rollback_finished = self._snapshots.transaction_finished
-        self._snapshots.transaction_started()
+        # reports completion on that path — which publishes the restored
+        # state and frees the transaction slot held through the replay.
+        journal.on_rollback_finished = lambda: self._rollback_finished(journal)
+        self._snapshots.transaction_started(journal)
         for relation in self._relations.values():
             relation.begin_journal(journal)
         return journal
@@ -342,6 +343,15 @@ class Database:
 
         Detaching *before* replaying is what keeps rollback from journaling
         itself; :meth:`UndoJournal.rollback` refuses to run while attached.
+
+        A committed journal frees the transaction slot here — after the
+        detach, so a newly admitted transaction can never find relations
+        still carrying the old journal.  An *aborted* journal keeps the
+        slot held: its outcome is only applied once ``journal.rollback()``
+        has replayed the before-images, and admitting a new transaction
+        mid-replay would attach a fresh journal to relations whose
+        contents are still being restored.  The slot is freed by the
+        journal's completion callback (:meth:`_rollback_finished`) instead.
         """
         with self._journal_free:
             if self._active_journal is not journal:
@@ -349,8 +359,6 @@ class Database:
                     "journal does not belong to the active transaction of "
                     f"database {self.name!r}"
                 )
-            self._active_journal = None
-            self._journal_free.notify_all()
         for relation in self._relations.values():
             if relation._journal is journal:
                 relation.end_journal()
@@ -362,11 +370,30 @@ class Database:
             if relation._journal is journal:
                 relation.end_journal()
         # Commit: the transaction's effects are final now, so snapshot pins
-        # may serve the live dicts again.  Abort: the rolled-back state is
-        # only restored once journal.rollback() has replayed the before-
-        # images — the journal calls transaction_finished itself then.
+        # may serve the live dicts again — published *before* the slot
+        # frees, so a successor transaction's overlay can never be set up
+        # first and then clobbered.  Abort: the rolled-back state is only
+        # restored once journal.rollback() has replayed the before-images —
+        # the journal reports completion itself then.
         if not journal.aborted:
-            self._snapshots.transaction_finished()
+            self._snapshots.transaction_finished(journal)
+            with self._journal_free:
+                self._active_journal = None
+                self._journal_free.notify_all()
+
+    def _rollback_finished(self, journal: UndoJournal) -> None:
+        """An aborted transaction's replay completed (``UndoJournal.rollback``).
+
+        The restored state is the committed state now: publish it to the
+        snapshot registry (pins serve the live dicts again), then free the
+        transaction slot held through the replay, waking any ``begin``
+        blocked on its busy timeout.
+        """
+        self._snapshots.transaction_finished(journal)
+        with self._journal_free:
+            if self._active_journal is journal:
+                self._active_journal = None
+                self._journal_free.notify_all()
 
     def commit_transaction(self, journal: UndoJournal) -> None:
         """Make ``journal``'s transaction durable per the durability mode.
@@ -441,8 +468,13 @@ class Database:
             )
         else:
             relation = Relation(name, schema, elements=elements, tracker=self.statistics)
-        self._relations[name] = relation
-        relation.bind_registry(self._snapshots)
+        # Catalog insert + registry bind happen under the registry lock:
+        # snapshot pins iterate the relation dict under that lock (outside
+        # the execution lock), so a concurrent reader must never observe
+        # the dict mid-resize.
+        with self._snapshots.lock:
+            self._relations[name] = relation
+            relation.bind_registry(self._snapshots)
         # DDL is not transactional (the relation survives a rollback), but
         # *data* mutations of a relation declared mid-transaction are
         # journaled like any other — its before-image is what it holds now.
@@ -457,8 +489,9 @@ class Database:
         if relation.name in self._relations:
             raise CatalogError(f"relation {relation.name!r} already declared")
         relation.tracker = self.statistics
-        self._relations[relation.name] = relation
-        relation.bind_registry(self._snapshots)
+        with self._snapshots.lock:
+            self._relations[relation.name] = relation
+            relation.bind_registry(self._snapshots)
         if self._active_journal is not None:
             relation.begin_journal(self._active_journal)
         self.bump_schema_version()
@@ -483,7 +516,10 @@ class Database:
         """
         if name not in self._relations:
             raise CatalogError(f"no relation {name!r} in database {self.name!r}")
-        relation = self._relations.pop(name)
+        # Pop under the registry lock for the same reason create inserts
+        # under it: concurrent snapshot pins iterate this dict.
+        with self._snapshots.lock:
+            relation = self._relations.pop(name)
         for index_key in [k for k in self._indexes if k[0] == name]:
             relation.detach_index(self._indexes.pop(index_key))
         self.bump_schema_version()

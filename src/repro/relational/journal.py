@@ -72,8 +72,10 @@ class UndoJournal:
         #: snapshot registry must keep serving the committed overlay.
         self.aborted = False
         #: Callback invoked when :meth:`rollback` has finished replaying
-        #: (``Database.begin_transaction`` points it at the snapshot
-        #: registry's ``transaction_finished``).
+        #: (``Database.begin_transaction`` points it at the database's
+        #: ``_rollback_finished``, which publishes the restored state to
+        #: the snapshot registry and frees the transaction slot held
+        #: through the replay).
         self.on_rollback_finished = None
         self._wal: "WriteAheadLog | None" = None
         #: Transaction id on the durable database, ``None`` in memory.

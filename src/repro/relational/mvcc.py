@@ -67,6 +67,11 @@ class SnapshotRegistry:
         self.active = 0
         #: Whether a session transaction is currently journaling mutations.
         self.tx_active = False
+        #: The undo journal of that transaction — the identity guard: a
+        #: completion reported by a journal that is no longer the current
+        #: transaction (a stale rollback racing a successor's begin) must
+        #: not clear the successor's overlay state.
+        self.tx_journal = None
         #: relation name -> (committed element dict, committed per-relation
         #: version), filled at the relation's first journaled write inside
         #: the transaction.
@@ -76,20 +81,27 @@ class SnapshotRegistry:
 
     # -- transaction boundaries (called by Database / UndoJournal) ---------------------
 
-    def transaction_started(self) -> None:
-        """A transaction opened: pins now serve the committed overlay."""
+    def transaction_started(self, journal) -> None:
+        """``journal``'s transaction opened: pins now serve the committed overlay."""
         with self.lock:
+            self.tx_journal = journal
             self.overlay.clear()
             self.committed_data_version = self._database.statistics.mutation_epoch
             self.tx_active = True
 
-    def transaction_finished(self) -> None:
-        """The transaction's outcome is applied (commit, or rollback replayed).
+    def transaction_finished(self, journal) -> None:
+        """``journal``'s outcome is applied (commit, or rollback replayed).
 
         Drops the overlay and re-reads the committed data version, so the
         next pin captures the live dicts and the post-transaction epoch.
+        A completion from a journal that is no longer the current
+        transaction is ignored — a stale callback must never clear a
+        successor transaction's overlay.
         """
         with self.lock:
+            if self.tx_journal is not journal:
+                return
+            self.tx_journal = None
             self.tx_active = False
             self.overlay.clear()
             self.committed_data_version = self._database.statistics.mutation_epoch

@@ -87,7 +87,10 @@ class Relation:
         # Snapshot executions use it as a relation-granular validity token:
         # a collection structure computed over version V of every relation it
         # read stays reusable while those versions stand, no matter how busy
-        # the rest of the database is.
+        # the rest of the database is.  On a registered relation the bump
+        # happens inside the same registry-locked section as the dict write,
+        # so a concurrent pin can never pair new contents with the old
+        # version (or vice versa).
         self._version = 0
         # Intermediate (reference) relations use key = all components, in
         # which case the key tuple *is* the value tuple — the algebra kernels
@@ -158,10 +161,12 @@ class Relation:
     def bind_registry(self, registry) -> None:
         """Coordinate this relation's mutations with snapshot pins.
 
-        Called by the database when the relation enters a catalog.  The
-        current dict cannot be held by any existing snapshot (the relation
-        was not in the catalog when they pinned), so the copy-on-write epoch
-        starts at the registry's current pin epoch.
+        Called by the database when the relation enters a catalog, while
+        holding ``registry.lock`` (concurrent pins iterate the catalog under
+        that lock, and this method reads the pin epoch).  The current dict
+        cannot be held by any existing snapshot (the relation was not in the
+        catalog when they pinned), so the copy-on-write epoch starts at the
+        registry's current pin epoch.
         """
         self._registry = registry
         self._cow_epoch = registry.epoch
@@ -194,16 +199,20 @@ class Relation:
 
         A rebind never copies — the old dict is simply left to whichever
         snapshots captured it — but inside a transaction the committed dict
-        still has to reach the overlay on first touch.
+        still has to reach the overlay on first touch.  The contents-version
+        bump rides in the same locked section as the swap, so a pin never
+        sees the new dict under the old version.
         """
         registry = self._registry
         if registry is None:
             self._elements = new
+            self._version += 1
             return
         with registry.lock:
             if registry.tx_active and self.name not in registry.overlay:
                 registry.overlay[self.name] = (self._elements, self._version)
             self._elements = new
+            self._version += 1
             self._cow_epoch = registry.epoch
 
     # -- transactional journaling ---------------------------------------------------
@@ -237,7 +246,6 @@ class Relation:
             self._journal = None
         try:
             self._rebind_elements({})
-            self._version += 1
             if self._observers:
                 self._index_cleared()
             if self.tracker is not None:
@@ -268,11 +276,12 @@ class Relation:
         registry = self._registry
         if registry is None:
             self._elements[key] = record
+            self._version += 1
         else:
             with registry.lock:
                 self._prepare_write_locked(registry)
                 self._elements[key] = record
-        self._version += 1
+                self._version += 1
         if self._observers:
             self._index_added(record)
         if self.tracker is not None:
@@ -306,11 +315,12 @@ class Relation:
         registry = self._registry
         if registry is None:
             self._elements[key] = record
+            self._version += 1
         else:
             with registry.lock:
                 self._prepare_write_locked(registry)
                 self._elements[key] = record
-        self._version += 1
+                self._version += 1
         return record
 
     def bulk_insert_raw(self, records: Iterable[Record]) -> None:
@@ -325,7 +335,7 @@ class Relation:
             with registry.lock:
                 self._prepare_write_locked(registry)
                 self._bulk_fill(records)
-            self._version += 1
+                self._version += 1
             return
         self._bulk_fill(records)
         self._version += 1
@@ -361,13 +371,16 @@ class Relation:
         registry = self._registry
         if registry is None:
             removed_record = self._elements.pop(key, None)
+            if removed_record is not None:
+                self._version += 1
         else:
             with registry.lock:
                 self._prepare_write_locked(registry)
                 removed_record = self._elements.pop(key, None)
+                if removed_record is not None:
+                    self._version += 1
         removed = removed_record is not None
         if removed:
-            self._version += 1
             if self._observers:
                 self._index_removed(removed_record)
             if self.tracker is not None:
@@ -380,11 +393,11 @@ class Relation:
             self._journal.before_mutation(self, "clear")
         if self._registry is None:
             self._elements.clear()
+            self._version += 1
         else:
             # Rebind instead of clearing in place: a pinned snapshot may
             # hold the old dict.
             self._rebind_elements({})
-        self._version += 1
         if self._observers:
             self._index_cleared()
         if self.tracker is not None:

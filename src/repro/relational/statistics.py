@@ -15,6 +15,7 @@ directly visible.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -97,6 +98,13 @@ class AccessStatistics:
         # and survives reset(): the service layer compares epochs to decide
         # whether cached collection-phase structures are still valid.
         self._mutation_epoch = 0
+        # Serializes the bulk read-modify-write operations (merge, reset)
+        # against each other: a snapshot execution merges its private
+        # counters into the shared tracker outside the execution lock, so
+        # without this a live-path reset could land mid-merge and lose (or
+        # double) counts.  Individual record_* increments stay unlocked —
+        # they are single counters and accounting-only.
+        self._lock = threading.Lock()
         self.intermediate_tuples = 0
         self.intermediate_relations = 0
         self.pages_read = 0
@@ -293,26 +301,32 @@ class AccessStatistics:
         back into the database's shared tracker at snapshot release.  The
         mutation epoch is deliberately NOT merged: snapshots never mutate,
         and the epoch is a version stamp, not a counter.
+
+        Serialized against concurrent :meth:`merge` / :meth:`reset` calls:
+        snapshot releases merge from arbitrary reader threads while the
+        live path resets between executions.
         """
-        for name, counters in other._relations.items():
-            mine = self._relations[name]
-            mine.scans += counters.scans
-            mine.elements_read += counters.elements_read
-            mine.index_probes += counters.index_probes
-            mine.index_entries_read += counters.index_entries_read
-            mine.inserts += counters.inserts
-            mine.deletes += counters.deletes
-        for phase, count in other._phase_elements.items():
-            self._phase_elements[phase] += count
-        for name, value in other._scalar_counters().items():
-            setattr(self, name, getattr(self, name) + value)
+        with self._lock:
+            for name, counters in other._relations.items():
+                mine = self._relations[name]
+                mine.scans += counters.scans
+                mine.elements_read += counters.elements_read
+                mine.index_probes += counters.index_probes
+                mine.index_entries_read += counters.index_entries_read
+                mine.inserts += counters.inserts
+                mine.deletes += counters.deletes
+            for phase, count in other._phase_elements.items():
+                self._phase_elements[phase] += count
+            for name, value in other._scalar_counters().items():
+                setattr(self, name, getattr(self, name) + value)
 
     def reset(self) -> None:
-        """Forget all recorded counters."""
-        self._relations.clear()
-        self._phase_elements.clear()
-        for name in self._scalar_counters():
-            setattr(self, name, 0)
+        """Forget all recorded counters (serialized against :meth:`merge`)."""
+        with self._lock:
+            self._relations.clear()
+            self._phase_elements.clear()
+            for name in self._scalar_counters():
+                setattr(self, name, 0)
 
     def summary(self) -> str:
         """A compact multi-line human readable summary."""

@@ -290,7 +290,10 @@ class QueryService:
         unrelated relations (where the live path's global ``data_version``
         guard would discard it).
         """
-        self.database.reset_statistics()
+        # Unlike the live path there is no reset of the shared tracker: this
+        # path runs outside the execution lock, and a reset here would race
+        # (and clobber) an in-flight serialized execution's counters.  The
+        # snapshot accounts its reads privately and merges them at release.
         prepared = self._admit(query, options)
         snapshot = self.database.pin_snapshot()
         try:

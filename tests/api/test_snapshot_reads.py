@@ -282,3 +282,219 @@ class TestEquivalenceMatrix:
             figure1.relation("timetable").clear()
         assert connection.execute(PUBLISHING_TEACHERS_TEXT).fetchall() == []
         connection.close()
+
+
+class _ProbeLock:
+    """A registry-lock wrapper observing state at every critical-section exit."""
+
+    def __init__(self, inner, on_exit):
+        self._inner = inner
+        self._on_exit = on_exit
+
+    def __enter__(self):
+        self._inner.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._on_exit()
+        self._inner.release()
+
+    def acquire(self, *args, **kwargs):
+        return self._inner.acquire(*args, **kwargs)
+
+    def release(self):
+        self._inner.release()
+
+
+class TestRegistryLockDiscipline:
+    """Review fixes: everything a concurrent ``pin()`` reads under the
+    registry lock — element dicts, contents versions, the catalog itself —
+    must only ever change inside that lock's critical sections."""
+
+    @pytest.mark.parametrize("paged", [False, True], ids=["memory", "paged"])
+    def test_version_bump_is_atomic_with_the_dict_write(self, paged):
+        # A pin landing between a mutator's dict write and its version bump
+        # would pair new contents with the old version token, poisoning the
+        # snapshot collection memo.  Observe (contents, version) at every
+        # lock release: one version must never identify two contents.
+        database = _scratch_database(paged)
+        relation = database.relation("r")
+        registry = database._snapshots
+        observed: list[tuple[frozenset, int]] = []
+
+        def probe():
+            frozen = frozenset(
+                (key, tuple(record.values))
+                for key, record in relation._elements.items()
+            )
+            observed.append((frozen, relation._version))
+
+        registry.lock = _ProbeLock(registry.lock, probe)
+        relation.insert({"k": 90, "v": 900})
+        relation.insert_raw(relation._as_record({"k": 91, "v": 910}))
+        relation.bulk_insert_raw(
+            [relation._as_record({"k": 92, "v": 920})]
+        )
+        relation.delete_key(90)
+        relation.assign([{"k": 1, "v": 10}, {"k": 2, "v": 20}])
+        relation.clear()
+        assert len(observed) >= 6
+        contents_by_version: dict[int, frozenset] = {}
+        for frozen, version in observed:
+            if version in contents_by_version:
+                assert contents_by_version[version] == frozen, (
+                    "two different contents observed under version "
+                    f"{version}: the bump escaped the locked section"
+                )
+            else:
+                contents_by_version[version] = frozen
+
+    def test_catalog_changes_happen_under_the_registry_lock(self):
+        # pin() iterates database._relations under the registry lock and
+        # outside the execution lock; DDL must take the same lock around
+        # the catalog dict mutation or a pinning reader can crash with
+        # "dictionary changed size during iteration".
+        database = _scratch_database(paged=False)
+        registry = database._snapshots
+        held = []
+
+        class _TrackedLock(_ProbeLock):
+            def __enter__(self):
+                result = super().__enter__()
+                held.append(True)
+                return result
+
+            def __exit__(self, *exc_info):
+                held.pop()
+                return super().__exit__(*exc_info)
+
+        registry.lock = _TrackedLock(registry.lock, lambda: None)
+
+        class _GuardedCatalog(dict):
+            def __setitem__(self, key, value):
+                assert held, f"catalog insert of {key!r} outside the registry lock"
+                super().__setitem__(key, value)
+
+            def pop(self, key, *default):
+                assert held, f"catalog pop of {key!r} outside the registry lock"
+                return super().pop(key, *default)
+
+        database._relations = _GuardedCatalog(database._relations)
+        database.create_relation("fresh", [("k", INTEGER)], key=["k"])
+        database.relation("fresh").insert({"k": 1})
+        with database.pin_snapshot() as snapshot:
+            assert snapshot.has_relation("fresh")
+        database.drop_relation("fresh")
+
+    def test_concurrent_ddl_never_breaks_a_pinning_reader(self):
+        # Stress pendant of the deterministic test above: readers pin in a
+        # tight loop while a writer grows the catalog.
+        import threading
+
+        database = _scratch_database(paged=False)
+        failures: list[BaseException] = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                try:
+                    with database.pin_snapshot() as snapshot:
+                        for relation in snapshot.relations():
+                            len(relation)
+                except BaseException as exc:  # pragma: no cover - failure path
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for index in range(150):
+                database.create_relation(
+                    f"ddl_{index}", [("k", INTEGER)], key=["k"]
+                )
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not failures
+
+    def test_stale_transaction_completion_is_ignored(self):
+        # transaction_finished carries the journal identity: a rollback
+        # completion from a previous transaction must not clear a successor
+        # transaction's overlay state.
+        database = _scratch_database(paged=False)
+        registry = database._snapshots
+        stale, current = object(), object()
+        registry.transaction_started(stale)
+        registry.transaction_finished(stale)
+        registry.transaction_started(current)
+        registry.overlay["r"] = ({}, 0)
+        registry.transaction_finished(stale)  # late duplicate: ignored
+        assert registry.tx_active
+        assert "r" in registry.overlay
+        registry.transaction_finished(current)
+        assert not registry.tx_active
+        assert not registry.overlay
+
+
+class TestSnapshotCursorInstall:
+    def test_snapshot_flag_is_set_before_the_result_installs(self, figure1):
+        # Connection._finalize_open_streams (a concurrent rollback) skips
+        # cursors with _snapshot already True; the flag must therefore be
+        # visible no later than the stream itself.
+        connection = connect(figure1)
+        cursor = connection.cursor()
+        flags_at_install: list[bool] = []
+        original = cursor._install
+
+        def probing_install(result):
+            flags_at_install.append(cursor._snapshot)
+            return original(result)
+
+        cursor._install = probing_install
+        cursor.execute(PROFESSORS_TEXT)
+        assert flags_at_install == [True]
+        assert cursor.fetchall()
+        connection.close()
+
+
+class TestSharedStatisticsDiscipline:
+    def test_snapshot_execution_does_not_reset_the_shared_tracker(self, figure1):
+        # The snapshot path runs outside the execution lock; resetting the
+        # shared tracker there would clobber an in-flight serialized
+        # execution's counters.  Plant a counter no query ever touches and
+        # check it survives a full snapshot execute + drain.
+        connection = connect(figure1)
+        figure1.statistics.recovered_transactions = 3
+        cursor = connection.cursor().execute(PROFESSORS_TEXT)
+        assert cursor.fetchall()
+        assert figure1.statistics.recovered_transactions == 3
+        connection.close()
+
+    def test_merge_and_reset_serialize_on_the_statistics_lock(self):
+        from repro.relational.statistics import AccessStatistics
+
+        shared = AccessStatistics()
+        private = AccessStatistics()
+        private.record_scan("r")
+        private.record_element_read("r", 4)
+        locked_sections = []
+
+        class _CountingLock:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __enter__(self):
+                self._inner.acquire()
+                locked_sections.append(True)
+                return self
+
+            def __exit__(self, *exc_info):
+                self._inner.release()
+
+        shared._lock = _CountingLock(shared._lock)
+        shared.merge(private)
+        shared.reset()
+        assert len(locked_sections) == 2
+        assert shared.as_dict()["relations"] == {}

@@ -506,3 +506,96 @@ class TestRollbackFinalizesOpenStreams:
         assert [first.values, *rest] == expected
         assert drained.rowcount == len(expected)
         connection.close()
+
+
+class _StallingIndex:
+    """An observer that parks the rollback replay until told to continue."""
+
+    def __init__(self):
+        import threading
+
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def add(self, record):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0)
+
+    def remove(self, record):
+        pass
+
+    def clear(self):
+        pass
+
+
+class TestRollbackHoldsTheTransactionSlot:
+    """Review fix: the transaction slot must stay held until the rollback
+    replay completes.  Freeing it at ``end_transaction`` let a second
+    session begin mid-replay — its fresh journal made the replay fail on
+    the 'still journaled' guard, and the stale completion callback cleared
+    the NEW transaction's snapshot-overlay state."""
+
+    def _database(self):
+        database = Database("slot")
+        database.create_relation("a", [("k", INTEGER)], key=["k"])
+        database.relation("a").insert({"k": 1})
+        return database
+
+    def test_begin_is_refused_and_waits_while_the_replay_runs(self):
+        import threading
+
+        from repro import ServiceOptions
+
+        database = self._database()
+        relation = database.relation("a")
+        connection = connect(database)
+        stall = _StallingIndex()
+
+        session = connection.session()
+        session.begin()
+        relation.insert({"k": 2})
+        relation.attach_index(stall)  # only the replay's re-inserts stall
+
+        rolled = threading.Event()
+
+        def roll():
+            session.rollback()
+            rolled.set()
+
+        replayer = threading.Thread(target=roll)
+        replayer.start()
+        try:
+            assert stall.entered.wait(timeout=10.0)
+            # Mid-replay: the slot is still held, so an immediate begin is
+            # refused and the database still reports an open transaction.
+            assert database.in_transaction
+            with pytest.raises(TransactionError):
+                connection.session().begin()
+
+            # A begin with a busy timeout parks on the condition and must
+            # only be admitted once the replay has finished.
+            admitted: dict = {}
+
+            def contend():
+                waiter = connection.session(
+                    service_options=ServiceOptions(busy_timeout=10.0)
+                )
+                waiter.begin()
+                admitted["after_replay"] = rolled.is_set()
+                waiter.rollback()
+
+            contender = threading.Thread(target=contend)
+            contender.start()
+            contender.join(timeout=0.3)
+            assert contender.is_alive(), "begin was admitted mid-replay"
+        finally:
+            stall.release.set()
+        replayer.join(timeout=10.0)
+        contender.join(timeout=10.0)
+        assert not replayer.is_alive() and not contender.is_alive()
+        assert admitted.get("after_replay") is True
+        # The rollback was exact despite the contention.
+        relation.detach_index(stall)
+        assert sorted(record.k for record in relation) == [1]
+        assert not database.in_transaction
+        connection.close()
