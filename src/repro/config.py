@@ -101,6 +101,34 @@ class StrategyOptions:
         construction phase dereferences directly from the final stream.
         Only pipeline breakers (division, union dedup state) buffer tuples,
         so ``peak_tuples`` reports the true live-tuple high-water mark.
+    sharded_execution:
+        Horizontally shard the combination phase: hash-partition every
+        conjunct structure mentioning the chosen shard variable on that
+        variable's reference column, semijoin-reduce the remaining
+        structures per shard (the Bernstein & Chiu reducer as a cross-shard
+        reducer, shipping projections instead of relations), and evaluate
+        the shards in parallel through ``concurrent.futures``.  Shard
+        outputs are provably disjoint (every output row carries exactly one
+        shard-variable reference), so the merge is a concatenation.  The
+        path only engages when the largest conjunct structure reaches
+        ``shard_min_rows`` — small queries keep the classic single-shard
+        pipelines.
+    shard_count:
+        How many shards ``sharded_execution`` partitions into (also the
+        default worker count).
+    shard_min_rows:
+        Auto-gate: the largest conjunct structure must hold at least this
+        many rows before the sharded path engages.  ``0`` shards always
+        (used by the equivalence tests).
+    shard_backend:
+        ``"thread"`` (default), ``"process"`` (a
+        :class:`~concurrent.futures.ProcessPoolExecutor` over the pure-tuple
+        shard kernel, for CPU-bound joins at scale), ``"serial"`` (in-line,
+        deterministic single-thread dispatch), or ``"auto"`` (threads, or
+        the ``REPRO_SHARD_BACKEND`` environment override).
+    shard_workers:
+        Worker count for the shard executor; ``0`` means one worker per
+        shard.
     """
 
     parallel_collection: bool = True
@@ -114,6 +142,11 @@ class StrategyOptions:
     join_ordering: bool = True
     semijoin_reduction: bool = True
     streaming_execution: bool = True
+    sharded_execution: bool = True
+    shard_count: int = 4
+    shard_min_rows: int = 64
+    shard_backend: str = "auto"
+    shard_workers: int = 0
 
     # -- presets -----------------------------------------------------------------
 
@@ -135,6 +168,7 @@ class StrategyOptions:
             join_ordering=False,
             semijoin_reduction=False,
             streaming_execution=False,
+            sharded_execution=False,
         )
 
     @classmethod
@@ -160,6 +194,7 @@ class StrategyOptions:
             "join_ordering": "cost-ordered joins",
             "semijoin_reduction": "semijoin reduction",
             "streaming_execution": "streaming pipeline",
+            "sharded_execution": "sharded execution",
         }
         enabled = [label for attr, label in names.items() if getattr(self, attr)]
         return ", ".join(enabled) if enabled else "no strategies"

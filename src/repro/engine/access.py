@@ -42,7 +42,7 @@ from repro.config import StrategyOptions
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.record import Record
 from repro.relational.reference import Ref
-from repro.types.scalar import swap_operator
+from repro.types.scalar import sort_key, swap_operator
 
 __all__ = [
     "SCAN",
@@ -53,6 +53,8 @@ __all__ = [
     "restriction_conjuncts",
     "select_access_path",
     "iter_access",
+    "refutes_bounds",
+    "prune_shards_for_term",
 ]
 
 SCAN = "scan"
@@ -257,6 +259,65 @@ def select_access_path(
             scan_cost=scan_cost,
         )
     return path
+
+
+def refutes_bounds(op: str, value: Any, low: Any, high: Any) -> bool:
+    """Whether a value interval ``[low, high]`` provably excludes ``v op value``.
+
+    The zone-map refutation rule of the paged backend, lifted to work over
+    *any* min/max metadata — a page's zone, or a shard's
+    :class:`~repro.relational.partition.ShardInfo`.  ``None`` on either side
+    means unbounded (never refutes from that side); unknown operators never
+    refute.  Conservative in exactly the way zone maps are: a ``False``
+    return still requires the per-row test.
+    """
+    if low is None and high is None:
+        return False
+    target = sort_key(value)
+    lo = sort_key(low) if low is not None else None
+    hi = sort_key(high) if high is not None else None
+    if op == "=":
+        return (lo is not None and target < lo) or (hi is not None and target > hi)
+    if op == "<":
+        return lo is not None and lo >= target
+    if op == "<=":
+        return lo is not None and lo > target
+    if op == ">":
+        return hi is not None and hi <= target
+    if op == ">=":
+        return hi is not None and hi < target
+    if op == "<>":
+        return lo is not None and hi is not None and lo == hi == target
+    return False
+
+
+def prune_shards_for_term(spec, infos, term: _ProbeTerm | None) -> list[int]:
+    """Shards that may hold rows matching a probe-able restriction term.
+
+    The planner-side shard analogue of zone-map page pruning: ``spec`` is a
+    :class:`~repro.relational.partition.PartitionSpec`, ``infos`` the
+    per-shard metadata from partitioning, and ``term`` a probe term over the
+    partition component (``None``, or an unbound ``$param``, prunes
+    nothing).  A shard survives only when the partition function *and* the
+    observed per-shard min/max both admit it.
+    """
+    restricted = term is not None and term.field == spec.component
+    value = None
+    if restricted:
+        bound, value = term.bound_value()
+        restricted = bound
+    admitted = set(spec.prune(term.op, value)) if restricted else None
+    survivors: list[int] = []
+    for info in infos:
+        if info.size == 0:
+            continue  # an empty fragment matches nothing, term or no term
+        if admitted is not None:
+            if info.index not in admitted:
+                continue
+            if refutes_bounds(term.op, value, info.min_value, info.max_value):
+                continue
+        survivors.append(info.index)
+    return survivors
 
 
 def iter_access(

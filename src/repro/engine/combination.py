@@ -154,6 +154,11 @@ class CombinationResult:
     operator_notes: list[OperatorNote] = field(default_factory=list)
     """Every operator applied, annotated streamed/materialized with reason."""
 
+    shard_report: object | None = None
+    """A :class:`repro.engine.shard.ShardExecutionReport` when the phase ran
+    horizontally sharded (per-shard paths, reducer sizes, bytes shipped);
+    ``None`` otherwise."""
+
 
 class CombinationPhase:
     """Combines collection-phase structures into free-variable reference tuples."""
@@ -176,6 +181,12 @@ class CombinationPhase:
 
     def run(self) -> CombinationResult:
         with self.statistics.phase(COMBINATION):
+            # Imported here: shard.py builds CombinationResults, so a module
+            # level import would be circular.
+            from repro.engine.shard import ShardedCombination
+
+            if ShardedCombination.applicable(self):
+                return ShardedCombination(self).run()
             if self.options.streaming_execution:
                 return self._run_streaming()
             return self._run_materialized()

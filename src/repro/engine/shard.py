@@ -1,0 +1,725 @@
+"""Sharded parallel execution of the combination phase.
+
+The collection phase compresses records into references and reduces them
+with join-term tests; what remains combinatorially expensive is the
+combination phase's n-tuple building.  This module runs that phase
+*horizontally sharded*: the conjunct structures mentioning a chosen free
+variable are hash-partitioned on that variable's reference column, the
+remaining structures are semijoin-reduced per shard — the Bernstein & Chiu
+full reducer of PR 1 promoted to a *cross-shard* reducer, so only projected
+join-column values are "shipped" between shards — and the per-shard
+pipelines are evaluated in parallel through :mod:`concurrent.futures`.
+
+Why the merge is a plain concatenation
+--------------------------------------
+
+The shard variable is free, so its reference column survives every
+quantifier elimination (SOME projections only drop quantified columns, ALL
+division groups by the remaining — free — columns).  Every output row
+therefore carries exactly one shard-variable reference, and the partition
+function assigns that reference to exactly one shard: shard outputs are
+provably disjoint.  Union across shards needs no dedup state, per-shard
+SOME projection is exact (two witnesses of the same output row always hash
+to the same shard), and per-shard ALL division is exact because each
+group's dividend rows are co-located (the divisor range is broadcast in
+full).
+
+The shard kernel
+----------------
+
+Per-shard evaluation runs through :func:`evaluate_shard`, a module-level
+*pure-tuple* kernel: structures arrive as plain tuples with references
+encoded ``(relation_name, key)``, so the same payload serves the thread
+backend and a :class:`~concurrent.futures.ProcessPoolExecutor` (live
+:class:`~repro.relational.relation.Relation` objects hold locks and
+observers and do not cross process boundaries).  The kernel implements the
+literal Section 3.3 combination semantics — join the structures, extend
+with the ranges of unmentioned variables, union the conjunctions, eliminate
+quantifiers right to left — and returns deterministic work counters next to
+its rows, which is what the sharded-join benchmark's modeled speedup is
+computed from (counters, not wall-clock, as everywhere else).
+
+Statistics are tracked per shard in private
+:class:`~repro.relational.statistics.AccessStatistics` objects and merged
+into the shared tracker through its lock (the PR-7 discipline), so parallel
+workers never race the live counters.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine.combination import CombinationResult, OperatorNote
+from repro.relational.partition import approx_bytes, relation_bytes, shard_of_value
+from repro.relational.record import Record
+from repro.relational.reference import Ref
+from repro.relational.statistics import AccessStatistics
+
+__all__ = [
+    "ShardNote",
+    "ShardExecutionReport",
+    "ShardedCombination",
+    "evaluate_shard",
+    "resolve_backend",
+]
+
+#: Environment override consulted by the ``"auto"`` backend (the CI
+#: parallel-execution job sets it to ``process``).
+BACKEND_ENV = "REPRO_SHARD_BACKEND"
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_backend(options) -> str:
+    """The executor backend the configured options resolve to."""
+    backend = options.shard_backend
+    if backend == "auto":
+        backend = os.environ.get(BACKEND_ENV, "thread")
+    if backend not in _BACKENDS:
+        backend = "thread"
+    return backend
+
+
+# ===================================================================== reporting
+
+
+@dataclass
+class ShardNote:
+    """One shard's execution facts, for EXPLAIN ANALYZE."""
+
+    index: int
+    pruned: bool = False
+    rows_in: int = 0
+    """Partitioned + reduced-broadcast structure rows handed to the kernel."""
+    rows_out: int = 0
+    """Free-variable tuples the shard produced (disjoint across shards)."""
+    work: int = 0
+    """Deterministic kernel work units (join probes + matches + quantifier rows)."""
+    shipped_bytes: int = 0
+    """Reducer bytes shipped to/from this shard (projections + reduced rows)."""
+
+
+@dataclass
+class ShardExecutionReport:
+    """Per-shard paths and reducer sizes, attached to :class:`CombinationResult`."""
+
+    variable: str
+    spec: str
+    backend: str
+    workers: int
+    shards: list[ShardNote] = field(default_factory=list)
+    shipped_bytes: int = 0
+    naive_ship_bytes: int = 0
+    """What broadcasting every referenced relation to every shard would cost."""
+    reducer_rounds: int = 0
+
+    @property
+    def scanned(self) -> int:
+        return sum(1 for note in self.shards if not note.pruned)
+
+    @property
+    def pruned(self) -> int:
+        return sum(1 for note in self.shards if note.pruned)
+
+    @property
+    def max_shard_work(self) -> int:
+        return max((note.work for note in self.shards if not note.pruned), default=0)
+
+    @property
+    def total_work(self) -> int:
+        return sum(note.work for note in self.shards)
+
+    def describe(self) -> list[str]:
+        lines = [
+            f"sharded execution: {self.spec} via {self.backend} backend "
+            f"({self.workers} workers)",
+            f"  shards scanned {self.scanned}, pruned {self.pruned}; "
+            f"reducer rounds {self.reducer_rounds}; "
+            f"bytes shipped {self.shipped_bytes} "
+            f"(naive full-relation shipping {self.naive_ship_bytes})",
+        ]
+        for note in self.shards:
+            if note.pruned:
+                lines.append(f"  shard {note.index}: pruned — partition metadata refutes it")
+            else:
+                lines.append(
+                    f"  shard {note.index}: {note.rows_in} structure rows in, "
+                    f"{note.rows_out} tuples out, work={note.work}, "
+                    f"shipped {note.shipped_bytes} B"
+                )
+        return lines
+
+
+# ===================================================================== the kernel
+
+
+def _kernel_join(cols_a, rows_a, cols_b, rows_b, counters):
+    """Hash natural join of two column-labelled row sets (pure tuples)."""
+    shared = [c for c in cols_b if c in cols_a]
+    a_pos = [cols_a.index(c) for c in shared]
+    b_pos = [cols_b.index(c) for c in shared]
+    b_rest = [i for i, c in enumerate(cols_b) if c not in shared]
+    buckets: dict[tuple, list[tuple]] = {}
+    for row in rows_b:
+        key = tuple(row[i] for i in b_pos)
+        buckets.setdefault(key, []).append(tuple(row[i] for i in b_rest))
+    out: set[tuple] = set()
+    probes = 0
+    matches = 0
+    get = buckets.get
+    for row in rows_a:
+        probes += 1
+        partners = get(tuple(row[i] for i in a_pos))
+        if partners:
+            matches += len(partners)
+            for rest in partners:
+                out.add(row + rest)
+    counters["comparisons"] += probes + matches
+    counters["work"] += probes + matches
+    if len(out) > counters["peak"]:
+        counters["peak"] = len(out)
+    return cols_a + [c for c in cols_b if c not in shared], out
+
+
+def _pick_structure(covered, pending, ordered):
+    """Index of the next structure: connected-smallest (or legacy first-connected)."""
+    connected = [
+        i for i, entry in enumerate(pending) if covered & set(entry["vars"])
+    ]
+    pool = connected if connected else list(range(len(pending)))
+    if not ordered:
+        return pool[0]
+    return min(pool, key=lambda i: len(pending[i]["rows"]))
+
+
+def _combine_kernel_conjunction(conj, variables, ranges, ordered, counters):
+    """One conjunction's n-tuple rows over *all* variables (canonical order)."""
+    pending = list(conj["structures"])
+    order: list[tuple[str, int]] = []
+    cols: list[str] = []
+    rows: set[tuple] = set()
+    if pending:
+        start = (
+            min(range(len(pending)), key=lambda i: len(pending[i]["rows"]))
+            if ordered
+            else 0
+        )
+        entry = pending.pop(start)
+        cols = list(entry["vars"])
+        rows = set(entry["rows"])
+        order.append((entry["desc"], len(rows)))
+        while pending:
+            pick = _pick_structure(set(cols), pending, ordered)
+            entry = pending.pop(pick)
+            order.append((entry["desc"], len(entry["rows"])))
+            cols, rows = _kernel_join(
+                cols, rows, list(entry["vars"]), entry["rows"], counters
+            )
+    else:
+        # TRUE conjunction: enumerate the first variable's range.
+        first = variables[0]
+        cols = [first]
+        rows = {(ref,) for ref in ranges[first]}
+        order.append((f"range of {first}", len(rows)))
+    for var in variables:
+        if var in cols:
+            continue
+        extension = ranges[var]
+        order.append((f"range of {var}", len(extension)))
+        cols, rows = _kernel_join(
+            cols, rows, [var], [(ref,) for ref in extension], counters
+        )
+    positions = [cols.index(var) for var in variables]
+    canonical = {tuple(row[p] for p in positions) for row in rows}
+    counters["work"] += len(canonical)
+    return order, canonical
+
+
+def evaluate_shard(payload: dict) -> dict:
+    """Evaluate one shard's combination phase over encoded reference tuples.
+
+    ``payload`` is pure picklable data (strings, ints and tuples — references
+    encoded ``(relation_name, key)``), so this function runs identically on
+    the calling thread, a thread-pool worker, or a process-pool worker.  The
+    returned rows are sorted, making the merged result order independent of
+    worker scheduling *and* of ``PYTHONHASHSEED``.
+    """
+    variables = list(payload["variables"])
+    ranges = payload["ranges"]
+    ordered = payload["join_ordering"]
+    counters = {"comparisons": 0, "work": 0, "peak": 0}
+    matrix: set[tuple] = set()
+    conjunction_sizes: list[int] = []
+    join_orders: list[list[tuple[str, int]]] = []
+    for conj in payload["conjunctions"]:
+        order, canonical = _combine_kernel_conjunction(
+            conj, variables, ranges, ordered, counters
+        )
+        join_orders.append(order)
+        conjunction_sizes.append(len(canonical))
+        matrix |= canonical
+        if len(matrix) > counters["peak"]:
+            counters["peak"] = len(matrix)
+    union_size = len(matrix)
+
+    # Quantifier elimination, right to left (Section 3.3 step 3).  The shard
+    # variable is free, so it is never eliminated — which is what keeps the
+    # per-shard eliminations exact (see the module docstring).
+    columns = list(variables)
+    for kind, var in reversed(payload["prefix"]):
+        position = columns.index(var)
+        if kind == "SOME":
+            matrix = {row[:position] + row[position + 1 :] for row in matrix}
+            counters["work"] += len(matrix)
+        else:  # ALL: divide by the (broadcast, full) range of the variable
+            required = set(ranges[var])
+            groups: dict[tuple, set] = {}
+            for row in matrix:
+                groups.setdefault(row[:position] + row[position + 1 :], set()).add(
+                    row[position]
+                )
+            counters["comparisons"] += len(matrix) + len(groups) * len(required)
+            counters["work"] += len(matrix) + len(groups) * len(required)
+            if len(matrix) > counters["peak"]:
+                counters["peak"] = len(matrix)
+            if required:
+                matrix = {group for group, got in groups.items() if required <= got}
+            else:
+                matrix = set(groups)
+        columns.pop(position)
+        if len(matrix) > counters["peak"]:
+            counters["peak"] = len(matrix)
+
+    positions = [columns.index(var) for var in payload["free"]]
+    out = {tuple(row[p] for p in positions) for row in matrix}
+    return {
+        "rows": sorted(out),
+        "conjunction_sizes": conjunction_sizes,
+        "join_orders": join_orders,
+        "union_size": union_size,
+        "comparisons": counters["comparisons"],
+        "work": counters["work"],
+        "peak": counters["peak"],
+    }
+
+
+# ================================================================ the orchestrator
+
+
+def _encode_ref(ref: Ref) -> tuple:
+    return (ref.relation.name, ref.key)
+
+
+def _wire_bytes(rows) -> int:
+    """Ship cost of encoded reference rows (projections or reduced structures).
+
+    Only the reference *keys* travel (plus 2 framing bytes per row): which
+    relation a column references is schema metadata, shipped once with the
+    plan, not repeated per row.  References are the collection phase's
+    compressed currency — this is exactly why semijoin shipping beats
+    broadcasting the referenced relations.
+    """
+    total = 0
+    for row in rows:
+        total += 2
+        for _name, key in row:
+            total += approx_bytes(key)
+    return total
+
+
+class ShardedCombination:
+    """Partition, reduce, dispatch and merge one combination phase."""
+
+    def __init__(self, phase) -> None:
+        self.phase = phase
+        self.prepared = phase.prepared
+        self.database = phase.database
+        self.collection = phase.collection
+        self.options = phase.options
+        self.statistics = phase.statistics
+
+    # -- gating ----------------------------------------------------------------
+
+    @staticmethod
+    def shard_variable(prepared, collection) -> str | None:
+        """The free variable carrying the most structure rows, or ``None``.
+
+        ``None`` (no structure mentions a free variable) means partitioning
+        could only broadcast — the classic path is strictly better.
+        """
+        scores = {binding.var: 0 for binding in prepared.bindings}
+        for structures in collection.conjunctions:
+            if structures is None:
+                continue
+            for structure in structures:
+                for var in structure.variables:
+                    if var in scores:
+                        scores[var] += structure.cardinality
+        best: str | None = None
+        for binding in prepared.bindings:  # binding order breaks ties
+            score = scores[binding.var]
+            if score > 0 and (best is None or score > scores[best]):
+                best = binding.var
+        return best
+
+    @classmethod
+    def applicable(cls, phase) -> bool:
+        """Whether the sharded path should run for this combination phase."""
+        options = phase.options
+        if not options.sharded_execution or options.shard_count < 2:
+            return False
+        if not phase.prepared.bindings:
+            return False
+        largest = 0
+        any_conjunction = False
+        for structures in phase.collection.conjunctions:
+            if structures is None:
+                continue
+            any_conjunction = True
+            for structure in structures:
+                if structure.cardinality > largest:
+                    largest = structure.cardinality
+        if not any_conjunction or largest < options.shard_min_rows:
+            return False
+        return cls.shard_variable(phase.prepared, phase.collection) is not None
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self) -> CombinationResult:
+        prepared = self.prepared
+        options = self.options
+        variables = list(prepared.variables)
+        shard_var = self.shard_variable(prepared, self.collection)
+        assert shard_var is not None  # guaranteed by applicable()
+        shard_count = options.shard_count
+        backend = resolve_backend(options)
+        workers = options.shard_workers or shard_count
+
+        result = CombinationResult(tuples=self.phase._empty_tuple_relation(variables))
+        report = ShardExecutionReport(
+            variable=shard_var,
+            spec=f"hash({shard_var}_ref) % {shard_count}",
+            backend=backend,
+            workers=workers,
+            shards=[ShardNote(index=s) for s in range(shard_count)],
+        )
+        result.shard_report = report
+        notes = result.operator_notes
+
+        # ---- partition ------------------------------------------------------
+        # Shard-local ranges of the shard variable; full ranges of the rest.
+        range_rows = {
+            var: [_encode_ref(ref) for ref in refs]
+            for var, refs in self.collection.range_refs.items()
+        }
+        shard_ranges: list[list[tuple]] = [[] for _ in range(shard_count)]
+        for encoded in range_rows[shard_var]:
+            shard_ranges[shard_of_value(encoded[1], shard_count)].append(encoded)
+
+        conjunction_plans: list[dict] = []
+        referenced_broadcast_relations: set[str] = set()
+        for index, structures in enumerate(self.collection.conjunctions):
+            if structures is None:
+                continue
+            partitioned: list[dict] = []
+            broadcast: list[dict] = []
+            for structure in structures:
+                rows = [
+                    tuple(_encode_ref(ref) for ref in row) for row in structure.rows
+                ]
+                entry = {
+                    "vars": tuple(structure.variables),
+                    "desc": structure.description,
+                    "rows": rows,
+                }
+                if shard_var in structure.variables:
+                    position = structure.variables.index(shard_var)
+                    buckets: list[list[tuple]] = [[] for _ in range(shard_count)]
+                    for row in rows:
+                        buckets[shard_of_value(row[position][1], shard_count)].append(row)
+                    entry["buckets"] = buckets
+                    partitioned.append(entry)
+                else:
+                    broadcast.append(entry)
+                    for var in structure.variables:
+                        referenced_broadcast_relations.add(
+                            prepared.range_of(var).relation
+                        )
+            conjunction_plans.append(
+                {"index": index, "partitioned": partitioned, "broadcast": broadcast}
+            )
+            result.conjunction_indexes.append(index)
+            result.conjunction_sizes.append(0)
+        notes.append(OperatorNote(
+            None,
+            f"hash partition on {shard_var}_ref into {shard_count} shards",
+            "streamed",
+            "co-partitioned structures stay local; the rest is reduced and shipped",
+        ))
+
+        # The naive baseline: broadcasting every referenced base relation to
+        # every shard (what shipping relations instead of projections costs).
+        report.naive_ship_bytes = shard_count * sum(
+            relation_bytes(self.database.relation(name))
+            for name in sorted(referenced_broadcast_relations)
+        )
+
+        # ---- cross-shard semijoin reduction + pruning -----------------------
+        reduction_totals: dict[tuple[int, str], list[int]] = {}
+        payloads: dict[int, dict] = {}
+        for shard in range(shard_count):
+            shard_conjunctions = []
+            alive = False
+            rows_in = 0
+            for plan in conjunction_plans:
+                entries = [
+                    {
+                        "vars": entry["vars"],
+                        "desc": entry["desc"],
+                        "rows": list(entry["buckets"][shard]),
+                        "local": True,
+                    }
+                    for entry in plan["partitioned"]
+                ] + [
+                    {
+                        "vars": entry["vars"],
+                        "desc": entry["desc"],
+                        "rows": list(entry["rows"]),
+                        "local": False,
+                    }
+                    for entry in plan["broadcast"]
+                ]
+                for entry in entries:
+                    key = (plan["index"], entry["desc"])
+                    totals = reduction_totals.setdefault(key, [0, 0])
+                    totals[0] += len(entry["rows"])
+                shipped = self._reduce_entries(
+                    entries, report.shards[shard], report
+                )
+                for entry in entries:
+                    key = (plan["index"], entry["desc"])
+                    reduction_totals[key][1] += len(entry["rows"])
+                report.shards[shard].shipped_bytes += shipped
+                contributes = all(entry["rows"] for entry in entries) and (
+                    bool(entries) or bool(shard_ranges[shard])
+                )
+                if not plan["partitioned"] and not shard_ranges[shard]:
+                    contributes = False  # the shard-local range extension is empty
+                if contributes:
+                    alive = True
+                rows_in += sum(len(entry["rows"]) for entry in entries)
+                shard_conjunctions.append(
+                    {
+                        "structures": [
+                            {
+                                "vars": entry["vars"],
+                                "desc": entry["desc"],
+                                "rows": entry["rows"],
+                            }
+                            for entry in entries
+                        ]
+                    }
+                )
+            note = report.shards[shard]
+            note.rows_in = rows_in
+            if not alive:
+                note.pruned = True
+                continue
+            ranges = dict(range_rows)
+            ranges[shard_var] = shard_ranges[shard]
+            payloads[shard] = {
+                "variables": variables,
+                "free": [binding.var for binding in prepared.bindings],
+                "prefix": [(spec.kind, spec.var) for spec in prepared.prefix],
+                "conjunctions": shard_conjunctions,
+                "ranges": ranges,
+                "join_ordering": options.join_ordering,
+            }
+
+        report.shipped_bytes = sum(note.shipped_bytes for note in report.shards)
+        self.statistics.record_bytes_shipped(report.shipped_bytes)
+        pruned = shard_count - len(payloads)
+        if pruned:
+            self.statistics.record_shards_pruned(pruned)
+            notes.append(OperatorNote(
+                None,
+                f"shard pruning: {pruned} of {shard_count} shards skipped",
+                "streamed",
+                "partition metadata (empty fragments) refutes them, like zone maps",
+            ))
+        for position, plan in enumerate(conjunction_plans):
+            result.reductions.append(
+                [
+                    (desc, totals[0], totals[1])
+                    for (index, desc), totals in sorted(
+                        reduction_totals.items(), key=lambda item: item[0][1]
+                    )
+                    if index == plan["index"]
+                ]
+            )
+        notes.append(OperatorNote(
+            None,
+            "cross-shard semijoin reducer",
+            "materialized",
+            "ships join-column projections between shards, then reduced rows — "
+            "never full relations",
+        ))
+
+        # ---- parallel dispatch ---------------------------------------------
+        outcomes = self._dispatch(backend, workers, payloads)
+
+        # ---- merge ----------------------------------------------------------
+        # Shard outputs are disjoint (see module docstring), so the merge is
+        # a concatenation in shard order — deterministic under any scheduling.
+        schema = result.tuples.schema
+        raw = Record.raw
+        insert = result.tuples.insert_raw
+        relation_cache: dict[str, object] = {}
+        peak = 0
+        first_orders: list[list[tuple[str, int]]] | None = None
+        for shard in sorted(outcomes):
+            outcome = outcomes[shard]
+            note = report.shards[shard]
+            note.rows_out = len(outcome["rows"])
+            note.work = outcome["work"]
+            if first_orders is None:
+                first_orders = outcome["join_orders"]
+            for position, size in enumerate(outcome["conjunction_sizes"]):
+                result.conjunction_sizes[position] += size
+            result.union_size += outcome["union_size"]
+            if outcome["peak"] > peak:
+                peak = outcome["peak"]
+            for row in outcome["rows"]:
+                refs = tuple(
+                    Ref(self._relation(name, relation_cache), key) for name, key in row
+                )
+                insert(raw(schema, refs))
+        result.join_orders.extend(first_orders or [[] for _ in conjunction_plans])
+        result.after_quantifiers_size = len(result.tuples)
+        result.peak_tuples = peak
+        notes.append(OperatorNote(
+            None,
+            f"merge of {len(payloads)} shard pipeline(s)",
+            "streamed",
+            "shard outputs are disjoint on the shard column — concatenation, no dedup",
+        ))
+        return result
+
+    def _relation(self, name: str, cache: dict):
+        relation = cache.get(name)
+        if relation is None:
+            relation = cache[name] = self.database.relation(name)
+        return relation
+
+    # -- the cross-shard reducer -------------------------------------------------
+
+    def _reduce_entries(self, entries: list[dict], note: ShardNote, report) -> int:
+        """Full semijoin reduction of one shard's structure set.
+
+        Mirrors ``CombinationPhase._reduce_structures`` over encoded rows,
+        with shipping accounted: a semijoin whose operands live at different
+        sites (shard-local vs. broadcast) ships the projection of the shared
+        columns, and every broadcast structure finally ships its reduced
+        rows to the shard.  Local/local and broadcast/broadcast semijoins
+        ship nothing.
+        """
+        shipped = 0
+        last_shipped: dict[tuple[int, int], set] = {}
+        if len(entries) > 1:
+            changed = True
+            passes = 0
+            while changed and passes <= len(entries):
+                changed = False
+                passes += 1
+                self.statistics.record_reducer_round()
+                report.reducer_rounds += 1
+                for i, entry in enumerate(entries):
+                    if not entry["rows"]:
+                        continue
+                    for j, other in enumerate(entries):
+                        if i == j:
+                            continue
+                        shared = [v for v in entry["vars"] if v in other["vars"]]
+                        if not shared:
+                            continue
+                        other_pos = [other["vars"].index(v) for v in shared]
+                        keys = {
+                            tuple(row[p] for p in other_pos) for row in other["rows"]
+                        }
+                        if not entry["local"] and other["local"]:
+                            # Reducing a broadcast structure by a shard-local
+                            # one ships the local projection to the structure's
+                            # holder — and only a *changed* projection is a
+                            # message (an unchanged one is already there).
+                            # The opposite direction ships nothing: reduced
+                            # broadcast rows travel to the shard anyway (see
+                            # below), and the local-by-broadcast semijoin is
+                            # computed shard-side from those arrived rows.
+                            if last_shipped.get((i, j)) != keys:
+                                shipped += _wire_bytes(keys)
+                                last_shipped[(i, j)] = keys
+                        mine_pos = [entry["vars"].index(v) for v in shared]
+                        before = len(entry["rows"])
+                        entry["rows"] = [
+                            row
+                            for row in entry["rows"]
+                            if tuple(row[p] for p in mine_pos) in keys
+                        ]
+                        removed = before - len(entry["rows"])
+                        if removed:
+                            self.statistics.record_reduction(removed)
+                            changed = True
+        for entry in entries:
+            if not entry["local"]:
+                shipped += _wire_bytes(entry["rows"])
+        return shipped
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch(self, backend: str, workers: int, payloads: dict[int, dict]) -> dict:
+        """Run the kernel per shard and merge per-shard statistics race-safely."""
+        outcomes: dict[int, dict] = {}
+        if not payloads:
+            return outcomes
+        if backend == "serial" or len(payloads) == 1:
+            for shard, payload in payloads.items():
+                outcome = evaluate_shard(payload)
+                self._merge_shard_statistics(outcome)
+                outcomes[shard] = outcome
+            return outcomes
+        if backend == "process":
+            with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+                futures = {
+                    shard: pool.submit(evaluate_shard, payload)
+                    for shard, payload in payloads.items()
+                }
+                for shard, future in futures.items():
+                    outcome = future.result()
+                    self._merge_shard_statistics(outcome)
+                    outcomes[shard] = outcome
+            return outcomes
+
+        # Thread backend: each worker folds its private counters into the
+        # shared tracker *from its own thread*, so the statistics lock is
+        # genuinely exercised by concurrent merges.
+        def job(payload: dict) -> dict:
+            outcome = evaluate_shard(payload)
+            self._merge_shard_statistics(outcome)
+            return outcome
+
+        with ThreadPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            futures = {
+                shard: pool.submit(job, payload) for shard, payload in payloads.items()
+            }
+            for shard, future in futures.items():
+                outcomes[shard] = future.result()
+        return outcomes
+
+    def _merge_shard_statistics(self, outcome: dict) -> None:
+        """One shard's counters, merged under the shared statistics lock."""
+        private = AccessStatistics()
+        private.record_shards_scanned()
+        private.record_comparison(outcome["comparisons"])
+        self.statistics.merge(private)

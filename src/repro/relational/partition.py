@@ -1,0 +1,285 @@
+"""Horizontal partitioning: shards, partition specs, and shipping costs.
+
+The sharded execution layer (``repro.engine.shard``) splits reference
+structures and relations into horizontal fragments so the combination phase
+can run per-shard in parallel, with the Bernstein & Chiu semijoin reducer
+acting as the *cross-shard* reducer: only projected join-column values are
+"shipped" between shards, never full relations.  This module is the
+substrate underneath that layer:
+
+* :func:`stable_hash` — a ``PYTHONHASHSEED``-independent hash of scalar
+  values (and reference keys), so the same value always lands on the same
+  shard across processes; a :class:`~concurrent.futures.ProcessPoolExecutor`
+  worker must agree with its parent about shard assignment.
+* :class:`PartitionSpec` — how one relation (or reference column) is split:
+  ``hash`` partitioning on a component, or ``range`` partitioning with
+  explicit bounds.  :meth:`PartitionSpec.prune` mirrors the zone-map
+  refutation rule of :mod:`repro.engine.access` at shard granularity.
+* :func:`partition_relation` / :func:`merge_partitions` — fragmenting a
+  stored relation into per-shard fragment relations (with per-shard min/max
+  metadata for pruning) and reassembling them; the round trip is
+  byte-identical (a hypothesis property in ``tests/relational`` pins this).
+* :func:`approx_bytes` — the deterministic byte model behind the
+  ``bytes_shipped`` counter: how many bytes a value, row or relation would
+  occupy on the wire.  Counters, not wall-clock, as everywhere else in the
+  repository.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import PascalRError
+from repro.relational.record import Record
+from repro.relational.relation import Relation
+
+__all__ = [
+    "PartitionError",
+    "stable_hash",
+    "shard_of_value",
+    "PartitionSpec",
+    "ShardInfo",
+    "partition_relation",
+    "partition_rows",
+    "merge_partitions",
+    "approx_bytes",
+    "relation_bytes",
+]
+
+HASH = "hash"
+RANGE = "range"
+
+
+class PartitionError(PascalRError):
+    """An invalid partition specification or a value outside every range."""
+
+
+# ------------------------------------------------------------------ stable hashing
+
+
+def _canonical_bytes(value: object) -> bytes:
+    """A canonical byte encoding of a scalar value (or tuple of them).
+
+    Deliberately *not* Python's ``hash()``: string hashing is salted per
+    process (``PYTHONHASHSEED``), and shard assignment must agree between a
+    parent and its process-pool workers.  Unknown scalar types fall back to
+    ``repr``, which the repository's scalar wrappers keep deterministic.
+    """
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        return b"i" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if value is None:
+        return b"n"
+    if isinstance(value, tuple):
+        return b"(" + b"\x1f".join(_canonical_bytes(v) for v in value) + b")"
+    ordinal = getattr(value, "ordinal", None)
+    enum_name = getattr(value, "enum_name", None)
+    if ordinal is not None and enum_name is not None:  # EnumValue
+        return b"e" + str(enum_name).encode("utf-8") + b"#" + str(ordinal).encode("ascii")
+    return b"r" + repr(value).encode("utf-8")
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent 32-bit hash of ``value`` (CRC-32 of the canonical bytes)."""
+    return zlib.crc32(_canonical_bytes(value)) & 0xFFFFFFFF
+
+
+def shard_of_value(value: object, shard_count: int) -> int:
+    """The hash shard ``value`` belongs to among ``shard_count`` shards."""
+    return stable_hash(value) % shard_count
+
+
+# ------------------------------------------------------------------ partition specs
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How one relation (or reference column) is horizontally partitioned.
+
+    ``method`` is ``"hash"`` (default) or ``"range"``.  Hash partitioning
+    sends a row to ``stable_hash(component value) % shard_count``.  Range
+    partitioning uses ``bounds`` — the *upper split points*, sorted — so
+    ``len(bounds) + 1`` shards: shard ``i`` holds values ``bounds[i-1] <
+    v <= bounds[i]`` with open outer intervals.
+    """
+
+    relation: str
+    component: str
+    shard_count: int = 4
+    method: str = HASH
+    bounds: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.method not in (HASH, RANGE):
+            raise PartitionError(f"unknown partition method {self.method!r}")
+        if self.method == HASH and self.shard_count < 1:
+            raise PartitionError("hash partitioning needs at least one shard")
+        if self.method == RANGE:
+            bounds = list(self.bounds)
+            if sorted(bounds) != bounds:
+                raise PartitionError("range partition bounds must be sorted")
+            object.__setattr__(self, "shard_count", len(bounds) + 1)
+
+    def shard_of(self, value: object) -> int:
+        """The shard index the row with this partition-component value lands on."""
+        if self.method == HASH:
+            return shard_of_value(value, self.shard_count)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:  # type: ignore[operator]
+                return position
+        return len(self.bounds)
+
+    def prune(self, op: str, value: object) -> list[int]:
+        """Shards that *may* contain rows with ``component op value``.
+
+        The shard-level analogue of the zone-map page pruning rule (see
+        :func:`repro.engine.access.refutes_bounds`): conservative — a listed
+        shard may still hold no matching row, but an omitted shard provably
+        cannot.  Hash partitioning only prunes equality (one shard); range
+        partitioning prunes with the interval bounds.
+        """
+        if self.method == HASH:
+            if op == "=":
+                return [self.shard_of(value)]
+            return list(range(self.shard_count))
+        from repro.engine.access import refutes_bounds
+
+        survivors: list[int] = []
+        for shard in range(self.shard_count):
+            low = self.bounds[shard - 1] if shard > 0 else None
+            high = self.bounds[shard] if shard < len(self.bounds) else None
+            if refutes_bounds(op, value, low, high):
+                continue
+            # refutes_bounds treats ``low`` as an inclusive zone-map minimum,
+            # but a range split point is *exclusive* below: shard i holds
+            # ``bounds[i-1] < v``.  That only tightens "=" and "<=" at the
+            # split point itself.
+            if low is not None and op in ("=", "<=") and value <= low:  # type: ignore[operator]
+                continue
+            survivors.append(shard)
+        return survivors
+
+    def describe(self) -> str:
+        if self.method == HASH:
+            return f"hash({self.relation}.{self.component}) % {self.shard_count}"
+        return (
+            f"range({self.relation}.{self.component}) @ "
+            f"{list(self.bounds)!r} ({self.shard_count} shards)"
+        )
+
+
+@dataclass
+class ShardInfo:
+    """Per-fragment metadata: cardinality and component min/max (for pruning)."""
+
+    index: int
+    size: int = 0
+    min_value: object = None
+    max_value: object = None
+
+    def observe(self, value: object) -> None:
+        self.size += 1
+        if self.min_value is None or value < self.min_value:  # type: ignore[operator]
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:  # type: ignore[operator]
+            self.max_value = value
+
+
+# ------------------------------------------------------------------ fragmenting
+
+
+def partition_rows(
+    rows: Iterable, spec: PartitionSpec, key: Callable[[object], object]
+) -> list[list]:
+    """Split ``rows`` into ``spec.shard_count`` buckets by ``key(row)``."""
+    buckets: list[list] = [[] for _ in range(spec.shard_count)]
+    shard_of = spec.shard_of
+    for row in rows:
+        buckets[shard_of(key(row))].append(row)
+    return buckets
+
+
+def partition_relation(
+    relation: Relation, spec: PartitionSpec
+) -> tuple[list[Relation], list[ShardInfo]]:
+    """Fragment ``relation`` into per-shard relations plus shard metadata.
+
+    Fragments share the parent schema and are named ``{name}.shard{i}``;
+    :func:`merge_partitions` reassembles them byte-identically (the fragments
+    partition the element set, so no row is lost or duplicated).
+    """
+    if not relation.schema.has_field(spec.component):
+        raise PartitionError(
+            f"relation {relation.name!r} has no component {spec.component!r}"
+        )
+    position = relation.schema.field_position(spec.component)
+    fragments = [
+        Relation(f"{relation.name}.shard{i}", relation.schema)
+        for i in range(spec.shard_count)
+    ]
+    infos = [ShardInfo(i) for i in range(spec.shard_count)]
+    shard_of = spec.shard_of
+    for record in relation:
+        value = record.values[position]
+        shard = shard_of(value)
+        fragments[shard].insert_raw(record)
+        infos[shard].observe(value)
+    return fragments, infos
+
+
+def merge_partitions(fragments: Sequence[Relation], name: str | None = None) -> Relation:
+    """Reassemble fragments produced by :func:`partition_relation`."""
+    if not fragments:
+        raise PartitionError("cannot merge zero fragments")
+    schema = fragments[0].schema
+    merged = Relation(name or schema.name, schema)
+    for fragment in fragments:
+        merged.bulk_insert_raw(iter(fragment))
+    return merged
+
+
+# ------------------------------------------------------------------ the byte model
+
+
+def approx_bytes(value: object) -> int:
+    """Deterministic wire-size estimate of a value, row, or iterable of rows.
+
+    The model behind the ``bytes_shipped`` counter: integers and floats cost
+    8 bytes, strings their UTF-8 length, enumeration values one byte
+    (ordinals), tuples the sum of their parts plus 2 framing bytes.  A
+    :class:`~repro.relational.reference.Ref`-shaped pair used by the shard
+    kernel (``(relation_name, key)``) therefore costs the name plus the key
+    — references are the collection phase's *compressed* currency, which is
+    exactly what makes semijoin shipping cheap.
+    """
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if value is None:
+        return 1
+    if isinstance(value, tuple):
+        return 2 + sum(approx_bytes(v) for v in value)
+    if isinstance(value, (list, set, frozenset)):
+        return sum(approx_bytes(v) for v in value)
+    if getattr(value, "ordinal", None) is not None:
+        return 1
+    return len(repr(value))
+
+
+def relation_bytes(relation: Relation) -> int:
+    """The byte model applied to every stored record of ``relation``.
+
+    This is the *naive shipping* baseline of the cross-shard reducer: what
+    broadcasting the full referenced relation to a shard would cost.
+    """
+    return sum(approx_bytes(record.values) for record in relation)

@@ -292,6 +292,77 @@ class TestStreamingEquivalence:
                 ), (workload_name, values)
 
 
+def _force_sharding(options: StrategyOptions) -> StrategyOptions:
+    """Sharding forced past the size gate, with the deterministic backend."""
+    return options.with_(
+        sharded_execution=True, shard_min_rows=0, shard_backend="serial"
+    )
+
+
+class TestShardedEquivalence:
+    """``sharded_execution`` on/off × the full existing matrix.
+
+    Sharded execution must be byte-identical to single-shard execution (and
+    to the naive ground truth) across every strategy configuration, optimizer
+    flag combination, storage backend and streaming mode the suite already
+    crosses — the gate is forced open (``shard_min_rows=0``) so every cell
+    genuinely partitions, reduces, dispatches and merges.
+    """
+
+    @pytest.mark.parametrize(
+        "streaming", (False, True), ids=("streaming=off", "streaming=on")
+    )
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_sharded_on_off_byte_identical_on_figure1(
+        self, figure1_backend, backend, query_name, streaming, strategy_options
+    ):
+        base = strategy_options.with_(streaming_execution=streaming)
+        expected = execute_naive(figure1_backend, QUERIES[query_name])
+        on = QueryEngine(figure1_backend, _force_sharding(base)).run(QUERIES[query_name])
+        off = QueryEngine(
+            figure1_backend, base.with_(sharded_execution=False)
+        ).run(QUERIES[query_name])
+        assert on.relation == expected
+        assert off.relation == expected
+        assert sorted(r.values for r in on.relation) == sorted(
+            r.values for r in off.relation
+        )
+        _assert_page_counters_sane(figure1_backend, backend)
+
+    @pytest.mark.parametrize("flags", OPTIMIZER_FLAGS, ids=_flag_id)
+    @pytest.mark.parametrize("config_name", sorted(SCALE2_CONFIGS))
+    def test_sharded_on_off_byte_identical_at_scale2(
+        self, scale2_backend, backend, config_name, flags
+    ):
+        ordering, reduction = flags
+        base = SCALE2_CONFIGS[config_name].with_(
+            join_ordering=ordering, semijoin_reduction=reduction
+        )
+        for query_name in ("others_published_1977", "publishing_teachers", "example_2_1"):
+            on = QueryEngine(scale2_backend, _force_sharding(base)).run(QUERIES[query_name])
+            off = QueryEngine(
+                scale2_backend, base.with_(sharded_execution=False)
+            ).run(QUERIES[query_name])
+            assert sorted(r.values for r in on.relation) == sorted(
+                r.values for r in off.relation
+            ), (config_name, query_name)
+        _assert_page_counters_sane(scale2_backend, backend)
+
+    @pytest.mark.parametrize("workload_name", sorted(parameterized_queries()))
+    def test_prepared_sharded_on_off_byte_identical(self, figure1_backend, workload_name):
+        text, bindings = parameterized_queries()[workload_name]
+        service = connect(figure1_backend).service
+        prepared_on = service.prepare(text, _force_sharding(StrategyOptions()))
+        prepared_off = service.prepare(text, StrategyOptions().with_(sharded_execution=False))
+        for values in bindings:
+            for _ in range(2):  # the second run exercises the collection memo
+                on = prepared_on.execute(values).relation
+                off = prepared_off.execute(values).relation
+                assert sorted(r.values for r in on) == sorted(
+                    r.values for r in off
+                ), (workload_name, values)
+
+
 class TestPreparedMatchesColdAcrossBackends:
     """The service-layer acceptance row of the matrix."""
 

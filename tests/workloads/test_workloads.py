@@ -78,6 +78,76 @@ class TestGenerator:
         assert profile.employees == 32
         assert profile.professor_fraction == UniversityProfile().professor_fraction
 
+
+def _snapshot(db):
+    return {
+        name: sorted(tuple(str(v) for v in r.values) for r in db.relation(name))
+        for name in ("employees", "papers", "courses", "timetable")
+    }
+
+
+class TestParallelGeneration:
+    """Derived per-(relation, chunk) seeds: parallel generation at scale is
+    deterministic no matter how the pool schedules the workers."""
+
+    def test_parallel_generation_is_deterministic(self):
+        first = build_university_database(scale=8, paged=False, workers=4)
+        second = build_university_database(scale=8, paged=False, workers=4)
+        assert _snapshot(first) == _snapshot(second)
+
+    def test_scheduling_cannot_influence_the_data(self, monkeypatch):
+        """A fully serialized pool must produce the same database as a real
+        4-thread pool — the strongest scheduling perturbation available."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.workloads import university
+
+        parallel = build_university_database(scale=8, paged=False, workers=4)
+
+        class _SerializedPool(ThreadPoolExecutor):
+            def __init__(self, max_workers=None):
+                super().__init__(max_workers=1)
+
+        monkeypatch.setattr(university, "ThreadPoolExecutor", _SerializedPool)
+        serialized = build_university_database(scale=8, paged=False, workers=4)
+        assert _snapshot(parallel) == _snapshot(serialized)
+
+    def test_chunk_streams_are_pure_functions_of_their_derived_seed(self):
+        """Generating the chunks in any order yields identical rows — the
+        property that makes the parallel path scheduling-independent."""
+        from repro.workloads.university import (
+            _chunk_bounds,
+            _chunk_rng,
+            _generate_papers,
+        )
+
+        profile = UniversityProfile().scaled(8)
+        bounds = _chunk_bounds(profile.papers, 4)
+        forward = [
+            _generate_papers(_chunk_rng(7, "papers", chunk), lo, hi, profile)
+            for chunk, (lo, hi) in enumerate(bounds)
+        ]
+        backward = [
+            _generate_papers(_chunk_rng(7, "papers", chunk), *bounds[chunk], profile)
+            for chunk in reversed(range(4))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_parallel_generation_preserves_cardinalities_and_integrity(self):
+        db = build_university_database(scale=8, paged=False, workers=4)
+        cards = db.cardinalities()
+        assert cards == {"employees": 64, "papers": 96, "courses": 48, "timetable": 80}
+        employee_numbers = {e.enr for e in db.relation("employees")}
+        course_numbers = {c.cnr for c in db.relation("courses")}
+        for entry in db.relation("timetable"):
+            assert entry.tenr in employee_numbers
+            assert entry.tcnr in course_numbers
+
+    def test_default_path_is_still_the_sequential_generator(self):
+        assert _snapshot(build_university_database(scale=2, paged=False)) == _snapshot(
+            build_university_database(scale=2, paged=False, workers=0)
+        )
+
     def test_unpaged_database(self):
         db = build_university_database(scale=1, paged=False)
         from repro.storage.storedrelation import StoredRelation
