@@ -129,6 +129,25 @@ class StrategyOptions:
     shard_workers:
         Worker count for the shard executor; ``0`` means one worker per
         shard.
+    histogram_statistics:
+        Statistics-driven cost model — feed the incrementally maintained
+        per-component statistics (equi-depth histograms, hot-key lists,
+        KMV distinct sketches; see :mod:`repro.relational.histogram`) to
+        every selector: the greedy join-ordering loop estimates join sizes
+        from per-column sketches (hot keys matched exactly, remainders
+        joined over aligned hash buckets) instead of the uniform
+        ``|L|*|R|/max(distinct)`` formula, the access-path selector prices
+        probes with bound constants from histogram frequencies and range
+        selectivities, and the shard partitioner consults the shard
+        column's distribution.  When off, all selectors fall back to the
+        uniform-distribution estimates.
+    shard_skew_threshold:
+        Load-imbalance ratio (max predicted shard load over mean) above
+        which ``sharded_execution`` abandons hash partitioning for a
+        range layout with frequency-weighted quantile bounds.  Hash
+        placement cannot split a hot key cluster; range bounds chosen on
+        the observed frequency distribution can.  Requires
+        ``histogram_statistics``.
     """
 
     parallel_collection: bool = True
@@ -147,6 +166,8 @@ class StrategyOptions:
     shard_min_rows: int = 64
     shard_backend: str = "auto"
     shard_workers: int = 0
+    histogram_statistics: bool = True
+    shard_skew_threshold: float = 2.0
 
     # -- presets -----------------------------------------------------------------
 
@@ -169,6 +190,7 @@ class StrategyOptions:
             semijoin_reduction=False,
             streaming_execution=False,
             sharded_execution=False,
+            histogram_statistics=False,
         )
 
     @classmethod
@@ -195,6 +217,7 @@ class StrategyOptions:
             "semijoin_reduction": "semijoin reduction",
             "streaming_execution": "streaming pipeline",
             "sharded_execution": "sharded execution",
+            "histogram_statistics": "histogram statistics",
         }
         enabled = [label for attr, label in names.items() if getattr(self, attr)]
         return ", ".join(enabled) if enabled else "no strategies"
@@ -238,6 +261,18 @@ class ServiceOptions:
         execute time (see :mod:`repro.relational.mvcc`).  Session cursors
         always use the live locked path — a transaction must read its own
         writes.  Default on; switch off to restore fully serialized reads.
+    reopt_qerror_threshold:
+        Adaptive reoptimization trigger of prepared queries.  After the
+        first execution a prepared query *pins* its chosen join orders
+        together with their estimated cardinalities; later executions
+        reuse the pinned orders without re-running the cost model.  When
+        the observed q-error — ``max(est/actual, actual/est)`` of any
+        pinned join step — exceeds this threshold, the stored data has
+        drifted away from the statistics the plan was costed with: the
+        query drops its pins and memos, forces a statistics refresh, and
+        recompiles its plan in place (the plan-cache entry is revalidated,
+        not evicted).  ``0`` (the default) disables reoptimization; ``3``
+        to ``10`` are reasonable production thresholds.
     """
 
     plan_cache_capacity: int = 128
@@ -246,6 +281,7 @@ class ServiceOptions:
     cursor_arraysize: int = 1
     busy_timeout: float = 0.0
     snapshot_reads: bool = True
+    reopt_qerror_threshold: float = 0.0
 
     def with_(self, **changes) -> "ServiceOptions":
         """A copy with the named settings changed."""

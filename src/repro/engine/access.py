@@ -166,23 +166,41 @@ def _residual_of(conjuncts: list[Formula], position: int) -> Formula | None:
     return And(*rest)
 
 
-def _probe_cost(index: HashIndex | SortedIndex, op: str) -> float | None:
-    """Estimated elements touched by probing ``index`` with ``op``.
+def _probe_cost(
+    index: HashIndex | SortedIndex,
+    term: _ProbeTerm,
+    table_stats=None,
+) -> float | None:
+    """Estimated elements touched by probing ``index`` for ``term``.
 
-    ``None`` when the index organisation cannot answer ``op`` sub-linearly.
-    A hash index serves equality in one bucket (its true ``size/distinct``
-    average); a sorted index serves equality by bisection (``log2 + sqrt(n)``
-    matches as a distinct-count-free stand-in) and range operators by one
-    bisection plus the qualifying suffix/prefix, estimated at the classic
-    one-third of the entries.
+    ``None`` when the index organisation cannot answer the operator
+    sub-linearly.  Both index organisations maintain their distinct-value
+    count incrementally (never recounted here), so the default equality
+    estimate is the true ``size/distinct`` bucket average.  When
+    per-component statistics exist and the probe value is a bound constant
+    (part of the query text, hence plan-stable), the estimate sharpens to
+    the histogram's answer: the hot-key/bucket frequency for equality, the
+    range selectivity of the value-ordered histogram for inequalities —
+    replacing the distribution-free one-third guess.
     """
+    op = term.op
     size = max(len(index), 1)
+    bound, value = term.bound_value()
+    summary = None
+    if table_stats is not None and bound:
+        summary = table_stats.summary(term.field)
     if isinstance(index, HashIndex):
         if op != "=":
             return None
+        if summary is not None:
+            return summary.frequency(value)
         return size / max(index.distinct_values(), 1)
     if op == "=":
-        return log2(size) + size**0.5
+        if summary is not None:
+            return log2(size) + summary.frequency(value)
+        return log2(size) + size / max(index.distinct_values(), 1)
+    if summary is not None:
+        return log2(size) + size * summary.selectivity(op, value)
     return log2(size) + size / 3.0
 
 
@@ -199,10 +217,12 @@ def select_access_path(
     permanent index whose estimated probe cost is lowest; take it when that
     cost undercuts the full scan.  Otherwise, on the paged backend, fall
     back to a zone-map pruned scan keyed on the first probe-able conjunct.
-    Otherwise scan.  The rule reads only catalog state (indexes,
-    cardinalities), so the same plan always gets the same path until a
-    catalog change — which bumps ``schema_version`` and invalidates cached
-    plans anyway.
+    Otherwise scan.  The rule reads catalog state (indexes, cardinalities)
+    and — under ``histogram_statistics`` — the per-component statistics for
+    conjuncts whose comparison value is a *constant in the query text*;
+    ``$param`` probes never price on a value, so the same plan text always
+    gets the same path until a catalog change — which bumps
+    ``schema_version`` and invalidates cached plans anyway.
     """
     relation = database.relation(range_expr.relation)
     restriction = range_expr.restriction
@@ -212,6 +232,14 @@ def select_access_path(
     )
     if not options.use_index_paths or restriction is None:
         return path
+
+    table_stats = None
+    if options.histogram_statistics:
+        # Snapshots (and any other duck-typed catalog) may not maintain
+        # per-component statistics; the estimates below degrade gracefully.
+        getter = getattr(database, "table_statistics", None)
+        if callable(getter):
+            table_stats = getter(relation.name)
 
     conjuncts = restriction_conjuncts(restriction)
     best: tuple[float, int, _ProbeTerm, HashIndex | SortedIndex] | None = None
@@ -225,7 +253,7 @@ def select_access_path(
             if prunable is None:
                 prunable = (position, term)
             continue
-        cost = _probe_cost(index, term.op)
+        cost = _probe_cost(index, term, table_stats)
         if cost is None:
             if prunable is None:
                 prunable = (position, term)
@@ -291,7 +319,7 @@ def refutes_bounds(op: str, value: Any, low: Any, high: Any) -> bool:
     return False
 
 
-def prune_shards_for_term(spec, infos, term: _ProbeTerm | None) -> list[int]:
+def prune_shards_for_term(spec, infos, term: _ProbeTerm | None, table_stats=None) -> list[int]:
     """Shards that may hold rows matching a probe-able restriction term.
 
     The planner-side shard analogue of zone-map page pruning: ``spec`` is a
@@ -299,13 +327,21 @@ def prune_shards_for_term(spec, infos, term: _ProbeTerm | None) -> list[int]:
     per-shard metadata from partitioning, and ``term`` a probe term over the
     partition component (``None``, or an unbound ``$param``, prunes
     nothing).  A shard survives only when the partition function *and* the
-    observed per-shard min/max both admit it.
+    observed per-shard min/max both admit it.  With per-component
+    statistics available the *exact* maintained counts can prove absence
+    outright: an equality term whose value has multiplicity zero admits no
+    shard at all — something min/max metadata can never conclude for a
+    value inside the observed range.
     """
     restricted = term is not None and term.field == spec.component
     value = None
     if restricted:
         bound, value = term.bound_value()
         restricted = bound
+    if restricted and term.op == "=" and table_stats is not None:
+        known = table_stats.frequency(term.field, value)
+        if known == 0:
+            return []
     admitted = set(spec.prune(term.op, value)) if restricted else None
     survivors: list[int] = []
     for info in infos:

@@ -74,6 +74,7 @@ from repro.relational.algebra import (
     stream_union,
     union,
 )
+from repro.relational.histogram import ColumnSketch, estimate_join
 from repro.relational.record import Record
 from repro.relational.refrelation import ReferenceType, ref_field_name
 from repro.relational.relation import Relation
@@ -151,6 +152,17 @@ class CombinationResult:
     """Per evaluated conjunction: ``(structure description, size before,
     size after)`` for every structure touched by the semijoin reducer."""
 
+    join_estimates: list[list[list]] = field(default_factory=list)
+    """Per evaluated conjunction, per join-chain step: a mutable
+    ``[description, estimated rows, actual rows]`` triple.  The estimate is
+    what the active cost model predicted when it chose the step (``None``
+    when no cost model ran — ``join_ordering`` off); the actual is the
+    step's true output cardinality, filled immediately in materialised mode
+    and as the pipeline drains in streaming mode.  ``explain(analyze=True)``
+    renders these as est-vs-actual rows with their q-error, and prepared
+    queries compare pinned estimates against fresh actuals to detect plan
+    drift."""
+
     operator_notes: list[OperatorNote] = field(default_factory=list)
     """Every operator applied, annotated streamed/materialized with reason."""
 
@@ -169,12 +181,21 @@ class CombinationPhase:
         database,
         collection: CollectionResult,
         options: StrategyOptions | None = None,
+        pinned_orders: dict[int, list[tuple[str, float]]] | None = None,
     ) -> None:
         self.prepared = prepared
         self.database = database
         self.collection = collection
         self.options = options if options is not None else prepared.options
         self.statistics = database.statistics
+        #: Per conjunction index: the ``(description, estimated rows)``
+        #: join sequence a prepared query pinned after its first execution.
+        #: When the collection phase produces the same structure set, the
+        #: pinned order is followed verbatim and the cost model is skipped
+        #: entirely — repeat executions pay no estimation work.  A mismatch
+        #: (different structures, e.g. after a range-extension change) falls
+        #: back to fresh optimization for that conjunction.
+        self.pinned_orders = pinned_orders or {}
         self._peak = 0
 
     # -- public API ------------------------------------------------------------------
@@ -271,13 +292,15 @@ class CombinationPhase:
             result.reductions.append([])
 
         order: list[tuple[str, int]] = []
-        current = self._join_structures(index, entries, order)
+        estimates: list[list] = []
+        current = self._join_structures(index, entries, order, estimates)
 
         if current is None:
             # No structures: the conjunction is TRUE — every combination of
             # variable bindings qualifies; start from the first variable's range.
             current = self._range_relation(variables[0])
             order.append((f"range of {variables[0]}", len(current)))
+            estimates.append([f"range of {variables[0]}", float(len(current)), len(current)])
 
         # Extend with the full ranges of the variables the conjunction does not
         # mention (Section 3.3 builds n-tuples over *all* n variables).
@@ -285,11 +308,14 @@ class CombinationPhase:
             if ref_field_name(var) not in current.schema.field_names:
                 extension = self._range_relation(var)
                 order.append((f"range of {var}", len(extension)))
+                expected = float(len(current)) * len(extension)
                 current = self._note(
                     natural_join(current, extension, name=f"conj{index}_x_{var}",
                                  tracker=self.statistics)
                 )
+                estimates.append([f"range of {var}", expected, len(current)])
         result.join_orders.append(order)
+        result.join_estimates.append(estimates)
         for step, (description, _) in enumerate(order):
             op = "scan" if step == 0 else "join"
             result.operator_notes.append(
@@ -303,55 +329,85 @@ class CombinationPhase:
         )
 
     def _join_structures(
-        self, index: int, entries: list[tuple[str, Relation]], order: list[tuple[str, int]]
+        self,
+        index: int,
+        entries: list[tuple[str, Relation]],
+        order: list[tuple[str, int]],
+        estimates: list[list],
     ) -> Relation | None:
-        """Join the conjunct structures, in legacy or cost-estimated order."""
+        """Join the conjunct structures, in pinned, cost-estimated or legacy order."""
         pending = list(entries)
         if not pending:
             return None
 
-        if self.options.join_ordering:
+        pinned = self._pinned_sequence(index, pending)
+        if pinned is not None:
+            description, start_est = pinned[0]
+            start = next(i for i, (d, _) in enumerate(pending) if d == description)
+        elif self.options.join_ordering:
             start = min(range(len(pending)), key=lambda i: len(pending[i][1]))
+            start_est = float(len(pending[start][1]))
         else:
             start = 0
+            start_est = float(len(pending[start][1]))
         description, current = pending.pop(start)
         order.append((description, len(current)))
+        estimates.append([description, start_est, len(current)])
         covered = set(current.schema.field_names)
 
-        # Distinct counts keyed by (relation identity, column tuple).  Every
-        # cached relation is alive when its entry is read (it is ``current``
-        # or sits in ``pending``), and both join operands' entries are
-        # evicted below *before* the operands can be freed, so a recycled
-        # id() can never hit a stale entry.
-        distinct_cache: dict[tuple[int, tuple[str, ...]], int] = {}
+        # Distinct counts and join-column sketches keyed by (relation
+        # identity, column tuple).  Every cached relation is alive when its
+        # entry is read (it is ``current`` or sits in ``pending``), and both
+        # join operands' entries are evicted below *before* the operands can
+        # be freed, so a recycled id() can never hit a stale entry.
+        cache: dict[tuple, object] = {}
+        step = 1
         while pending:
-            pick = self._pick_next(current, covered, pending, distinct_cache)
+            if pinned is not None:
+                pin_description, est = pinned[step]
+                step += 1
+                pick = next(i for i, (d, _) in enumerate(pending) if d == pin_description)
+            else:
+                pick, est = self._pick_next(current, covered, pending, cache)
             description, relation = pending.pop(pick)
             order.append((description, len(relation)))
             for stale_id in (id(current), id(relation)):
-                for key in [k for k in distinct_cache if k[0] == stale_id]:
-                    del distinct_cache[key]
+                for key in [k for k in cache if k[0] == stale_id]:
+                    del cache[key]
             current = self._note(
                 natural_join(current, relation, name=f"conj{index}", tracker=self.statistics)
             )
+            estimates.append([description, est, len(current)])
             covered.update(relation.schema.field_names)
         return current
+
+    def _pinned_sequence(self, index: int, pending: list[tuple[str, Relation]]):
+        """The pinned ``(description, estimate)`` join sequence for conjunction
+        ``index``, when one exists and covers exactly the pending structures."""
+        pinned = self.pinned_orders.get(index)
+        if pinned is None or len(pinned) < len(pending):
+            return None
+        head = pinned[: len(pending)]
+        if sorted(d for d, _ in head) != sorted(d for d, _ in pending):
+            return None
+        return head
 
     def _pick_next(
         self,
         current: Relation,
         covered: set[str],
         pending: list[tuple[str, Relation]],
-        distinct_cache: dict[tuple[int, tuple[str, ...]], int],
-    ) -> int:
-        """Position of the next structure to join into ``current``."""
+        cache: dict[tuple, object],
+    ) -> tuple[int, float | None]:
+        """Position of the next structure to join into ``current``, plus the
+        estimated cardinality of that join (``None`` without a cost model)."""
         if not self.options.join_ordering:
             # Legacy: the first connected structure, else the first one
             # (Cartesian product) — the literal Section 3.3 reading.
             for position, (_, relation) in enumerate(pending):
                 if covered & set(relation.schema.field_names):
-                    return position
-            return 0
+                    return position, None
+            return 0, None
 
         best_connected: int | None = None
         best_connected_cost = 0.0
@@ -360,12 +416,7 @@ class CombinationPhase:
         for position, (_, relation) in enumerate(pending):
             shared = [f for f in relation.schema.field_names if f in covered]
             if shared:
-                cost = estimate_join_cardinality(
-                    len(current),
-                    len(relation),
-                    self._cached_distinct(current, shared, distinct_cache),
-                    self._cached_distinct(relation, shared, distinct_cache),
-                )
+                cost = self._estimate_pair(current, relation, shared, cache)
                 if best_connected is None or cost < best_connected_cost:
                     best_connected, best_connected_cost = position, cost
             else:
@@ -373,23 +424,66 @@ class CombinationPhase:
                 if best_disconnected is None or size < best_disconnected_size:
                     best_disconnected, best_disconnected_size = position, size
         if best_connected is not None:
-            return best_connected
+            return best_connected, best_connected_cost
         assert best_disconnected is not None
-        return best_disconnected
+        return best_disconnected, float(len(current)) * best_disconnected_size
+
+    def _estimate_pair(
+        self,
+        left: Relation,
+        right: Relation,
+        shared: list[str],
+        cache: dict[tuple, object],
+    ) -> float:
+        """Estimated cardinality of ``left ⋈ right`` over ``shared`` columns.
+
+        With ``histogram_statistics`` the shared-column distributions of both
+        (materialised) sides are summarised into join-key sketches — hot keys
+        matched exactly, remainders joined over aligned hash buckets — which
+        is what lets skewed key distributions surface in the ordering
+        decision.  Without it, the classic uniform-distribution formula.
+        """
+        if self.options.histogram_statistics:
+            return estimate_join(
+                self._cached_sketch(left, shared, cache),
+                self._cached_sketch(right, shared, cache),
+            )
+        return estimate_join_cardinality(
+            len(left),
+            len(right),
+            self._cached_distinct(left, shared, cache),
+            self._cached_distinct(right, shared, cache),
+        )
 
     @staticmethod
     def _cached_distinct(
         relation: Relation,
         field_names: list[str],
-        cache: dict[tuple[int, tuple[str, ...]], int],
+        cache: dict[tuple, object],
     ) -> int:
-        key = (id(relation), tuple(field_names))
+        key = (id(relation), tuple(field_names), "distinct")
         count = cache.get(key)
         if count is None:
             positions = relation.schema.positions_of(field_names)
             count = len({tuple(record.values[p] for p in positions) for record in relation})
             cache[key] = count
         return count
+
+    @staticmethod
+    def _cached_sketch(
+        relation: Relation,
+        field_names: list[str],
+        cache: dict[tuple, object],
+    ) -> ColumnSketch:
+        key = (id(relation), tuple(field_names), "sketch")
+        sketch = cache.get(key)
+        if sketch is None:
+            positions = relation.schema.positions_of(field_names)
+            sketch = ColumnSketch(
+                tuple(record.values[p] for p in positions) for record in relation
+            )
+            cache[key] = sketch
+        return sketch
 
     def _reduce_structures(
         self, entries: list[tuple[str, Relation]]
@@ -655,25 +749,45 @@ class CombinationPhase:
             result.reductions.append([])
 
         order: list[tuple[str, int]] = []
+        estimates: list[list] = []
         stream: RowStream | None = None
         covered: set[str] = set()
         empty = False
 
         pending = list(entries)
         if pending:
-            if self.options.join_ordering:
+            pinned = self._pinned_sequence(index, pending)
+            if pinned is not None:
+                first_description, start_est = pinned[0]
+                start = next(i for i, (d, _) in enumerate(pending) if d == first_description)
+            elif self.options.join_ordering:
                 start = min(range(len(pending)), key=lambda i: len(pending[i][1]))
+                start_est = float(len(pending[start][1]))
             else:
                 start = 0
+                start_est = float(len(pending[start][1]))
             description, current = pending.pop(start)
             order.append((description, len(current)))
+            estimates.append([description, start_est, len(current)])
             covered = set(current.schema.field_names)
             est_size = float(len(current))
+            # The start structure is the only materialised left side the
+            # streaming chain ever has; its sketch feeds the first ordering
+            # decision, later steps carry the estimate forward instead.
+            base_relation: Relation | None = current
             stream = self._pipelined(RowStream.from_relation(current))
             notes.append(OperatorNote(index, f"scan {description}", "streamed", "pipeline source"))
-            distinct_cache: dict[tuple[int, tuple[str, ...]], int] = {}
+            cache: dict[tuple, object] = {}
+            step = 1
             while pending:
-                pick = self._pick_next_stream(est_size, covered, pending, distinct_cache)
+                if pinned is not None:
+                    pin_description, est = pinned[step]
+                    step += 1
+                    pick = next(i for i, (d, _) in enumerate(pending) if d == pin_description)
+                else:
+                    pick, est = self._pick_next_stream(
+                        est_size, covered, pending, cache, base_relation
+                    )
                 description, relation = pending.pop(pick)
                 order.append((description, len(relation)))
                 names = relation.schema.field_names
@@ -690,10 +804,16 @@ class CombinationPhase:
                 if short_circuit and shared:
                     # project(A ⋈ B) with B's new columns all dropped is A ⋉ B:
                     # one membership probe per row, never enumerate the group.
-                    stream = self._pipelined(stream_semijoin(
+                    slot = [
+                        f"semijoin {description}",
+                        None if est is None else min(est_size, est),
+                        0,
+                    ]
+                    estimates.append(slot)
+                    stream = self._counted_step(self._pipelined(stream_semijoin(
                         stream, relation, on=[(f, f) for f in shared],
                         name=f"conj{index}", tracker=stats,
-                    ))
+                    )), slot)
                     notes.append(OperatorNote(
                         index, f"semijoin {description}", "streamed",
                         "short-circuit: SOME-bound columns unused downstream — "
@@ -708,18 +828,23 @@ class CombinationPhase:
                         "disconnected SOME-bound structure reduces to a non-emptiness test",
                     ))
                 else:
-                    stream = self._pipelined(stream_natural_join(
+                    slot = [description, est, 0]
+                    estimates.append(slot)
+                    stream = self._counted_step(self._pipelined(stream_natural_join(
                         stream, relation, name=f"conj{index}", tracker=stats,
-                    ))
-                    if shared:
+                    )), slot)
+                    if est is not None:
+                        est_size = est
+                    elif shared:
                         est_size = estimate_join_cardinality(
                             max(int(est_size), 1) if est_size > 0 else 0,
                             len(relation),
                             max(int(est_size), 1),
-                            self._cached_distinct(relation, shared, distinct_cache),
+                            self._cached_distinct(relation, shared, cache),
                         )
                     else:
                         est_size = est_size * len(relation)
+                    base_relation = None
                     covered.update(names)
                     notes.append(OperatorNote(
                         index, f"join {description}", "streamed",
@@ -731,6 +856,8 @@ class CombinationPhase:
             var = variables[0]
             relation = self._range_relation(var)
             order.append((f"range of {var}", len(relation)))
+            estimates.append([f"range of {var}", float(len(relation)), len(relation)])
+            est_size = float(len(relation))
             covered = set(relation.schema.field_names)
             stream = self._pipelined(RowStream.from_relation(relation))
             notes.append(OperatorNote(
@@ -763,14 +890,18 @@ class CombinationPhase:
                     ))
                 continue
             extension = self._range_relation(var)
-            stream = self._pipelined(stream_natural_join(
+            slot = [f"range of {var}", est_size * len(refs), 0]
+            estimates.append(slot)
+            est_size = est_size * len(refs)
+            stream = self._counted_step(self._pipelined(stream_natural_join(
                 stream, extension, name=f"conj{index}_x_{var}", tracker=stats,
-            ))
+            )), slot)
             covered.add(column)
             notes.append(OperatorNote(
                 index, f"range extension {var}", "streamed", "streaming Cartesian extension"
             ))
         result.join_orders.append(order)
+        result.join_estimates.append(estimates)
 
         if empty:
             return RowStream.empty(kept_schema, label=f"conjunction_{index}")
@@ -791,21 +922,27 @@ class CombinationPhase:
         est_size: float,
         covered: set[str],
         pending: list[tuple[str, Relation]],
-        distinct_cache: dict[tuple[int, tuple[str, ...]], int],
-    ) -> int:
-        """Position of the next structure to join into the running stream.
+        cache: dict[tuple, object],
+        base_relation: Relation | None,
+    ) -> tuple[int, float | None]:
+        """Position of the next structure to join into the running stream,
+        plus the estimated cardinality of that join.
 
         The streaming chain cannot count its own rows (they have not flowed
         yet), so the cost estimate carries the running size forward from the
         structure statistics instead of measuring the materialised
-        intermediate the way :meth:`_pick_next` does.  Any order is correct;
+        intermediate the way :meth:`_pick_next` does.  For the *first* join
+        the left side is still the materialised start structure
+        (``base_relation``), so the full histogram estimator applies; later
+        steps only have the carried scalar and fall back to the uniform
+        formula over the build side's distinct count.  Any order is correct;
         this one keeps the greedy smallest-estimated-join policy.
         """
         if not self.options.join_ordering:
             for position, (_, relation) in enumerate(pending):
                 if covered & set(relation.schema.field_names):
-                    return position
-            return 0
+                    return position, None
+            return 0, None
         est = max(int(est_size), 1) if est_size > 0 else 0
         best_connected: int | None = None
         best_connected_cost = 0.0
@@ -814,10 +951,13 @@ class CombinationPhase:
         for position, (_, relation) in enumerate(pending):
             shared = [f for f in relation.schema.field_names if f in covered]
             if shared:
-                cost = estimate_join_cardinality(
-                    est, len(relation), est,
-                    self._cached_distinct(relation, shared, distinct_cache),
-                )
+                if base_relation is not None and self.options.histogram_statistics:
+                    cost = self._estimate_pair(base_relation, relation, shared, cache)
+                else:
+                    cost = estimate_join_cardinality(
+                        est, len(relation), est,
+                        self._cached_distinct(relation, shared, cache),
+                    )
                 if best_connected is None or cost < best_connected_cost:
                     best_connected, best_connected_cost = position, cost
             else:
@@ -825,9 +965,9 @@ class CombinationPhase:
                 if best_disconnected is None or size < best_disconnected_size:
                     best_disconnected, best_disconnected_size = position, size
         if best_connected is not None:
-            return best_connected
+            return best_connected, best_connected_cost
         assert best_disconnected is not None
-        return best_disconnected
+        return best_disconnected, est_size * best_disconnected_size
 
     # -- pipeline bookkeeping -------------------------------------------------------------
 
@@ -835,6 +975,21 @@ class CombinationPhase:
         """Count the operator and its row throughput into the shared statistics."""
         self.statistics.record_operator_pipelined()
         return RowStream(stream.schema, iter(stream), tracker=self.statistics, label=stream.label)
+
+    @staticmethod
+    def _counted_step(stream: RowStream, slot: list) -> RowStream:
+        """Fill one join step's actual output cardinality as the pipeline drains."""
+
+        def rows():
+            count = 0
+            try:
+                for row in stream:
+                    count += 1
+                    yield row
+            finally:
+                slot[2] = count
+
+        return RowStream(stream.schema, rows(), label=stream.label)
 
     @staticmethod
     def _counted_member(stream: RowStream, result: CombinationResult, position: int) -> RowStream:

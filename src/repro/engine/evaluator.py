@@ -200,6 +200,7 @@ class QueryEngine:
         reset_statistics: bool = True,
         collection: CollectionResult | None = None,
         collection_sink=None,
+        pinned_orders: dict[int, list[tuple[str, float]]] | None = None,
     ) -> QueryResult:
         """Evaluate an already-transformed :class:`QueryPlan`.
 
@@ -215,9 +216,12 @@ class QueryEngine:
         :class:`CollectionResult` for this exact plan (the service layer's
         per-binding memo), skipping the collection phase; ``collection_sink``
         is called with the collection result actually computed for the plan,
-        so the caller can memoize it.  Neither applies to the constant-matrix
-        or separated-conjunction paths, and the Strategy 3 runtime fallback
-        always re-collects for its re-planned query.
+        so the caller can memoize it.  ``pinned_orders`` replays the join
+        orders (with their compile-time estimates) a prepared query pinned
+        on its first execution, skipping the cost model.  None of the three
+        applies to the constant-matrix or separated-conjunction paths, and
+        the Strategy 3 runtime fallback always re-collects and re-optimizes
+        for its re-planned query.
         """
         options = options or plan.options
         if reset_statistics:
@@ -229,6 +233,7 @@ class QueryEngine:
             plan=plan,
             collection=collection,
             collection_sink=collection_sink,
+            pinned_orders=pinned_orders,
         )
         result.elapsed_seconds = time.perf_counter() - started
         result.statistics = self.database.statistics.as_dict()
@@ -241,6 +246,7 @@ class QueryEngine:
         reset_statistics: bool = True,
         collection: CollectionResult | None = None,
         collection_sink=None,
+        pinned_orders: dict[int, list[tuple[str, float]]] | None = None,
     ) -> QueryResult:
         """Evaluate ``plan`` with a *lazy* construction phase.
 
@@ -266,6 +272,7 @@ class QueryEngine:
             collection=collection,
             collection_sink=collection_sink,
             lazy=True,
+            pinned_orders=pinned_orders,
         )
         return self._finalize_streaming(result, started)
 
@@ -318,6 +325,7 @@ class QueryEngine:
         collection: CollectionResult | None = None,
         collection_sink=None,
         lazy: bool = False,
+        pinned_orders: dict[int, list[tuple[str, float]]] | None = None,
     ) -> QueryResult:
         prepared = plan if plan is not None else prepare_query(
             selection, self.database, options, resolve=False
@@ -332,6 +340,7 @@ class QueryEngine:
                 collection=collection,
                 collection_sink=collection_sink,
                 lazy=lazy,
+                pinned_orders=pinned_orders,
             )
         except ExtendedRangeEmptyError:
             fallback_options = options.with_(extended_ranges=False)
@@ -352,6 +361,7 @@ class QueryEngine:
         collection: CollectionResult | None = None,
         collection_sink=None,
         lazy: bool = False,
+        pinned_orders: dict[int, list[tuple[str, float]]] | None = None,
     ) -> QueryResult:
         if prepared.constant is not None:
             # The constant-matrix shortcut still relies on the non-empty-range
@@ -372,7 +382,9 @@ class QueryEngine:
             collection = CollectionPhase(prepared, self.database, options).run()
             if collection_sink is not None:
                 collection_sink(collection)
-        combination = CombinationPhase(prepared, self.database, collection, options).run()
+        combination = CombinationPhase(
+            prepared, self.database, collection, options, pinned_orders=pinned_orders
+        ).run()
         construction = ConstructionPhase(selection, self.database)
         if lazy and combination.stream is not None:
             # Defer the construction dereference: the caller pulls rows
@@ -528,6 +540,7 @@ class QueryEngine:
         combined.conjunction_sizes.extend(partial.conjunction_sizes)
         combined.conjunction_indexes.extend(position for _ in partial.conjunction_indexes)
         combined.join_orders.extend(partial.join_orders)
+        combined.join_estimates.extend(partial.join_estimates)
         combined.reductions.extend(partial.reductions)
         combined.operator_notes.extend(partial.operator_notes)
         combined.union_size += partial.union_size
@@ -577,6 +590,14 @@ class QueryEngine:
                     f"pages skipped={result.statistics.get('pages_skipped', 0)}, "
                     "index maintenance ops="
                     f"{result.statistics.get('index_maintenance_ops', 0)}"
+                )
+                lines.append(
+                    "  histogram rebuilds="
+                    f"{result.statistics.get('histogram_rebuilds', 0)}, "
+                    "reoptimizations="
+                    f"{result.statistics.get('reoptimizations', 0)}, "
+                    "max q-error="
+                    f"{result.statistics.get('estimation_qerror_max', 0.0):.2f}"
                 )
                 report += "\n" + "\n".join(lines)
             return report

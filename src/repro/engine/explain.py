@@ -22,6 +22,11 @@ from repro.transform.quantifier_pushdown import DerivedPredicate
 __all__ = ["explain_prepared", "explain_combination"]
 
 
+def _qerror(est: float, actual: float) -> float:
+    """``max(est/actual, actual/est)``, +1-smoothed so empty sides stay finite."""
+    return max((est + 1.0) / (actual + 1.0), (actual + 1.0) / (est + 1.0))
+
+
 def explain_prepared(prepared: QueryPlan, database, options: StrategyOptions) -> str:
     """Render a multi-line EXPLAIN report for ``prepared``."""
     lines: list[str] = []
@@ -113,6 +118,19 @@ def explain_combination(combination: CombinationResult) -> str:
         for step, (description, size) in enumerate(order):
             prefix = "start with" if step == 0 else "then join"
             lines.append(f"    {prefix} {description} ({size} tuples)")
+        estimates = (
+            combination.join_estimates[position]
+            if position < len(combination.join_estimates)
+            else []
+        )
+        rows = [entry for entry in estimates if entry[1] is not None]
+        if rows:
+            lines.append(f"  conjunction {number} cardinality estimates:")
+            for description, est, actual in rows:
+                lines.append(
+                    f"    {description}: est {est:.0f}, actual {actual}, "
+                    f"q-error {_qerror(est, actual):.2f}"
+                )
         reductions = combination.reductions[position]
         reduced = [r for r in reductions if r[1] != r[2]]
         if reduced:

@@ -52,10 +52,17 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.engine.combination import CombinationResult, OperatorNote
-from repro.relational.partition import approx_bytes, relation_bytes, shard_of_value
+from repro.relational.histogram import ColumnSketch, estimate_join
+from repro.relational.partition import (
+    PartitionSpec,
+    approx_bytes,
+    relation_bytes,
+    shard_of_value,
+)
 from repro.relational.record import Record
 from repro.relational.reference import Ref
-from repro.relational.statistics import AccessStatistics
+from repro.relational.statistics import AccessStatistics, estimate_join_cardinality
+from repro.types.scalar import sort_key
 
 __all__ = [
     "ShardNote",
@@ -194,10 +201,40 @@ def _pick_structure(covered, pending, ordered):
     return min(pool, key=lambda i: len(pending[i]["rows"]))
 
 
-def _combine_kernel_conjunction(conj, variables, ranges, ordered, counters):
-    """One conjunction's n-tuple rows over *all* variables (canonical order)."""
+def _kernel_estimate(cols_a, rows_a, cols_b, rows_b, use_sketches):
+    """Estimated join cardinality of two column-labelled row sets.
+
+    ``use_sketches`` applies the histogram estimator (hot keys exact,
+    remainders over aligned hash buckets) to the shared-column projections;
+    otherwise the classic uniform formula over their exact distinct counts.
+    Pure tuples in, float out — runs identically in process workers.
+    """
+    shared = [c for c in cols_b if c in cols_a]
+    if not shared:
+        return float(len(rows_a)) * len(rows_b)
+    a_pos = [cols_a.index(c) for c in shared]
+    b_pos = [cols_b.index(c) for c in shared]
+    if use_sketches:
+        return estimate_join(
+            ColumnSketch(tuple(row[i] for i in a_pos) for row in rows_a),
+            ColumnSketch(tuple(row[i] for i in b_pos) for row in rows_b),
+        )
+    distinct_a = len({tuple(row[i] for i in a_pos) for row in rows_a})
+    distinct_b = len({tuple(row[i] for i in b_pos) for row in rows_b})
+    return estimate_join_cardinality(len(rows_a), len(rows_b), distinct_a, distinct_b)
+
+
+def _combine_kernel_conjunction(conj, variables, ranges, ordered, counters, use_sketches):
+    """One conjunction's n-tuple rows over *all* variables (canonical order).
+
+    Returns ``(order, estimates, rows)`` where ``estimates`` mirrors the
+    combination phase's ``join_estimates`` entries: one mutable
+    ``[description, estimated rows, actual rows]`` triple per join step
+    (``None`` estimates when ``join_ordering`` is off — no cost model ran).
+    """
     pending = list(conj["structures"])
     order: list[tuple[str, int]] = []
+    estimates: list[list] = []
     cols: list[str] = []
     rows: set[tuple] = set()
     if pending:
@@ -210,31 +247,61 @@ def _combine_kernel_conjunction(conj, variables, ranges, ordered, counters):
         cols = list(entry["vars"])
         rows = set(entry["rows"])
         order.append((entry["desc"], len(rows)))
+        estimates.append(
+            [entry["desc"], float(len(rows)) if ordered else None, len(rows)]
+        )
         while pending:
-            pick = _pick_structure(set(cols), pending, ordered)
+            if ordered:
+                # The greedy cost-ordered loop of the combination phase,
+                # over pure tuples: join the connected structure with the
+                # smallest estimated result next.
+                connected = [
+                    i for i, e in enumerate(pending) if set(cols) & set(e["vars"])
+                ]
+                pool = connected if connected else list(range(len(pending)))
+                pick, est = min(
+                    (
+                        (
+                            i,
+                            _kernel_estimate(
+                                cols, rows, list(pending[i]["vars"]),
+                                pending[i]["rows"], use_sketches,
+                            ),
+                        )
+                        for i in pool
+                    ),
+                    key=lambda item: item[1],
+                )
+            else:
+                pick = _pick_structure(set(cols), pending, ordered)
+                est = None
             entry = pending.pop(pick)
             order.append((entry["desc"], len(entry["rows"])))
             cols, rows = _kernel_join(
                 cols, rows, list(entry["vars"]), entry["rows"], counters
             )
+            estimates.append([entry["desc"], est, len(rows)])
     else:
         # TRUE conjunction: enumerate the first variable's range.
         first = variables[0]
         cols = [first]
         rows = {(ref,) for ref in ranges[first]}
         order.append((f"range of {first}", len(rows)))
+        estimates.append([f"range of {first}", float(len(rows)), len(rows)])
     for var in variables:
         if var in cols:
             continue
         extension = ranges[var]
         order.append((f"range of {var}", len(extension)))
+        expected = float(len(rows)) * len(extension)
         cols, rows = _kernel_join(
             cols, rows, [var], [(ref,) for ref in extension], counters
         )
+        estimates.append([f"range of {var}", expected, len(rows)])
     positions = [cols.index(var) for var in variables]
     canonical = {tuple(row[p] for p in positions) for row in rows}
     counters["work"] += len(canonical)
-    return order, canonical
+    return order, estimates, canonical
 
 
 def evaluate_shard(payload: dict) -> dict:
@@ -249,15 +316,18 @@ def evaluate_shard(payload: dict) -> dict:
     variables = list(payload["variables"])
     ranges = payload["ranges"]
     ordered = payload["join_ordering"]
+    use_sketches = payload.get("histogram_statistics", False)
     counters = {"comparisons": 0, "work": 0, "peak": 0}
     matrix: set[tuple] = set()
     conjunction_sizes: list[int] = []
     join_orders: list[list[tuple[str, int]]] = []
+    join_estimates: list[list[list]] = []
     for conj in payload["conjunctions"]:
-        order, canonical = _combine_kernel_conjunction(
-            conj, variables, ranges, ordered, counters
+        order, estimates, canonical = _combine_kernel_conjunction(
+            conj, variables, ranges, ordered, counters, use_sketches
         )
         join_orders.append(order)
+        join_estimates.append(estimates)
         conjunction_sizes.append(len(canonical))
         matrix |= canonical
         if len(matrix) > counters["peak"]:
@@ -298,6 +368,7 @@ def evaluate_shard(payload: dict) -> dict:
         "rows": sorted(out),
         "conjunction_sizes": conjunction_sizes,
         "join_orders": join_orders,
+        "join_estimates": join_estimates,
         "union_size": union_size,
         "comparisons": counters["comparisons"],
         "work": counters["work"],
@@ -410,13 +481,25 @@ class ShardedCombination:
 
         # ---- partition ------------------------------------------------------
         # Shard-local ranges of the shard variable; full ranges of the rest.
+        # The layout (hash vs range) is chosen *before* any row is assigned:
+        # when the shard column's frequency distribution predicts skewed hash
+        # loads, frequency-weighted range bounds spread the heavy keys instead.
         range_rows = {
             var: [_encode_ref(ref) for ref in refs]
             for var, refs in self.collection.range_refs.items()
         }
+        spec = self._partition_layout(shard_var, shard_count, range_rows[shard_var])
+        if spec.method == "hash":
+            report.spec = f"hash({shard_var}_ref) % {shard_count}"
+        else:
+            report.spec = (
+                f"range({shard_var}_ref) @ {list(spec.bounds)!r} "
+                f"({shard_count} shards)"
+            )
+        assign = spec.shard_of
         shard_ranges: list[list[tuple]] = [[] for _ in range(shard_count)]
         for encoded in range_rows[shard_var]:
-            shard_ranges[shard_of_value(encoded[1], shard_count)].append(encoded)
+            shard_ranges[assign(encoded[1])].append(encoded)
 
         conjunction_plans: list[dict] = []
         referenced_broadcast_relations: set[str] = set()
@@ -438,7 +521,7 @@ class ShardedCombination:
                     position = structure.variables.index(shard_var)
                     buckets: list[list[tuple]] = [[] for _ in range(shard_count)]
                     for row in rows:
-                        buckets[shard_of_value(row[position][1], shard_count)].append(row)
+                        buckets[assign(row[position][1])].append(row)
                     entry["buckets"] = buckets
                     partitioned.append(entry)
                 else:
@@ -454,7 +537,7 @@ class ShardedCombination:
             result.conjunction_sizes.append(0)
         notes.append(OperatorNote(
             None,
-            f"hash partition on {shard_var}_ref into {shard_count} shards",
+            f"{spec.method} partition on {shard_var}_ref into {shard_count} shards",
             "streamed",
             "co-partitioned structures stay local; the rest is reduced and shipped",
         ))
@@ -536,6 +619,7 @@ class ShardedCombination:
                 "conjunctions": shard_conjunctions,
                 "ranges": ranges,
                 "join_ordering": options.join_ordering,
+                "histogram_statistics": options.histogram_statistics,
             }
 
         report.shipped_bytes = sum(note.shipped_bytes for note in report.shards)
@@ -579,6 +663,7 @@ class ShardedCombination:
         relation_cache: dict[str, object] = {}
         peak = 0
         first_orders: list[list[tuple[str, int]]] | None = None
+        first_estimates: list[list[list]] | None = None
         for shard in sorted(outcomes):
             outcome = outcomes[shard]
             note = report.shards[shard]
@@ -586,6 +671,7 @@ class ShardedCombination:
             note.work = outcome["work"]
             if first_orders is None:
                 first_orders = outcome["join_orders"]
+                first_estimates = outcome["join_estimates"]
             for position, size in enumerate(outcome["conjunction_sizes"]):
                 result.conjunction_sizes[position] += size
             result.union_size += outcome["union_size"]
@@ -597,6 +683,9 @@ class ShardedCombination:
                 )
                 insert(raw(schema, refs))
         result.join_orders.extend(first_orders or [[] for _ in conjunction_plans])
+        # The first live shard's per-step estimates stand in for the whole
+        # plan in ``explain`` — same convention as ``join_orders`` above.
+        result.join_estimates.extend(first_estimates or [[] for _ in conjunction_plans])
         result.after_quantifiers_size = len(result.tuples)
         result.peak_tuples = peak
         notes.append(OperatorNote(
@@ -612,6 +701,77 @@ class ShardedCombination:
         if relation is None:
             relation = cache[name] = self.database.relation(name)
         return relation
+
+    def _partition_layout(
+        self, shard_var: str, shard_count: int, encoded_range: list[tuple]
+    ) -> PartitionSpec:
+        """Choose the shard column's layout (hash vs range) from its statistics.
+
+        Predicts per-shard hash loads from the exact key-frequency
+        distribution of the partitioned structure rows — the rows that will
+        actually land on shards.  When the predicted ``max/mean`` load exceeds
+        ``StrategyOptions.shard_skew_threshold``, hash placement would pile
+        hot keys onto one worker, so the layout switches to range partitioning
+        with frequency-weighted equi-depth bounds: each shard receives an
+        equal *weight* of rows, not an equal span of keys.  The decision runs
+        *before* any row is assigned — the layout is part of the plan, not a
+        repair after the fact — and the kernel's disjointness argument only
+        needs the assignment to be deterministic, which both layouts are.
+        """
+        relation_name = self.prepared.range_of(shard_var).relation
+        hash_spec = PartitionSpec(relation_name, f"{shard_var}_ref", shard_count)
+        options = self.options
+        if not options.histogram_statistics or options.shard_skew_threshold <= 0:
+            return hash_spec
+        weights: dict = {}
+        for structures in self.collection.conjunctions:
+            if structures is None:
+                continue
+            for structure in structures:
+                if shard_var not in structure.variables:
+                    continue
+                position = structure.variables.index(shard_var)
+                for row in structure.rows:
+                    key = row[position].key
+                    weights[key] = weights.get(key, 0) + 1
+        if not weights:
+            # No co-partitioned structure: the only sharded rows are the
+            # range references themselves (one per key — uniform by nature).
+            for _, key in encoded_range:
+                weights[key] = weights.get(key, 0) + 1
+        total = sum(weights.values())
+        if not total:
+            return hash_spec
+        loads = [0] * shard_count
+        for key, count in weights.items():
+            loads[shard_of_value(key, shard_count)] += count
+        if max(loads) * shard_count <= options.shard_skew_threshold * total:
+            return hash_spec
+        try:
+            ranked = sorted(weights.items(), key=lambda item: sort_key(item[0]))
+        except TypeError:
+            return hash_spec  # keys with no total order cannot be ranged
+        bounds: list = []
+        depth = total / shard_count
+        filled = 0
+        last = ranked[-1][0]
+        for key, count in ranked:
+            filled += count
+            if (
+                filled >= depth * (len(bounds) + 1)
+                and len(bounds) < shard_count - 1
+                and key != last  # a top bound equal to the max leaves a shard empty
+            ):
+                bounds.append(key)
+        if len(bounds) != shard_count - 1:
+            return hash_spec  # too few distinct keys to cut this many ways
+        return PartitionSpec(
+            relation_name,
+            f"{shard_var}_ref",
+            shard_count,
+            method="range",
+            bounds=tuple(bounds),
+        )
 
     # -- the cross-shard reducer -------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.config import DURABILITY_COMMIT, DURABILITY_MODES, DURABILITY_OFF
 from repro.errors import CatalogError, StorageError, TransactionError
+from repro.relational.histogram import TableStatistics
 from repro.relational.index import HashIndex, SortedIndex, build_index
 from repro.relational.journal import UndoJournal
 from repro.relational.mvcc import DatabaseSnapshot, SnapshotRegistry
@@ -40,6 +41,10 @@ class Database:
         self.statistics = AccessStatistics()
         self._relations: dict[str, Relation] = {}
         self._indexes: dict[tuple[str, str], HashIndex | SortedIndex] = {}
+        # Per-relation statistics (histograms, hot keys, distinct sketches),
+        # created lazily on first use and maintained incrementally from then
+        # on through the relations' mutation hooks.
+        self._table_statistics: dict[str, TableStatistics] = {}
         self._schema_version = 0
         # The undo journal of the one active session transaction, if any.
         # The lock only protects the slot handover (begin/end); the journaled
@@ -522,6 +527,9 @@ class Database:
             relation = self._relations.pop(name)
         for index_key in [k for k in self._indexes if k[0] == name]:
             relation.detach_index(self._indexes.pop(index_key))
+        stats = self._table_statistics.pop(name, None)
+        if stats is not None:
+            relation.detach_statistics(stats)
         self.bump_schema_version()
         self._ddl_changed()
 
@@ -604,6 +612,41 @@ class Database:
                 index.add(record)
 
     # -- statistics ------------------------------------------------------------------------
+
+    def table_statistics(self, name: str, create: bool = True) -> TableStatistics | None:
+        """The per-component statistics of relation ``name``.
+
+        Created lazily on first request — the constructor seeds the exact
+        per-column counts from the current contents — and attached to the
+        relation's mutation hooks, so from then on every insert, delete,
+        assign and clear keeps the counts coherent incrementally (never a
+        rescan).  Derived summaries (histograms, hot keys, KMV sketches) are
+        rebuilt lazily once enough mutations accumulate.
+
+        Creating statistics is *not* a catalog change: ``schema_version`` is
+        deliberately untouched, so cached plans stay valid.  With
+        ``create=False`` answers ``None`` when no statistics exist yet.
+        """
+        stats = self._table_statistics.get(name)
+        if stats is None and create:
+            relation = self.relation(name)
+            stats = TableStatistics(relation, tracker=self.statistics)
+            relation.attach_statistics(stats)
+            self._table_statistics[name] = stats
+        return stats
+
+    def refresh_statistics(self, names: Iterable[str] | None = None, force: bool = True) -> None:
+        """Re-derive the column summaries of ``names`` (default: all tracked).
+
+        The adaptive-reoptimization entry point: exact counts are always
+        current, so a refresh only re-derives the lazily rebuilt summaries
+        from them (each rebuild is counted on ``histogram_rebuilds``).
+        """
+        targets = list(self._table_statistics) if names is None else names
+        for name in targets:
+            stats = self._table_statistics.get(name)
+            if stats is not None:
+                stats.refresh(force=force)
 
     def reset_statistics(self) -> None:
         """Forget all access counters (used between benchmark runs)."""

@@ -197,6 +197,9 @@ class SortedIndex:
         self.name = name or f"sorted_{relation.name}_{field_name}"
         self._pairs: list[tuple[Any, Ref]] = []
         self._sorted = True
+        # Distinct-value count, maintained incrementally with the entries so
+        # the access-path selector never has to recount (value -> multiplicity).
+        self._value_counts: dict[Any, int] = {}
 
     def add(self, record: Record) -> None:
         """Add one element of the indexed relation.
@@ -216,6 +219,7 @@ class SortedIndex:
             # pay one sort on the first probe, keeping builds O(n log n).
             self._pairs.append((value, ref))
             self._sorted = False
+        self._value_counts[value] = self._value_counts.get(value, 0) + 1
 
     def remove(self, record: Record) -> None:
         """Remove one element's entry (used by permanent index maintenance)."""
@@ -231,18 +235,28 @@ class SortedIndex:
             ) == key:
                 if self._pairs[position] == target:
                     del self._pairs[position]
+                    self._forget_value(value)
                     return
                 position += 1
         else:
             for position, pair in enumerate(self._pairs):
                 if pair == target:
                     del self._pairs[position]
+                    self._forget_value(value)
                     return
+
+    def _forget_value(self, value: Any) -> None:
+        remaining = self._value_counts.get(value, 0) - 1
+        if remaining > 0:
+            self._value_counts[value] = remaining
+        else:
+            self._value_counts.pop(value, None)
 
     def clear(self) -> None:
         """Drop every entry (the indexed relation was cleared or reassigned)."""
         self._pairs.clear()
         self._sorted = True
+        self._value_counts.clear()
 
     def build(self) -> "SortedIndex":
         """Populate by scanning the indexed relation once, then sort."""
@@ -299,6 +313,10 @@ class SortedIndex:
 
     def __len__(self) -> int:
         return len(self._pairs)
+
+    def distinct_values(self) -> int:
+        """Number of distinct indexed values (maintained, never recounted)."""
+        return len(self._value_counts)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"SortedIndex({self.name!r}, {len(self._pairs)} entries)"

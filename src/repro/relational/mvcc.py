@@ -166,6 +166,7 @@ class SnapshotRelation(Relation):
         self.tracker = tracker
         self._elements = elements
         self._observers = []
+        self._statistics_observers = []
         self._journal = None
         self._key_is_all = source._key_is_all
         self._registry = None

@@ -68,6 +68,11 @@ class Relation:
         # database may carry observers; intermediate result relations never
         # do, so the per-mutation check is one truthiness test.
         self._observers: list = []
+        # Statistics maintainers (registered by Database.table_statistics).
+        # They ride the same mutation hooks as the permanent indexes but are
+        # kept on a separate list so their upkeep is never charged to the
+        # ``index_maintenance_ops`` counter.
+        self._statistics_observers: list = []
         # The undo journal of the active session transaction, if any
         # (attached by Database.begin_transaction).  Mutation operators call
         # its before_mutation hook before applying themselves, so rollback
@@ -138,21 +143,41 @@ class Relation:
         """The permanent indexes incrementally maintained with this relation."""
         return list(self._observers)
 
+    def attach_statistics(self, maintainer) -> None:
+        """Register a statistics maintainer to be notified on every mutation."""
+        if maintainer not in self._statistics_observers:
+            self._statistics_observers.append(maintainer)
+
+    def detach_statistics(self, maintainer) -> None:
+        """Stop notifying ``maintainer`` (its relation was dropped)."""
+        if maintainer in self._statistics_observers:
+            self._statistics_observers.remove(maintainer)
+
+    @property
+    def _observed(self) -> bool:
+        return bool(self._observers) or bool(self._statistics_observers)
+
     def _index_added(self, record: Record) -> None:
         for index in self._observers:
             index.add(record)
-        if self.tracker is not None:
+        for maintainer in self._statistics_observers:
+            maintainer.add(record)
+        if self.tracker is not None and self._observers:
             self.tracker.record_index_maintenance(len(self._observers))
 
     def _index_removed(self, record: Record) -> None:
         for index in self._observers:
             index.remove(record)
-        if self.tracker is not None:
+        for maintainer in self._statistics_observers:
+            maintainer.remove(record)
+        if self.tracker is not None and self._observers:
             self.tracker.record_index_maintenance(len(self._observers))
 
     def _index_cleared(self) -> None:
         for index in self._observers:
             index.clear()
+        for maintainer in self._statistics_observers:
+            maintainer.clear()
         if self.tracker is not None and self._observers:
             self.tracker.record_index_maintenance(len(self._observers))
 
@@ -246,7 +271,7 @@ class Relation:
             self._journal = None
         try:
             self._rebind_elements({})
-            if self._observers:
+            if self._observed:
                 self._index_cleared()
             if self.tracker is not None:
                 self.tracker.record_mutation()
@@ -282,7 +307,7 @@ class Relation:
                 self._prepare_write_locked(registry)
                 self._elements[key] = record
                 self._version += 1
-        if self._observers:
+        if self._observed:
             self._index_added(record)
         if self.tracker is not None:
             self.tracker.record_insert(self.name)
@@ -306,7 +331,7 @@ class Relation:
         key = values if self._key_is_all else self.schema.key_of(values)
         if self._journal is not None:
             self._journal.before_mutation(self, "insert", record=record)
-        if self._observers:
+        if self._observed:
             existing = self._elements.get(key)
             if existing is not None and existing != record:
                 self._index_removed(existing)
@@ -325,7 +350,7 @@ class Relation:
 
     def bulk_insert_raw(self, records: Iterable[Record]) -> None:
         """Insert many already-validated records through the raw fast path."""
-        if self._observers or self._journal is not None:
+        if self._observed or self._journal is not None:
             for record in records:
                 self.insert_raw(record)
             return
@@ -381,7 +406,7 @@ class Relation:
                     self._version += 1
         removed = removed_record is not None
         if removed:
-            if self._observers:
+            if self._observed:
                 self._index_removed(removed_record)
             if self.tracker is not None:
                 self.tracker.record_delete(self.name)
@@ -398,7 +423,7 @@ class Relation:
             # Rebind instead of clearing in place: a pinned snapshot may
             # hold the old dict.
             self._rebind_elements({})
-        if self._observers:
+        if self._observed:
             self._index_cleared()
         if self.tracker is not None:
             self.tracker.record_mutation()

@@ -50,6 +50,7 @@ class PreparedQuery:
         schema_version: int | None = None,
         collection_cache_size: int = 32,
         lock: threading.RLock | None = None,
+        reopt_qerror_threshold: float = 0.0,
     ) -> None:
         self._engine = engine
         self.selection = selection
@@ -92,6 +93,16 @@ class PreparedQuery:
         # QueryService shares its own execution lock so direct
         # ``prepared.execute`` calls and service calls exclude each other.
         self._lock = lock if lock is not None else threading.RLock()
+        # Adaptive reoptimization (``ServiceOptions.reopt_qerror_threshold``).
+        # After the first cost-modeled execution the join sequences are
+        # *pinned* — repeat executions follow them verbatim and skip the
+        # estimator entirely.  Each pinned execution still records actual
+        # per-step cardinalities; when the worst estimate-vs-actual q-error
+        # drifts past the threshold, the pins and memos are dropped, table
+        # statistics are refreshed, and the plan is recompiled in place (the
+        # handle — and its plan-cache entry — stays valid; no reconnect).
+        self.reopt_qerror_threshold = reopt_qerror_threshold
+        self._pinned_orders: dict[int, list[tuple[str, float]]] | None = None
 
     # -- introspection ----------------------------------------------------------------
 
@@ -256,8 +267,13 @@ class PreparedQuery:
         execute_plan = (
             self._engine.execute_plan_streaming if streaming else self._engine.execute_plan
         )
+        pinned = self._pinned_orders
         if key is None or self._cache_size == 0:
-            return execute_plan(plan, options, reset_statistics=reset_statistics)
+            result = execute_plan(
+                plan, options, reset_statistics=reset_statistics, pinned_orders=pinned
+            )
+            self._observe_estimates(result, pinned, streaming)
+            return result
 
         # The versions the memoized collection would be valid under; read
         # before execution (execution builds only untracked result relations,
@@ -272,12 +288,113 @@ class PreparedQuery:
             reset_statistics=reset_statistics,
             collection=collection,
             collection_sink=computed.append,
+            pinned_orders=pinned,
         )
         # The collection phase is eager even under a streaming construction,
         # so the memo can be filled before any row has been fetched.
         if collection is None and computed and not result.used_strategy3_fallback:
             self._collections.put(key, (versions, computed[0]))
+        self._observe_estimates(result, pinned, streaming)
         return result
+
+    # -- adaptive reoptimization --------------------------------------------------------
+
+    def _observe_estimates(
+        self, result: QueryResult, pinned, streaming: bool = False
+    ) -> None:
+        """Pin the first cost-modeled join sequences; reoptimize on drift.
+
+        On the first execution that recorded complete per-step estimates the
+        ``(description, estimate)`` sequences are pinned — later executions
+        follow them verbatim (and skip the estimator).  Every pinned
+        execution compares the pinned estimates against that run's actual
+        per-step cardinalities; when the worst q-error
+        (``max(est/actual, actual/est)``, +1-smoothed) exceeds
+        ``reopt_qerror_threshold``, the data has drifted from what the
+        estimates described: drop the pins and memos, refresh the table
+        statistics, and recompile the plan in place — the handle (and its
+        plan-cache entry) is revalidated, not evicted.
+        """
+        threshold = self.reopt_qerror_threshold
+        if threshold <= 0:
+            return
+        combination = result.combination
+        if combination is None or not combination.join_estimates:
+            return
+        if result.used_strategy3_fallback:
+            return  # the runtime fallback re-planned; nothing to pin or compare
+        if pinned is None:
+            pins = self._build_pins(combination)
+            if pins:
+                self._pinned_orders = pins
+            return
+        if streaming:
+            # A lazy execution's actual counts only fill in as the stream
+            # drains (after this handle's lock is released); drift detection
+            # stays with materialized executions, whose counts are complete.
+            return
+        worst = 1.0
+        for estimates in combination.join_estimates:
+            for _, est, actual in estimates:
+                if est is None or actual is None:
+                    continue
+                q = max((est + 1.0) / (actual + 1.0), (actual + 1.0) / (est + 1.0))
+                if q > worst:
+                    worst = q
+        self._engine.database.statistics.record_estimation_qerror(worst)
+        if worst > threshold:
+            self._reoptimize()
+
+    @staticmethod
+    def _build_pins(combination) -> dict[int, list[tuple[str, float]]]:
+        """``{conjunction index: [(description, estimate), ...]}`` from one run.
+
+        Only conjunctions whose every recorded step carries an estimate are
+        pinned (``None`` means no cost model ran for that step — legacy
+        order, or an existence gate).  Streaming semijoin short-circuits are
+        recorded as ``semijoin <structure>``; the pin keeps the structure
+        description, which is what the pinned pick matches against.
+        """
+        indexes = combination.conjunction_indexes
+        if len(set(indexes)) != len(indexes):
+            return {}  # merged sub-query reports reuse indexes; don't pin
+        pins: dict[int, list[tuple[str, float]]] = {}
+        for position, estimates in enumerate(combination.join_estimates):
+            if position >= len(indexes):
+                break
+            steps: list[tuple[str, float]] = []
+            for description, est, _ in estimates:
+                if est is None:
+                    steps = []
+                    break
+                if description.startswith("semijoin "):
+                    description = description[len("semijoin "):]
+                steps.append((description, float(est)))
+            if steps:
+                pins[indexes[position]] = steps
+        return pins
+
+    def _reoptimize(self) -> None:
+        """Recompile the plan in place with refreshed statistics."""
+        from repro.transform.pipeline import prepare_query  # cycle-free, lazy
+
+        database = self._engine.database
+        self._pinned_orders = None
+        self._bound_plans = BoundedLRU(self._cache_size)
+        self._collections = BoundedLRU(self._cache_size)
+        self._snapshot_collections = BoundedLRU(self._cache_size)
+        refresh = getattr(database, "refresh_statistics", None)
+        if callable(refresh):
+            refresh(self.referenced_relations)
+        self.plan = prepare_query(
+            self.selection,
+            database,
+            self.options,
+            resolve=False,
+            defer_restricted_ranges=True,
+        )
+        self.parameters = collect_parameters(self.plan)
+        database.statistics.record_reoptimization()
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         parameters = ", ".join(f"${name}" for name in self.parameter_names) or "none"

@@ -219,6 +219,7 @@ class QueryService:
             schema_version=self.database.schema_version,
             collection_cache_size=self.service_options.collection_cache_size,
             lock=self._execution_lock,
+            reopt_qerror_threshold=self.service_options.reopt_qerror_threshold,
         )
         self.cache.store(key, prepared)
         return prepared

@@ -221,6 +221,74 @@ class TestShardPruning:
         )
 
 
+# ------------------------------------------------------------- partition layout
+
+
+class TestRangeLayoutAutoPick:
+    """Hash-shard skew flips the partition layout to range (PR 9)."""
+
+    HOT, TAIL = 0, 12
+    QUERY = "[<i.id> OF EACH i IN items: SOME l IN links (l.ref = i.id)]"
+
+    def _database(self):
+        from repro.relational.database import Database
+        from repro.types.scalar import Subrange
+
+        # One hot item owns 100 links; hash placement would pile all of them
+        # onto whichever shard key 0 hashes to, so the predicted max/mean
+        # load crosses ``shard_skew_threshold`` and the planner cuts
+        # frequency-weighted range bounds instead.
+        database = Database("skew")
+        database.create_relation(
+            "items", [("id", Subrange(0, 999, "itemid"))], key=["id"]
+        )
+        database.create_relation(
+            "links",
+            [("lid", Subrange(0, 9999, "linkid")), ("ref", Subrange(0, 999, "linkref"))],
+            key=["lid"],
+        )
+        items = database.relation("items")
+        for i in range(self.TAIL + 1):
+            items.insert({"id": i})
+        links = database.relation("links")
+        lid = 0
+        for _ in range(100):
+            links.insert({"lid": lid, "ref": self.HOT})
+            lid += 1
+        for i in range(1, self.TAIL + 1):
+            links.insert({"lid": lid, "ref": i})
+            lid += 1
+        return database
+
+    def test_skew_flips_the_layout_to_range(self):
+        result = QueryEngine(self._database(), SHARDED).run(self.QUERY)
+        report = result.combination.shard_report
+        assert report is not None
+        assert report.spec.startswith("range(i_ref)"), report.spec
+
+    def test_range_and_hash_layouts_are_byte_identical(self):
+        database = self._database()
+        ranged = QueryEngine(database, SHARDED).run(self.QUERY)
+        hashed = QueryEngine(
+            database, SHARDED.with_(shard_skew_threshold=0.0)
+        ).run(self.QUERY)
+        unsharded = QueryEngine(
+            database, SHARDED.with_(sharded_execution=False)
+        ).run(self.QUERY)
+        assert ranged.combination.shard_report.spec.startswith("range(")
+        assert hashed.combination.shard_report.spec.startswith("hash(")
+        assert _rows(ranged) == _rows(hashed) == _rows(unsharded)
+
+    def test_statistics_off_keeps_the_hash_layout(self):
+        options = SHARDED.with_(histogram_statistics=False)
+        result = QueryEngine(self._database(), options).run(self.QUERY)
+        assert result.combination.shard_report.spec.startswith("hash(")
+
+    def test_uniform_loads_keep_the_hash_layout(self, scale4):
+        result = QueryEngine(scale4, SHARDED).run(PUBLISHING_TEACHERS_TEXT)
+        assert result.combination.shard_report.spec.startswith("hash(")
+
+
 # ------------------------------------------------------------------- statistics
 
 

@@ -210,6 +210,20 @@ class TestCounterReflection:
         assert stats.plan_cache_hits == 0
         assert stats.plan_cache_misses == 0
 
+    def test_cost_model_counters_participate(self):
+        stats = AccessStatistics()
+        stats.record_histogram_rebuild()
+        stats.record_reoptimization()
+        stats.record_estimation_qerror(7.5)
+        stats.record_estimation_qerror(2.0)  # max-tracking: the worst sticks
+        snapshot = stats.as_dict()
+        assert snapshot["histogram_rebuilds"] == 1
+        assert snapshot["reoptimizations"] == 1
+        assert snapshot["estimation_qerror_max"] == 7.5
+        stats.reset()
+        assert stats.histogram_rebuilds == 0
+        assert stats.estimation_qerror_max == 0.0
+
     def test_mutation_epoch_survives_reset(self):
         stats = AccessStatistics()
         epoch = stats.mutation_epoch
