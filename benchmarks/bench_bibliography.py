@@ -1,0 +1,237 @@
+"""BIBLIO — the skewed bibliographic workload: join order and partition layout.
+
+The university database is uniform by construction, so its optimizer wins
+come from structure, not statistics.  The bibliographic domain
+(``repro.workloads.bibliography``) is the opposite: era-local Zipf heads in
+``authorship``, a Zipf in-degree head in ``citations``, power-law venue
+sizes — and the correlations between them are exactly what a uniform
+estimator cannot see.
+
+**Scenario 1 — the Zipf citation chain.**  The chain query walks
+``authors - authorship - authorship - citations``:
+
+* the **explosion** branch re-joins ``authorship`` on the author: each
+  historical era's prolific head multiplies its links quadratically.  The
+  uniform estimate ``|L| * |R| / max(dL, dR)`` divides by a healthy distinct
+  count and prices the branch *below* its true size;
+* the **kill** branch joins the citation structure on the *paper*: only
+  modern papers carry reference lists, and modern collaborations are flat —
+  so every historical head's links dead-end there.  Its uniform estimate
+  (a fat structure, reference lists run long) looks *expensive*.
+
+The uniform order multiplies the era heads out before the citation
+structure can kill them; the histogram estimator matches hot author keys
+exactly, prices the explosion at its true size, and joins the kill branch
+first.  Both orders return byte-identical rows — only the peak intermediate
+differs, and the gap widens with scale (the heads grow quadratically, the
+flat modern final result linearly).
+
+**Scenario 2 — hash vs. range partition auto-pick.**  Sharding the venue
+load query partitions the ``[v, p]`` structure on the venue.  Venue sizes
+are power-law, so hash placement piles the head venue's papers onto one
+worker.  With histogram statistics the partitioner predicts the hash loads
+from the key-frequency distribution and switches to frequency-weighted
+range bounds *in the plan*; without them it cannot see the skew and keeps
+hash placement.
+
+Acceptance (full run; the CI smoke job sets ``BENCH_SMOKE=1``, collapses
+the sweep and skips the cross-scale assertions):
+
+* at the full scale the uniform join order materializes at least **3x**
+  the peak intermediates of the histogram-driven order, and the ratio is
+  monotone (non-decreasing) from scale 1;
+* at the full scale the partitioner picks ``range(...)`` bounds with
+  histogram statistics and ``hash(...)`` without, and the range layout's
+  busiest shard does at most **80%** of the hash layout's busiest shard;
+* every configuration's rows equal the legacy (join_ordering off) order.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import QueryEngine, StrategyOptions
+from repro.bench.report import print_report
+from repro.workloads.bibliography import build_bibliography_database
+
+#: Set by the CI benchmark-smoke job: the decisive configuration only.
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+SCALES = (2,) if BENCH_SMOKE else (1, 2, 4, 8, 16)
+FULL_SCALE = SCALES[-1]
+
+REQUIRED_PEAK_RATIO = 3.0
+MAX_RANGE_LOAD_FRACTION = 0.80
+#: Counter noise allowance for the monotonicity claim at the small scales.
+MONOTONE_TOLERANCE = 0.95
+
+#: Keep the dyadic structures joinable by the combination phase (S4 would
+#: dissolve them into lists) and materialized (peak n-tuples is the metric);
+#: the semijoin reducer is off because it would *hide* the bad order.
+BASE = StrategyOptions.all_strategies().with_(
+    collection_phase_quantifiers=False,
+    streaming_execution=False,
+    sharded_execution=False,
+    semijoin_reduction=False,
+)
+UNIFORM = BASE.with_(histogram_statistics=False)
+HISTOGRAM = BASE.with_(histogram_statistics=True)
+LEGACY = BASE.with_(join_ordering=False, histogram_statistics=False)
+
+#: Scenario 2 runs the combination sharded (serial backend: deterministic
+#: counters, no pool noise) and lets the partitioner choose the layout.
+SHARDED = StrategyOptions.all_strategies().with_(
+    collection_phase_quantifiers=False,
+    streaming_execution=False,
+    shard_min_rows=0,
+    shard_count=4,
+    shard_backend="serial",
+)
+
+#: Authors whose co-authored output feeds the citation stream.  The two
+#: ``authorship`` terms meet on the author (the explosion branch); the
+#: citation term meets ``w1`` on the paper (the kill branch).
+CITATION_CHAIN_QUERY = """
+[<a.aname> OF EACH a IN authors:
+    SOME w1 IN authorship (SOME w2 IN authorship (SOME c IN citations
+        ((a.anr = w1.wanr) AND (w2.wanr = a.anr) AND (w1.wpnr = c.csrc))))]
+"""
+
+#: One row per paper lands on the paper's venue: the shard key's frequency
+#: distribution *is* the power-law venue size.
+VENUE_LOAD_QUERY = """
+[<v.vname> OF EACH v IN venues: SOME p IN papers (p.pvnr = v.vnr)]
+"""
+
+
+def _first_join(result) -> str:
+    """Description of the structure the optimizer joined first (after the start)."""
+    order = result.combination.join_orders[0]
+    return order[1][0]
+
+
+def _measure_order(scale: int) -> dict:
+    """Peak intermediates of the uniform vs. histogram-driven join order."""
+    database = build_bibliography_database(scale=scale)
+    expected = sorted(
+        r.values
+        for r in QueryEngine(database, LEGACY).run(CITATION_CHAIN_QUERY).relation
+    )
+    row = {"scale": scale, "result": len(expected)}
+    for label, options in (("uniform", UNIFORM), ("histogram", HISTOGRAM)):
+        result = QueryEngine(database, options).run(CITATION_CHAIN_QUERY)
+        assert sorted(r.values for r in result.relation) == expected, (
+            f"{label} order diverged from the legacy reference at scale {scale}"
+        )
+        row[f"peak_{label}"] = result.combination.peak_tuples
+        row[f"join_{label}"] = _first_join(result)
+    row["ratio"] = row["peak_uniform"] / max(row["peak_histogram"], 1)
+    return row
+
+
+def _measure_partition(scale: int) -> dict:
+    """Partition layout and busiest-shard work, uniform vs. histogram."""
+    database = build_bibliography_database(scale=scale)
+    row = {"scale": scale}
+    rows_by_label = {}
+    for label, options in (
+        ("uniform", SHARDED.with_(histogram_statistics=False)),
+        ("histogram", SHARDED.with_(histogram_statistics=True)),
+    ):
+        result = QueryEngine(database, options).run(VENUE_LOAD_QUERY)
+        report = result.combination.shard_report
+        rows_by_label[label] = sorted(r.values for r in result.relation)
+        row[f"spec_{label}"] = report.spec
+        row[f"max_work_{label}"] = report.max_shard_work
+        row[f"total_work_{label}"] = report.total_work
+    assert rows_by_label["uniform"] == rows_by_label["histogram"], (
+        f"partition layouts disagreed on the result at scale {scale}"
+    )
+    row["load_fraction"] = row["max_work_histogram"] / max(row["max_work_uniform"], 1)
+    return row
+
+
+class TestBibliographyBenchAcceptance:
+    def test_uniform_estimator_walks_into_the_era_heads(self):
+        if BENCH_SMOKE:
+            pytest.skip("the order disagreement is claimed at the full scale")
+        row = _measure_order(FULL_SCALE)
+        # The decisive disagreement: uniform joins the second authorship
+        # structure (the era heads) first, the histogram joins the
+        # citation structure (the kill) first.
+        assert row["join_uniform"] != row["join_histogram"], row
+
+    def test_histogram_order_materializes_3x_fewer_intermediates(self):
+        if BENCH_SMOKE:
+            pytest.skip("the >=3x claim is made at the full scale")
+        row = _measure_order(FULL_SCALE)
+        assert row["ratio"] >= REQUIRED_PEAK_RATIO, row
+
+    def test_peak_ratio_is_monotone_from_scale_1(self):
+        if BENCH_SMOKE:
+            pytest.skip("cross-scale acceptance needs the full scale sweep")
+        ratios = [_measure_order(scale)["ratio"] for scale in SCALES]
+        for earlier, later in zip(ratios, ratios[1:]):
+            assert later >= earlier * MONOTONE_TOLERANCE, ratios
+
+    def test_partitioner_switches_hash_to_range_on_the_venue_head(self):
+        if BENCH_SMOKE:
+            pytest.skip("the layout claim is made at the full scale")
+        row = _measure_partition(FULL_SCALE)
+        assert row["spec_uniform"].startswith("hash("), row
+        assert row["spec_histogram"].startswith("range("), row
+        assert row["load_fraction"] <= MAX_RANGE_LOAD_FRACTION, row
+
+    def test_results_are_byte_identical_at_every_scale(self):
+        for scale in SCALES:
+            _measure_order(scale)      # asserts equivalence internally
+            _measure_partition(scale)  # asserts layout-independence internally
+
+
+def test_report_bibliography():
+    """Print the scale sweep for both scenarios (deterministic counters)."""
+    lines = [
+        f"{'scale':>6} {'peak uniform':>13} {'peak histogram':>15} {'ratio':>7}   first join"
+    ]
+    for scale in SCALES:
+        row = _measure_order(scale)
+        lines.append(
+            f"{row['scale']:>6} {row['peak_uniform']:>13} {row['peak_histogram']:>15} "
+            f"{row['ratio']:>6.1f}x   uniform={row['join_uniform']}, "
+            f"histogram={row['join_histogram']}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'scale':>6} {'uniform layout':>15} {'histogram layout':>17} "
+        f"{'max work':>15} {'frac':>6}"
+    )
+    for scale in SCALES:
+        row = _measure_partition(scale)
+        lines.append(
+            f"{row['scale']:>6} {row['spec_uniform'].split(' @')[0]:>15} "
+            f"{row['spec_histogram'].split(' @')[0]:>17} "
+            f"{row['max_work_uniform']:>6} -> {row['max_work_histogram']:<6} "
+            f"{row['load_fraction']:>6.2f}"
+        )
+    print_report(
+        "BIBLIO — skewed bibliographic workload: join order and partition layout",
+        "\n".join(lines),
+    )
+
+
+def test_timing_histogram_order(benchmark):
+    """pytest-benchmark timing of the histogram-driven execution."""
+    database = build_bibliography_database(scale=FULL_SCALE)
+    engine = QueryEngine(database, HISTOGRAM)
+    result = benchmark(lambda: engine.run(CITATION_CHAIN_QUERY))
+    assert len(result.relation) > 0
+
+
+def test_timing_uniform_order(benchmark):
+    """pytest-benchmark timing of the uniform-estimate execution (the bad order)."""
+    database = build_bibliography_database(scale=FULL_SCALE)
+    engine = QueryEngine(database, UNIFORM)
+    result = benchmark(lambda: engine.run(CITATION_CHAIN_QUERY))
+    assert len(result.relation) > 0

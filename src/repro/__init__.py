@@ -59,6 +59,12 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.service import PreparedQuery, QueryService
 from repro.storage.recovery import RecoveryReport
+from repro.workloads.bibliography import (
+    IngestReport,
+    bibliography_database,
+    build_bibliography_database,
+    load_dblp_xml,
+)
 from repro.workloads.university import build_university_database, figure1_database
 
 __version__ = "1.4.0"
@@ -76,6 +82,7 @@ __all__ = [
     "DURABILITY_MODES",
     "DURABILITY_OFF",
     "Database",
+    "IngestReport",
     "PreparedQuery",
     "QueryEngine",
     "QueryResult",
@@ -90,10 +97,13 @@ __all__ = [
     "TransactionError",
     "__version__",
     "aconnect",
+    "bibliography_database",
+    "build_bibliography_database",
     "build_university_database",
     "connect",
     "execute_naive",
     "figure1_database",
+    "load_dblp_xml",
     "parse_formula",
     "parse_selection",
 ]

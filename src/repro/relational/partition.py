@@ -64,8 +64,13 @@ def _canonical_bytes(value: object) -> bytes:
 
     Deliberately *not* Python's ``hash()``: string hashing is salted per
     process (``PYTHONHASHSEED``), and shard assignment must agree between a
-    parent and its process-pool workers.  Unknown scalar types fall back to
-    ``repr``, which the repository's scalar wrappers keep deterministic.
+    parent and its process-pool workers.  Strings are encoded with their
+    trailing blank padding stripped, matching
+    :func:`repro.types.scalar.compare_values`: two :class:`CharArray`
+    values of different declared lengths that compare equal must land on
+    the same shard, or an equi-join across them would silently drop rows.
+    Unknown scalar types fall back to ``repr``, which the repository's
+    scalar wrappers keep deterministic.
     """
     if isinstance(value, bool):
         return b"b1" if value else b"b0"
@@ -74,7 +79,7 @@ def _canonical_bytes(value: object) -> bytes:
     if isinstance(value, float):
         return b"f" + repr(value).encode("ascii")
     if isinstance(value, str):
-        return b"s" + value.encode("utf-8")
+        return b"s" + value.rstrip().encode("utf-8")
     if value is None:
         return b"n"
     if isinstance(value, tuple):

@@ -1,5 +1,23 @@
-"""Workloads: the Figure 1 university database, the paper's queries, generators."""
+"""Workloads: the Figure 1 university domain and the DBLP-shaped bibliography.
 
+Two domains, one registry: the paper's own uniform university database
+(:mod:`~repro.workloads.university`, :mod:`~repro.workloads.queries`) and
+the Zipf-skewed bibliographic domain (:mod:`~repro.workloads.bibliography` —
+schema, generator, DBLP XML ingest, citation query library).
+"""
+
+from repro.workloads.bibliography import (
+    BibliographyProfile,
+    IngestReport,
+    bibliography_database,
+    bibliography_named_queries,
+    bibliography_parameterized_queries,
+    build_bibliography_database,
+    load_dblp_xml,
+)
+from repro.workloads.bibliography.schema import (
+    declare_schema as declare_bibliography_schema,
+)
 from repro.workloads.generator import (
     GeneratorConfig,
     random_database,
@@ -31,15 +49,23 @@ from repro.workloads.university import (
 __all__ = [
     "EXAMPLE_21_TEXT",
     "EXAMPLE_45_TEXT",
+    "BibliographyProfile",
     "GeneratorConfig",
+    "IngestReport",
     "NO_1977_PAPERS_TEXT",
     "PROFESSORS_TEXT",
     "SENIORITY_TEXT",
     "TEACHES_LOW_LEVEL_TEXT",
     "UniversityProfile",
     "all_named_queries",
+    "bibliography_database",
+    "bibliography_named_queries",
+    "bibliography_parameterized_queries",
+    "build_bibliography_database",
     "build_university_database",
+    "declare_bibliography_schema",
     "declare_schema",
+    "load_dblp_xml",
     "example_21",
     "example_45",
     "figure1_database",

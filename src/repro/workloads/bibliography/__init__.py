@@ -1,0 +1,43 @@
+"""The bibliographic workload: a DBLP-shaped second domain.
+
+Schema (:mod:`~repro.workloads.bibliography.schema`), Zipf-skewed generator
+(:mod:`~repro.workloads.bibliography.generator`), DBLP XML ingest
+(:mod:`~repro.workloads.bibliography.ingest`) and the citation query library
+(:mod:`~repro.workloads.bibliography.queries`).
+"""
+
+from repro.workloads.bibliography.generator import (
+    BibliographyProfile,
+    bibliography_database,
+    build_bibliography_database,
+)
+from repro.workloads.bibliography.ingest import (
+    DBLP_ENTITIES,
+    IngestReport,
+    decode_entities,
+    load_dblp_xml,
+)
+from repro.workloads.bibliography.queries import (
+    bibliography_named_queries,
+    bibliography_parameterized_queries,
+)
+from repro.workloads.bibliography.schema import (
+    BIBLIOGRAPHY_RELATIONS,
+    create_standard_indexes,
+    declare_schema,
+)
+
+__all__ = [
+    "BIBLIOGRAPHY_RELATIONS",
+    "BibliographyProfile",
+    "DBLP_ENTITIES",
+    "IngestReport",
+    "bibliography_database",
+    "bibliography_named_queries",
+    "bibliography_parameterized_queries",
+    "build_bibliography_database",
+    "create_standard_indexes",
+    "declare_schema",
+    "decode_entities",
+    "load_dblp_xml",
+]

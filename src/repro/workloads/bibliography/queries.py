@@ -1,0 +1,197 @@
+"""The citation query library, in the quantified calculus.
+
+The queries people actually run over bibliographic data — co-authorship
+chains, "who cites whom" transpositions, per-venue universal aggregation,
+self-citation detection — expressed in the paper's PASCAL/R surface syntax.
+They are deliberately *shaped differently* from the university workload:
+many-to-many link relations (``authorship``) join through nested SOME
+blocks, the citation graph is traversed in both directions, and the Zipfian
+heads (author 1, paper 1, venue 1) make uniform cardinality assumptions
+maximally wrong — which is the point.
+
+Every query is exposed as text plus a constructor (mirroring
+:mod:`repro.workloads.queries`), with :func:`bibliography_named_queries` and
+:func:`bibliography_parameterized_queries` as the registry the benchmarks,
+examples and equivalence tests enumerate.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.ast import Selection
+from repro.lang.parser import parse_selection
+
+__all__ = [
+    "COAUTHOR_PAIRS_TEXT",
+    "CO_COAUTHORS_TEXT",
+    "CITES_THE_PROLIFIC_TEXT",
+    "WELL_CITED_VENUES_TEXT",
+    "SELF_CITERS_TEXT",
+    "COCITATION_TEXT",
+    "RECENT_PAPERS_PARAM_TEXT",
+    "COAUTHORS_OF_PARAM_TEXT",
+    "VENUE_PAPERS_PARAM_TEXT",
+    "coauthor_pairs",
+    "co_coauthors",
+    "cites_the_prolific",
+    "well_cited_venues",
+    "self_citers",
+    "cocitation",
+    "bibliography_named_queries",
+    "bibliography_parameterized_queries",
+]
+
+
+#: Ordered co-author pairs: two distinct authors with a common paper.  The
+#: ``authorship`` self-join through ``wpnr`` is the workload's bread-and-butter
+#: many-to-many traversal; ``a.anr < b.anr`` keeps each pair once.
+COAUTHOR_PAIRS_TEXT = """
+[<a.aname, b.aname> OF EACH a IN authors, EACH b IN authors:
+    (a.anr < b.anr)
+    AND SOME w IN authorship (SOME x IN authorship
+        ((w.wanr = a.anr) AND (x.wanr = b.anr) AND (w.wpnr = x.wpnr)))]
+"""
+
+
+#: The co-author-of-a-co-author chain, anchored at the most prolific author
+#: (the Zipf head, number 1): everyone reachable in exactly two authorship
+#: hops, not the anchor themselves.  Four link variables chained through
+#: nested SOME — the longest join path in either workload.
+CO_COAUTHORS_TEXT = """
+[<c.aname> OF EACH c IN authors:
+    (c.anr <> 1)
+    AND SOME w1 IN authorship (SOME w2 IN authorship
+        (SOME w3 IN authorship (SOME w4 IN authorship
+            ((w1.wanr = 1) AND (w1.wpnr = w2.wpnr)
+             AND (w2.wanr = w3.wanr) AND (w3.wpnr = w4.wpnr)
+             AND (w4.wanr = c.anr)))))]
+"""
+
+
+#: "Who cites whom", transposed to authors via nested SOME: the names of
+#: authors whose papers cite a paper written by author 1.  The citation edge
+#: is crossed once (``csrc`` → ``cdst``) with an authorship join on each side.
+CITES_THE_PROLIFIC_TEXT = """
+[<a.aname> OF EACH a IN authors:
+    (a.anr <> 1)
+    AND SOME w IN authorship (SOME c IN citations (SOME v IN authorship
+        ((w.wanr = a.anr) AND (w.wpnr = c.csrc)
+         AND (c.cdst = v.wpnr) AND (v.wanr = 1))))]
+"""
+
+
+#: Per-venue ALL-quantified aggregation: venues every one of whose papers
+#: has been cited at least once.  The ALL block ranges over the *whole*
+#: papers relation and exempts other venues' papers by disjunction — the
+#: group-wise division shape that breaks streaming pipelines.
+WELL_CITED_VENUES_TEXT = """
+[<v.vname> OF EACH v IN venues:
+    ALL p IN papers ((p.pvnr <> v.vnr)
+        OR SOME c IN citations (c.cdst = p.pnr))]
+"""
+
+
+#: Self-citation detection: authors with a citation edge between two of
+#: their own papers.  Both endpoints of one citation edge join back to the
+#: same author through two authorship variables.
+SELF_CITERS_TEXT = """
+[<a.aname> OF EACH a IN authors:
+    SOME c IN citations (SOME w IN authorship (SOME x IN authorship
+        ((w.wanr = a.anr) AND (x.wanr = a.anr)
+         AND (w.wpnr = c.csrc) AND (x.wpnr = c.cdst))))]
+"""
+
+
+#: The benchmark's showcase: papers co-cited with a recent paper — the
+#: citations-×-citations self-join on the Zipf-headed ``cdst`` column.  A
+#: uniform estimator prices the ``c1.cdst = c2.cdst`` join as |C|²/distinct;
+#: the histogram's hot-key list knows the head paper carries a fifth of all
+#: edges and orders the selective ``pyear`` side first.
+COCITATION_TEXT = """
+[<a.ptitle> OF EACH a IN papers:
+    SOME c1 IN citations (SOME c2 IN citations (SOME b IN papers
+        ((b.pyear >= 2018) AND (c2.csrc = b.pnr)
+         AND (c1.cdst = c2.cdst) AND (c1.csrc = a.pnr)
+         AND (a.pnr <> b.pnr))))]
+"""
+
+
+# ------------------------------------------------------------- parameterized variants
+
+#: Monadic year scan with the cutoff as a parameter.
+RECENT_PAPERS_PARAM_TEXT = """
+[<p.ptitle> OF EACH p IN papers: (p.pyear >= $year)]
+"""
+
+#: The co-author list of any author, by number.
+COAUTHORS_OF_PARAM_TEXT = """
+[<b.aname> OF EACH b IN authors:
+    (b.anr <> $anr)
+    AND SOME w IN authorship (SOME x IN authorship
+        ((w.wanr = $anr) AND (x.wanr = b.anr) AND (w.wpnr = x.wpnr)))]
+"""
+
+#: All papers of one venue, by name (a quoted char-array parameter).
+VENUE_PAPERS_PARAM_TEXT = """
+[<p.ptitle> OF EACH p IN papers:
+    SOME v IN venues ((v.vnr = p.pvnr) AND (v.vname = $venue))]
+"""
+
+
+def coauthor_pairs() -> Selection:
+    """Ordered pairs of authors with a common paper."""
+    return parse_selection(COAUTHOR_PAIRS_TEXT)
+
+
+def co_coauthors() -> Selection:
+    """Authors two authorship hops from the most prolific author."""
+    return parse_selection(CO_COAUTHORS_TEXT)
+
+
+def cites_the_prolific() -> Selection:
+    """Authors whose papers cite a paper of author 1."""
+    return parse_selection(CITES_THE_PROLIFIC_TEXT)
+
+
+def well_cited_venues() -> Selection:
+    """Venues all of whose papers are cited."""
+    return parse_selection(WELL_CITED_VENUES_TEXT)
+
+
+def self_citers() -> Selection:
+    """Authors citing their own papers."""
+    return parse_selection(SELF_CITERS_TEXT)
+
+
+def cocitation() -> Selection:
+    """Papers co-cited with a recent paper (the benchmark's skew showcase)."""
+    return parse_selection(COCITATION_TEXT)
+
+
+def bibliography_named_queries() -> dict[str, Selection]:
+    """Every named citation query, keyed by a short identifier."""
+    return {
+        "coauthor_pairs": coauthor_pairs(),
+        "co_coauthors": co_coauthors(),
+        "cites_the_prolific": cites_the_prolific(),
+        "well_cited_venues": well_cited_venues(),
+        "self_citers": self_citers(),
+        "cocitation": cocitation(),
+    }
+
+
+def bibliography_parameterized_queries() -> dict[str, tuple[str, list[dict]]]:
+    """The parameterized citation workload: text plus representative bindings."""
+    return {
+        "recent_papers": (
+            RECENT_PAPERS_PARAM_TEXT,
+            [{"year": 2018}, {"year": 2000}, {"year": 1980}],
+        ),
+        "coauthors_of": (
+            COAUTHORS_OF_PARAM_TEXT,
+            [{"anr": 1}, {"anr": 2}, {"anr": 7}],
+        ),
+        "venue_papers": (
+            VENUE_PAPERS_PARAM_TEXT,
+            [{"venue": "SIGMOD Conference"}, {"venue": "Proc. VLDB Endow."}],
+        ),
+    }

@@ -1,0 +1,145 @@
+"""The bibliographic database schema — a DBLP-shaped second domain.
+
+The university database of Figure 1 is the paper's own workload; this module
+declares the repository's *second* domain: a bibliographic database in the
+mould of DBLP (and of Naughton's Wisconsin Bibliography), with the classic
+five relations of citation analysis:
+
+``authors``
+    who writes (``anr``, ``aname``) — names carry the non-ASCII characters
+    real bibliographic feeds are full of (``Hütter``, ``Schäler``),
+``venues``
+    where work appears (``vnr``, ``vname``, ``vkind``) — journal,
+    conference or workshop,
+``papers``
+    what was written (``pnr``, ``ptitle``, ``pyear``, ``pvnr``, ``pkey``) —
+    ``pkey`` holds the DBLP-style record key (``journals/pvldb/Xyz23``) so
+    the XML ingest path can recognise a record it has seen before,
+``authorship``
+    the many-to-many author↔paper link (``wanr``, ``wpnr``),
+``citations``
+    the who-cites-whom edge set (``csrc`` cites ``cdst``).
+
+All component types are the paper's PASCAL scalars (subranges, enumerations,
+packed char arrays), mirroring :mod:`repro.workloads.university`'s
+declare/build split: :func:`declare_schema` declares (no data), the
+generator and the ingest path populate.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.types.scalar import CharArray, Enumeration, Subrange
+
+__all__ = [
+    "ANR_TYPE",
+    "PNR_TYPE",
+    "VNR_TYPE",
+    "AUTHOR_NAME_TYPE",
+    "PAPER_TITLE_TYPE",
+    "PAPER_KEY_TYPE",
+    "VENUE_NAME_TYPE",
+    "VENUE_KIND_TYPE",
+    "PUB_YEAR_TYPE",
+    "BIBLIOGRAPHY_RELATIONS",
+    "declare_schema",
+    "create_standard_indexes",
+]
+
+# ------------------------------------------------------------------- scalar types
+
+#: Author numbers.  The generator allocates densely from 1; the ingest path
+#: continues above whatever is present.
+ANR_TYPE = Subrange(1, 9_999_999, "anrtype")
+#: Paper numbers.
+PNR_TYPE = Subrange(1, 9_999_999, "pnrtype")
+#: Venue numbers.
+VNR_TYPE = Subrange(1, 999_999, "vnrtype")
+
+#: Author names — long enough for "Konstantin Emil Thiel"-class names, and
+#: exercised with non-ASCII contents (entity-decoded umlauts) throughout the
+#: tests.  PASCAL packed char arrays are *character* arrays: the length is
+#: counted in characters, never in encoded bytes (``"Hütter"`` is 6).
+AUTHOR_NAME_TYPE = CharArray(36, "authornametype")
+#: Paper titles (truncated by the ingest path when a feed exceeds this).
+PAPER_TITLE_TYPE = CharArray(88, "papertitletype")
+#: DBLP record keys such as ``conf/sigmod/HutterAK0L22``.
+PAPER_KEY_TYPE = CharArray(48, "paperkeytype")
+#: Venue names (``SIGMOD Conference``, ``Proc. VLDB Endow.``).
+VENUE_NAME_TYPE = CharArray(36, "venuenametype")
+#: The venue taxonomy.
+VENUE_KIND_TYPE = Enumeration("venuekindtype", ("journal", "conference", "workshop"))
+#: Publication years (the Wisconsin Bibliography reaches back to the 1930s).
+PUB_YEAR_TYPE = Subrange(1936, 2039, "pubyeartype")
+
+#: The five relations of the domain, in declaration order.
+BIBLIOGRAPHY_RELATIONS = ("authors", "venues", "papers", "authorship", "citations")
+
+
+def declare_schema(database: Database) -> None:
+    """Declare the five bibliographic relations in ``database`` (without data)."""
+    database.create_relation(
+        "authors",
+        [
+            ("anr", ANR_TYPE),
+            ("aname", AUTHOR_NAME_TYPE),
+        ],
+        key=["anr"],
+    )
+    database.create_relation(
+        "venues",
+        [
+            ("vnr", VNR_TYPE),
+            ("vname", VENUE_NAME_TYPE),
+            ("vkind", VENUE_KIND_TYPE),
+        ],
+        key=["vnr"],
+    )
+    database.create_relation(
+        "papers",
+        [
+            ("pnr", PNR_TYPE),
+            ("ptitle", PAPER_TITLE_TYPE),
+            ("pyear", PUB_YEAR_TYPE),
+            ("pvnr", VNR_TYPE),
+            ("pkey", PAPER_KEY_TYPE),
+        ],
+        key=["pnr"],
+    )
+    database.create_relation(
+        "authorship",
+        [
+            ("wanr", ANR_TYPE),
+            ("wpnr", PNR_TYPE),
+        ],
+        key=["wanr", "wpnr"],
+    )
+    database.create_relation(
+        "citations",
+        [
+            ("csrc", PNR_TYPE),
+            ("cdst", PNR_TYPE),
+        ],
+        key=["csrc", "cdst"],
+    )
+
+
+#: The index set the citation query library probes: equality on every join
+#: column, ranges on the year.
+STANDARD_INDEXES = (
+    ("authors", "anr", "="),
+    ("papers", "pnr", "="),
+    ("papers", "pvnr", "="),
+    ("papers", "pyear", "<="),
+    ("venues", "vnr", "="),
+    ("authorship", "wanr", "="),
+    ("authorship", "wpnr", "="),
+    ("citations", "csrc", "="),
+    ("citations", "cdst", "="),
+)
+
+
+def create_standard_indexes(database: Database) -> None:
+    """Create the permanent indexes the citation query library expects."""
+    for relation_name, field_name, operator in STANDARD_INDEXES:
+        database.create_index(relation_name, field_name, operator=operator)

@@ -157,3 +157,33 @@ def test_adaptive_reoptimization_stays_won():
     row = _measure_reopt()
     assert row["reoptimizations"] == 1, row
     assert row["ratio"] >= COST_MODEL_REOPT_RATIO, row
+
+
+# ------------------------------------------------ PR 10: bibliographic workload
+
+
+#: The bibliography benchmark's pinned acceptance numbers
+#: (``bench_bibliography``, full scale): the uniform estimator walks into the
+#: era-head explosion and materializes at least 3x the histogram order's peak
+#: (monotone from scale 1, asserted in the benchmark itself), and the sharded
+#: partitioner switches hash placement to frequency-weighted range bounds on
+#: the power-law venue head.
+BIBLIO_PEAK_RATIO = 3.0
+BIBLIO_RANGE_LOAD_FRACTION = 0.80
+
+
+def test_bibliography_histogram_order_keeps_the_3x_peak_win():
+    from benchmarks.bench_bibliography import FULL_SCALE, _measure_order
+
+    row = _measure_order(FULL_SCALE)
+    assert row["join_uniform"] != row["join_histogram"], row
+    assert row["ratio"] >= BIBLIO_PEAK_RATIO, row
+
+
+def test_bibliography_partition_auto_pick_stays_won():
+    from benchmarks.bench_bibliography import FULL_SCALE, _measure_partition
+
+    row = _measure_partition(FULL_SCALE)
+    assert row["spec_uniform"].startswith("hash("), row
+    assert row["spec_histogram"].startswith("range("), row
+    assert row["load_fraction"] <= BIBLIO_RANGE_LOAD_FRACTION, row

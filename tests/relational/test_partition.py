@@ -23,7 +23,7 @@ from repro.relational.partition import (
     shard_of_value,
     stable_hash,
 )
-from repro.types.scalar import Enumeration
+from repro.types.scalar import CharArray, Enumeration, compare_values
 from repro.workloads.university import build_university_database
 
 LEVEL = Enumeration("leveltype", ("freshman", "sophomore", "junior", "senior"))
@@ -61,6 +61,29 @@ class TestStableHash:
     def test_shard_of_value_is_a_total_assignment(self):
         for value in range(100):
             assert 0 <= shard_of_value(value, 7) < 7
+
+    def test_padded_char_arrays_hash_like_they_compare(self):
+        # compare_values strips CharArray blank padding, so stable_hash must
+        # too: the same name stored in CharArray columns of different
+        # declared lengths lands on the same shard, or an equi-join across
+        # them would drop rows under sharded execution.
+        for text in ("Hütter", "Jarke", "", "a b"):
+            short = CharArray(10).coerce(text)
+            long = CharArray(36).coerce(text)
+            assert compare_values("=", short, long)
+            assert stable_hash(short) == stable_hash(long)
+            assert stable_hash(short) == stable_hash(text)
+
+    def test_interior_whitespace_still_distinguishes(self):
+        assert stable_hash("a b") != stable_hash("ab")
+        assert stable_hash(" a") != stable_hash("a")
+
+    @given(st.text(max_size=18), st.integers(min_value=0, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_hash_agrees_with_comparison_for_any_padding(self, text, pad):
+        padded = text + " " * pad
+        assert compare_values("=", text, padded)
+        assert stable_hash(text) == stable_hash(padded)
 
 
 # ---------------------------------------------------------------- partition specs

@@ -92,6 +92,24 @@ class TestCharArray:
         name = CharArray(10)
         assert compare_values("=", name.coerce("Highman"), "Highman")
 
+    def test_length_counts_characters_not_bytes(self):
+        # "Hütter" is 6 characters but 7 UTF-8 bytes: a byte-counted
+        # implementation would reject it from CharArray(6) or pad short.
+        name = CharArray(6, "nametype")
+        assert name.contains("Hütter")
+        assert name.coerce("Hütter") == "Hütter"
+        assert len(CharArray(10).coerce("Hütter")) == 10
+
+    def test_non_ascii_too_long_is_rejected_by_character_count(self):
+        with pytest.raises(ValidationError):
+            CharArray(5).coerce("Hütter")  # 6 characters
+
+    def test_non_ascii_padded_values_compare_equal_after_strip(self):
+        assert compare_values("=", CharArray(10).coerce("Schäler"), "Schäler")
+        assert compare_values(
+            "=", CharArray(10).coerce("Özsu"), CharArray(20).coerce("Özsu")
+        )
+
 
 class TestEnumeration:
     @pytest.fixture
